@@ -1,0 +1,66 @@
+//! Throughput of the discrete-event serving engine.
+//!
+//! A full paper-scale experiment pushes ~3M events; these benches measure
+//! the events/second the engine sustains, under both schedulers, on
+//! miniature workloads sized for quick iteration.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use olympian::{OlympianScheduler, Profiler, ProfileStore, RoundRobin};
+use serving::{run_experiment, ClientSpec, EngineConfig, FifoScheduler};
+use simtime::SimDuration;
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn clients(n: usize, batches: u32) -> Vec<ClientSpec> {
+    vec![ClientSpec::new(models::mini::small(4), batches); n]
+}
+
+fn bench_baseline(c: &mut Criterion) {
+    let cfg = EngineConfig::default();
+    // Count events once so the group can report events/second.
+    let probe = run_experiment(&cfg, clients(4, 2), &mut FifoScheduler::new());
+    let mut g = c.benchmark_group("engine_baseline");
+    g.throughput(Throughput::Elements(probe.event_count));
+    g.bench_function(BenchmarkId::new("clients", 4), |b| {
+        b.iter(|| {
+            black_box(run_experiment(
+                &cfg,
+                clients(4, 2),
+                &mut FifoScheduler::new(),
+            ))
+        });
+    });
+    g.finish();
+}
+
+fn bench_olympian(c: &mut Criterion) {
+    let cfg = EngineConfig::default();
+    let model = models::mini::small(4);
+    let mut store = ProfileStore::new();
+    store.insert(Profiler::new(&cfg).profile(&model));
+    let store = Arc::new(store);
+    let probe = {
+        let mut sched = OlympianScheduler::new(
+            Arc::clone(&store),
+            Box::new(RoundRobin::new()),
+            SimDuration::from_micros(200),
+        );
+        run_experiment(&cfg, clients(4, 2), &mut sched)
+    };
+    let mut g = c.benchmark_group("engine_olympian");
+    g.throughput(Throughput::Elements(probe.event_count));
+    g.bench_function(BenchmarkId::new("clients", 4), |b| {
+        b.iter(|| {
+            let mut sched = OlympianScheduler::new(
+                Arc::clone(&store),
+                Box::new(RoundRobin::new()),
+                SimDuration::from_micros(200),
+            );
+            black_box(run_experiment(&cfg, clients(4, 2), &mut sched))
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_baseline, bench_olympian);
+criterion_main!(benches);

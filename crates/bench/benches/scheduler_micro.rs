@@ -1,0 +1,112 @@
+//! Microbenchmarks of the Olympian scheduler's hot path.
+//!
+//! The yield check and the per-GPU-node cost update run once per node —
+//! hundreds of thousands of times per second on a busy server — so their
+//! cost is the scheduler's effective overhead floor.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dataflow::{CostModel, NodeId};
+use olympian::{ModelProfile, OlympianScheduler, Priority, ProfileStore, RoundRobin, WeightedFair};
+use serving::{ClientId, JobCtx, JobId, Scheduler};
+use simtime::{SimDuration, SimTime};
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn store(nodes: usize) -> Arc<ProfileStore> {
+    let costs: Vec<u64> = (0..nodes).map(|i| 50 + (i as u64 % 100)).collect();
+    let total = costs.iter().sum();
+    let mut s = ProfileStore::new();
+    s.insert(ModelProfile {
+        model: "bench".into(),
+        batch: 1,
+        costs: CostModel::from_costs(costs),
+        total_cost: total,
+        gpu_duration: SimDuration::from_micros(total / 15),
+    });
+    Arc::new(s)
+}
+
+fn ctx() -> JobCtx<'static> {
+    JobCtx {
+        client: ClientId(0),
+        model_name: "bench",
+        batch: 1,
+        weight: 1,
+        priority: 0,
+        device: 0,
+        now: SimTime::ZERO,
+    }
+}
+
+fn registered_scheduler(jobs: u64) -> OlympianScheduler {
+    let mut sched = OlympianScheduler::new(
+        store(4096),
+        Box::new(RoundRobin::new()),
+        SimDuration::from_micros(1200),
+    );
+    for j in 0..jobs {
+        sched.register(JobId(j), &ctx()).expect("profile exists");
+    }
+    sched
+}
+
+fn bench_hooks(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scheduler_hooks");
+
+    g.bench_function("may_run", |b| {
+        let sched = registered_scheduler(10);
+        b.iter(|| black_box(sched.may_run(black_box(JobId(3)))));
+    });
+
+    g.bench_function("on_gpu_node_done", |b| {
+        let mut sched = registered_scheduler(10);
+        let mut i = 0u32;
+        b.iter(|| {
+            i = (i + 1) % 4096;
+            black_box(sched.on_gpu_node_done(
+                JobId(0),
+                NodeId::from_index(i as usize),
+                SimTime::from_nanos(u64::from(i)),
+            ))
+        });
+    });
+
+    g.bench_function("register_deregister", |b| {
+        let mut sched = registered_scheduler(10);
+        let mut j = 100u64;
+        b.iter(|| {
+            j += 1;
+            sched.register(JobId(j), &ctx()).expect("profile exists");
+            black_box(sched.deregister(JobId(j), SimTime::ZERO));
+        });
+    });
+    g.finish();
+}
+
+fn bench_policies(c: &mut Criterion) {
+    let mut g = c.benchmark_group("policy_quantum_expired");
+    type PolicyFactory = Box<dyn Fn() -> Box<dyn olympian::Policy>>;
+    let policies: Vec<(&str, PolicyFactory)> = vec![
+        ("round_robin", Box::new(|| Box::new(RoundRobin::new()))),
+        ("weighted_fair", Box::new(|| Box::new(WeightedFair::new()))),
+        ("priority", Box::new(|| Box::new(Priority::new()))),
+    ];
+    for (name, mk) in policies {
+        g.bench_function(name, |b| {
+            let mut p = mk();
+            let mut current = None;
+            for j in 0..64u64 {
+                current = p.admit(JobId(j), 1 + (j % 3) as u32, (j % 5) as u32, current);
+            }
+            let mut holder = current.expect("jobs admitted");
+            b.iter(|| {
+                holder = p.quantum_expired(holder).expect("ring non-empty");
+                black_box(holder)
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_hooks, bench_policies);
+criterion_main!(benches);

@@ -1,0 +1,8 @@
+//! Regenerates the ablations extension experiment. See `bench::figs::ablations`.
+
+fn main() {
+    let out = bench::figs::ablations::run();
+    print!("{out}");
+    let path = bench::save_result("ablations.txt", &out);
+    eprintln!("(saved to {})", path.display());
+}

@@ -1,0 +1,40 @@
+//! Runs every table/figure experiment in sequence and saves each report
+//! under `results/`. This is the one-command reproduction of the paper's
+//! entire evaluation section.
+
+type Experiment = fn() -> String;
+
+fn main() {
+    let experiments: Vec<(&str, Experiment)> = vec![
+        ("table2", bench::figs::table2::run),
+        ("fig03", bench::figs::fig03::run),
+        ("fig04", bench::figs::fig04::run),
+        ("fig06", bench::figs::fig06::run),
+        ("fig08", bench::figs::fig08::run),
+        ("fig11", bench::figs::fig11::run),
+        ("fig12", bench::figs::fig12::run),
+        ("fig13_14", bench::figs::fig13_14::run),
+        ("fig16", bench::figs::fig16::run),
+        ("fig17", bench::figs::fig17::run),
+        ("fig18", bench::figs::fig18::run),
+        ("fig19", bench::figs::fig19::run),
+        ("fig20", bench::figs::fig20::run),
+        ("fig21", bench::figs::fig21::run),
+        ("utilization", bench::figs::utilization::run),
+        ("scalability", bench::figs::scalability::run),
+        ("stability", bench::figs::stability::run),
+        ("multi_gpu", bench::figs::multi_gpu::run),
+        ("dynamic_workload", bench::figs::dynamic_workload::run),
+        ("ablations", bench::figs::ablations::run),
+        ("timeline", bench::figs::timeline::run),
+        ("motivation", bench::figs::motivation::run),
+        ("robustness", bench::figs::robustness::run),
+    ];
+    for (name, f) in experiments {
+        let t0 = std::time::Instant::now();
+        let out = f();
+        print!("{out}");
+        let path = bench::save_result(&format!("{name}.txt"), &out);
+        eprintln!("({name} done in {:.1?}, saved to {})\n", t0.elapsed(), path.display());
+    }
+}

@@ -1,0 +1,8 @@
+//! Regenerates the dynamic_workload extension experiment. See `bench::figs::dynamic_workload`.
+
+fn main() {
+    let out = bench::figs::dynamic_workload::run();
+    print!("{out}");
+    let path = bench::save_result("dynamic_workload.txt", &out);
+    eprintln!("(saved to {})", path.display());
+}

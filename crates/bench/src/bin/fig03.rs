@@ -1,0 +1,8 @@
+//! Regenerates the paper's fig03 output. See `bench::figs::fig03`.
+
+fn main() {
+    let out = bench::figs::fig03::run();
+    print!("{out}");
+    let path = bench::save_result("fig03.txt", &out);
+    eprintln!("(saved to {})", path.display());
+}

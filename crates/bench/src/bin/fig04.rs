@@ -1,0 +1,8 @@
+//! Regenerates the paper's fig04 output. See `bench::figs::fig04`.
+
+fn main() {
+    let out = bench::figs::fig04::run();
+    print!("{out}");
+    let path = bench::save_result("fig04.txt", &out);
+    eprintln!("(saved to {})", path.display());
+}

@@ -1,0 +1,8 @@
+//! Regenerates the paper's fig06 output. See `bench::figs::fig06`.
+
+fn main() {
+    let out = bench::figs::fig06::run();
+    print!("{out}");
+    let path = bench::save_result("fig06.txt", &out);
+    eprintln!("(saved to {})", path.display());
+}

@@ -1,0 +1,8 @@
+//! Regenerates the paper's fig08 output. See `bench::figs::fig08`.
+
+fn main() {
+    let out = bench::figs::fig08::run();
+    print!("{out}");
+    let path = bench::save_result("fig08.txt", &out);
+    eprintln!("(saved to {})", path.display());
+}

@@ -1,0 +1,8 @@
+//! Regenerates the paper's fig11 output. See `bench::figs::fig11`.
+
+fn main() {
+    let out = bench::figs::fig11::run();
+    print!("{out}");
+    let path = bench::save_result("fig11.txt", &out);
+    eprintln!("(saved to {})", path.display());
+}

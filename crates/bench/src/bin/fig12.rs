@@ -1,0 +1,8 @@
+//! Regenerates the paper's fig12 output. See `bench::figs::fig12`.
+
+fn main() {
+    let out = bench::figs::fig12::run();
+    print!("{out}");
+    let path = bench::save_result("fig12.txt", &out);
+    eprintln!("(saved to {})", path.display());
+}

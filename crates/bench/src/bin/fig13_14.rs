@@ -1,0 +1,8 @@
+//! Regenerates the paper's fig13_14 output. See `bench::figs::fig13_14`.
+
+fn main() {
+    let out = bench::figs::fig13_14::run();
+    print!("{out}");
+    let path = bench::save_result("fig13_14.txt", &out);
+    eprintln!("(saved to {})", path.display());
+}

@@ -1,0 +1,8 @@
+//! Regenerates the paper's fig16 output. See `bench::figs::fig16`.
+
+fn main() {
+    let out = bench::figs::fig16::run();
+    print!("{out}");
+    let path = bench::save_result("fig16.txt", &out);
+    eprintln!("(saved to {})", path.display());
+}

@@ -1,0 +1,8 @@
+//! Regenerates the paper's fig17 output. See `bench::figs::fig17`.
+
+fn main() {
+    let out = bench::figs::fig17::run();
+    print!("{out}");
+    let path = bench::save_result("fig17.txt", &out);
+    eprintln!("(saved to {})", path.display());
+}

@@ -1,0 +1,8 @@
+//! Regenerates the paper's fig18 output. See `bench::figs::fig18`.
+
+fn main() {
+    let out = bench::figs::fig18::run();
+    print!("{out}");
+    let path = bench::save_result("fig18.txt", &out);
+    eprintln!("(saved to {})", path.display());
+}

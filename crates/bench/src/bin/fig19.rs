@@ -1,0 +1,8 @@
+//! Regenerates the paper's fig19 output. See `bench::figs::fig19`.
+
+fn main() {
+    let out = bench::figs::fig19::run();
+    print!("{out}");
+    let path = bench::save_result("fig19.txt", &out);
+    eprintln!("(saved to {})", path.display());
+}

@@ -1,0 +1,8 @@
+//! Regenerates the paper's fig20 output. See `bench::figs::fig20`.
+
+fn main() {
+    let out = bench::figs::fig20::run();
+    print!("{out}");
+    let path = bench::save_result("fig20.txt", &out);
+    eprintln!("(saved to {})", path.display());
+}

@@ -1,0 +1,8 @@
+//! Regenerates the paper's fig21 output. See `bench::figs::fig21`.
+
+fn main() {
+    let out = bench::figs::fig21::run();
+    print!("{out}");
+    let path = bench::save_result("fig21.txt", &out);
+    eprintln!("(saved to {})", path.display());
+}

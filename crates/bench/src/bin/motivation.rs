@@ -1,0 +1,8 @@
+//! Quantifies the paper's §1 motivation. See `bench::figs::motivation`.
+
+fn main() {
+    let out = bench::figs::motivation::run();
+    print!("{out}");
+    let path = bench::save_result("motivation.txt", &out);
+    eprintln!("(saved to {})", path.display());
+}

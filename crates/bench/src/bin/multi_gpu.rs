@@ -1,0 +1,8 @@
+//! Regenerates the multi_gpu extension experiment. See `bench::figs::multi_gpu`.
+
+fn main() {
+    let out = bench::figs::multi_gpu::run();
+    print!("{out}");
+    let path = bench::save_result("multi_gpu.txt", &out);
+    eprintln!("(saved to {})", path.display());
+}

@@ -1,0 +1,293 @@
+//! `olympctl` — a small operator CLI over the Olympian stack.
+//!
+//! ```text
+//! olympctl models
+//! olympctl export-model --model inception-v4 --batch 100 --out model.json
+//! olympctl inspect --model vgg --batch 120 [--dot graph.dot]
+//! olympctl profile --model inception-v4 --batch 100 [--out profiles.json]
+//! olympctl curve   --model resnet-152 --batch 100 [--tolerance 0.025]
+//! olympctl run     --model inception-v4 --batch 100 --clients 10 --batches 10
+//!                  --policy fair|weighted|priority|drr|lottery|baseline
+//!                  [--quantum-us 1200] [--gpus 1] [--seed 1]
+//!                  [--deadline-ms 500] [--trace 40]
+//! ```
+
+use olympian::{
+    DeficitRoundRobin, Lottery, MultiGpuScheduler, OlympianScheduler, Policy, Priority,
+    Profiler, ProfileStore, RoundRobin, WeightedFair,
+};
+use serving::{run_experiment, ClientSpec, EngineConfig, FifoScheduler};
+use simtime::SimDuration;
+use std::collections::HashMap;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  olympctl models\n  olympctl profile --model <name> --batch <n> [--out <file>]\n  \
+         olympctl curve --model <name> --batch <n> [--tolerance <frac>]\n  \
+         olympctl run --model <name> --batch <n> --clients <n> [--batches <n>]\n               \
+         --policy <fair|weighted|priority|drr|lottery|baseline>\n               \
+         [--quantum-us <n>] [--gpus <n>] [--seed <n>]"
+    );
+    ExitCode::FAILURE
+}
+
+fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
+    let mut flags = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let key = args[i]
+            .strip_prefix("--")
+            .ok_or_else(|| format!("expected a --flag, got {:?}", args[i]))?;
+        let value = args
+            .get(i + 1)
+            .ok_or_else(|| format!("--{key} needs a value"))?;
+        flags.insert(key.to_string(), value.clone());
+        i += 2;
+    }
+    Ok(flags)
+}
+
+fn lookup_model(name: &str) -> Option<models::ModelKind> {
+    models::ModelKind::ALL.into_iter().find(|k| k.name() == name)
+}
+
+fn get<'a>(flags: &'a HashMap<String, String>, key: &str) -> Result<&'a str, String> {
+    flags
+        .get(key)
+        .map(String::as_str)
+        .ok_or_else(|| format!("missing --{key}"))
+}
+
+fn get_num<T: std::str::FromStr>(flags: &HashMap<String, String>, key: &str, default: T)
+    -> Result<T, String> {
+    match flags.get(key) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| format!("--{key}: cannot parse {v:?}")),
+    }
+}
+
+fn cmd_models() -> Result<(), String> {
+    println!("{:<14} {:>9} {:>7} {:>10} {:>12} {:>12}",
+        "model", "ref batch", "nodes", "gpu nodes", "weights (MB)", "runtime (s)");
+    for kind in models::ModelKind::ALL {
+        let cal = models::spec(kind);
+        println!(
+            "{:<14} {:>9} {:>7} {:>10} {:>12} {:>12.2}",
+            kind.name(),
+            cal.reference_batch,
+            cal.total_nodes,
+            cal.gpu_nodes,
+            cal.weights_mb,
+            cal.runtime_s
+        );
+    }
+    Ok(())
+}
+
+fn cmd_export_model(flags: &HashMap<String, String>) -> Result<(), String> {
+    let name = get(flags, "model")?;
+    let kind = lookup_model(name).ok_or_else(|| format!("unknown model {name:?}"))?;
+    let batch: u64 = get(flags, "batch")?.parse().map_err(|_| "--batch: not a number")?;
+    let path = get(flags, "out")?;
+    let model = models::load(kind, batch).map_err(|e| e.to_string())?;
+    let file = std::fs::File::create(path).map_err(|e| e.to_string())?;
+    models::servable::save(&model, file).map_err(|e| e.to_string())?;
+    println!(
+        "exported {} @ batch {} ({} nodes) to {path}",
+        model.name(),
+        model.batch(),
+        model.graph().node_count()
+    );
+    Ok(())
+}
+
+fn cmd_inspect(flags: &HashMap<String, String>) -> Result<(), String> {
+    let name = get(flags, "model")?;
+    let kind = lookup_model(name).ok_or_else(|| format!("unknown model {name:?}"))?;
+    let batch: u64 = get(flags, "batch")?.parse().map_err(|_| "--batch: not a number")?;
+    let model = models::load(kind, batch).map_err(|e| e.to_string())?;
+    let g = model.graph();
+    println!("model {} @ batch {batch}", model.name());
+    println!("  nodes          : {} ({} gpu / {} cpu)", g.node_count(), g.gpu_node_count(), g.cpu_node_count());
+    println!("  critical path  : {} nodes", g.critical_path_len());
+    println!("  gpu busy (ex.) : {}", g.total_gpu_time());
+    println!("  cpu work       : {}", g.total_cpu_time());
+    println!("  memory         : {} MB weights + {} MB activations",
+        model.weights_bytes() / (1 << 20), model.activation_bytes() / (1 << 20));
+    println!("  op histogram (by GPU time):");
+    for (op, count, total) in g.op_histogram() {
+        println!("    {op:<15} x{count:<6} {total}");
+    }
+    if let Some(path) = flags.get("dot") {
+        std::fs::write(path, g.to_dot(model.name())).map_err(|e| e.to_string())?;
+        println!("wrote DOT graph to {path}");
+    }
+    Ok(())
+}
+
+fn cmd_profile(flags: &HashMap<String, String>) -> Result<(), String> {
+    let name = get(flags, "model")?;
+    let kind = lookup_model(name).ok_or_else(|| format!("unknown model {name:?}"))?;
+    let batch: u64 = get(flags, "batch")?.parse().map_err(|_| "--batch: not a number")?;
+    let model = models::load(kind, batch).map_err(|e| e.to_string())?;
+    let cfg = EngineConfig::default();
+    let profile = Profiler::new(&cfg).profile(&model);
+    println!("model         : {}", profile.model);
+    println!("batch         : {}", profile.batch);
+    println!("total cost C  : {} units", profile.total_cost);
+    println!("GPU duration D: {}", profile.gpu_duration);
+    println!("rate C/D      : {:.3} units/ns", profile.rate());
+    println!("T at Q=1.2ms  : {} units", profile.threshold(SimDuration::from_micros(1200)));
+    if let Some(path) = flags.get("out") {
+        let mut store = ProfileStore::new();
+        store.insert(profile);
+        let file = std::fs::File::create(path).map_err(|e| e.to_string())?;
+        store.save(file).map_err(|e| e.to_string())?;
+        println!("saved profile store to {path}");
+    }
+    Ok(())
+}
+
+fn cmd_curve(flags: &HashMap<String, String>) -> Result<(), String> {
+    let name = get(flags, "model")?;
+    let kind = lookup_model(name).ok_or_else(|| format!("unknown model {name:?}"))?;
+    let batch: u64 = get(flags, "batch")?.parse().map_err(|_| "--batch: not a number")?;
+    let tolerance: f64 = get_num(flags, "tolerance", 0.025)?;
+    let model = models::load(kind, batch).map_err(|e| e.to_string())?;
+    let cfg = EngineConfig::default();
+    let grid: Vec<SimDuration> = [100u64, 200, 400, 800, 1_200, 1_600, 2_400, 4_000, 6_000, 10_000]
+        .into_iter()
+        .map(SimDuration::from_micros)
+        .collect();
+    let curve = Profiler::new(&cfg).with_pair_batches(3).overhead_q_curve(&model, &grid);
+    println!("Overhead-Q curve for {name} @ batch {batch}:");
+    for (q, ov) in &curve.points {
+        println!("  Q = {:>8}  overhead = {:>6.2}%", q.to_string(), ov * 100.0);
+    }
+    match curve.q_at_tolerance(tolerance) {
+        Some(q) => println!("Q for {:.2}% tolerance: {}", tolerance * 100.0, q),
+        None => println!("no measured Q meets {:.2}% tolerance", tolerance * 100.0),
+    }
+    Ok(())
+}
+
+fn cmd_run(flags: &HashMap<String, String>) -> Result<(), String> {
+    let name = get(flags, "model")?;
+    let kind = lookup_model(name).ok_or_else(|| format!("unknown model {name:?}"))?;
+    let batch: u64 = get(flags, "batch")?.parse().map_err(|_| "--batch: not a number")?;
+    let clients: usize = get(flags, "clients")?.parse().map_err(|_| "--clients: not a number")?;
+    let batches: u32 = get_num(flags, "batches", 10)?;
+    let quantum_us: u64 = get_num(flags, "quantum-us", 1200)?;
+    let gpus: usize = get_num(flags, "gpus", 1)?;
+    let seed: u64 = get_num(flags, "seed", 1)?;
+    let deadline_ms: u64 = get_num(flags, "deadline-ms", 0)?;
+    let trace_lines: usize = get_num(flags, "trace", 0)?;
+    let policy = get(flags, "policy")?;
+
+    let model = models::load(kind, batch).map_err(|e| e.to_string())?;
+    let mut cfg = EngineConfig::default().with_device_count(gpus).with_seed(seed);
+    cfg.record_trace = trace_lines > 0;
+    let specs: Vec<ClientSpec> = (0..clients)
+        .map(|i| {
+            let mut spec = ClientSpec::new(model.clone(), batches)
+                .with_weight(if i < clients / 2 { 2 } else { 1 })
+                .with_priority((clients - i) as u32);
+            if deadline_ms > 0 {
+                spec = spec.with_run_deadline(SimDuration::from_millis(deadline_ms));
+            }
+            spec
+        })
+        .collect();
+
+    let q = SimDuration::from_micros(quantum_us);
+    let report = if policy == "baseline" {
+        run_experiment(&cfg, specs, &mut FifoScheduler::new())
+    } else {
+        let mut store = ProfileStore::new();
+        store.insert(Profiler::new(&cfg).profile(&model));
+        let store = Arc::new(store);
+        let factory: Box<dyn Fn() -> Box<dyn Policy>> = match policy {
+            "fair" => Box::new(|| Box::new(RoundRobin::new())),
+            "weighted" => Box::new(|| Box::new(WeightedFair::new())),
+            "priority" => Box::new(|| Box::new(Priority::new())),
+            "drr" => Box::new(|| Box::new(DeficitRoundRobin::new())),
+            "lottery" => Box::new(move || Box::new(Lottery::new(seed))),
+            other => return Err(format!("unknown policy {other:?}")),
+        };
+        if gpus > 1 {
+            let mut sched = MultiGpuScheduler::new(store, factory, q);
+            run_experiment(&cfg, specs, &mut sched)
+        } else {
+            let mut sched = OlympianScheduler::new(store, factory(), q);
+            let report = run_experiment(&cfg, specs, &mut sched);
+            print_run(&report, &sched);
+            print_trace(&report, trace_lines);
+            return Ok(());
+        }
+    };
+    print_report(&report);
+    print_trace(&report, trace_lines);
+    Ok(())
+}
+
+fn print_trace(report: &serving::RunReport, lines: usize) {
+    if lines > 0 {
+        println!("--- trace (first {lines} events) ---");
+        print!("{}", serving::trace::render_trace(&report.trace, lines));
+    }
+}
+
+fn print_run(report: &serving::RunReport, sched: &OlympianScheduler) {
+    print_report(report);
+    println!("token switches : {}", sched.switches());
+}
+
+fn print_report(report: &serving::RunReport) {
+    println!("scheduler      : {}", report.scheduler_name);
+    println!("makespan       : {:.3} s", report.makespan.as_secs_f64());
+    println!("utilization    : {:.1}%", report.utilization * 100.0);
+    println!("kernels        : {}", report.kernel_count);
+    for c in &report.clients {
+        match &c.outcome {
+            serving::ClientOutcome::Finished(t) => {
+                println!("  client {:>3}: finished {:.3} s (GPU {:.3} s)",
+                    c.client.0, t.as_secs_f64(), c.total_gpu.as_secs_f64());
+            }
+            other => println!("  client {:>3}: {other:?}", c.client.0),
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        return usage();
+    };
+    let flags = match parse_flags(&args[1..]) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return usage();
+        }
+    };
+    let result = match cmd.as_str() {
+        "models" => cmd_models(),
+        "export-model" => cmd_export_model(&flags),
+        "inspect" => cmd_inspect(&flags),
+        "profile" => cmd_profile(&flags),
+        "curve" => cmd_curve(&flags),
+        "run" => cmd_run(&flags),
+        _ => {
+            return usage();
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,8 @@
+//! Seed-robustness study. See `bench::figs::robustness`.
+
+fn main() {
+    let out = bench::figs::robustness::run();
+    print!("{out}");
+    let path = bench::save_result("robustness.txt", &out);
+    eprintln!("(saved to {})", path.display());
+}

@@ -1,0 +1,8 @@
+//! Regenerates the paper's scalability output. See `bench::figs::scalability`.
+
+fn main() {
+    let out = bench::figs::scalability::run();
+    print!("{out}");
+    let path = bench::save_result("scalability.txt", &out);
+    eprintln!("(saved to {})", path.display());
+}

@@ -1,0 +1,8 @@
+//! Regenerates the paper's stability output. See `bench::figs::stability`.
+
+fn main() {
+    let out = bench::figs::stability::run();
+    print!("{out}");
+    let path = bench::save_result("stability.txt", &out);
+    eprintln!("(saved to {})", path.display());
+}

@@ -1,0 +1,8 @@
+//! Regenerates the paper's table2 output. See `bench::figs::table2`.
+
+fn main() {
+    let out = bench::figs::table2::run();
+    print!("{out}");
+    let path = bench::save_result("table2.txt", &out);
+    eprintln!("(saved to {})", path.display());
+}

@@ -1,0 +1,8 @@
+//! Renders the token-ownership timeline. See `bench::figs::timeline`.
+
+fn main() {
+    let out = bench::figs::timeline::run();
+    print!("{out}");
+    let path = bench::save_result("timeline.txt", &out);
+    eprintln!("(saved to {})", path.display());
+}

@@ -1,0 +1,8 @@
+//! Regenerates the paper's utilization output. See `bench::figs::utilization`.
+
+fn main() {
+    let out = bench::figs::utilization::run();
+    print!("{out}");
+    let path = bench::save_result("utilization.txt", &out);
+    eprintln!("(saved to {})", path.display());
+}

@@ -1,0 +1,62 @@
+//! Figure 11: fair sharing on a homogeneous workload — finish times of
+//! 10 Inception clients under TF-Serving vs Olympian.
+//!
+//! The headline result: Olympian's fair scheduler gives all ten identical
+//! clients nearly identical finish times, while TF-Serving spreads them.
+
+use crate::{
+    banner, choose_q, default_config, format_finish_times, homogeneous_clients,
+    build_store_for, DEFAULT_BATCH, DEFAULT_NUM_BATCHES, DEFAULT_TOLERANCE,
+};
+use crate::figs::fair;
+use metrics::max_min_ratio;
+use models::ModelKind;
+use serving::{run_experiment, FifoScheduler, RunReport};
+
+/// Runs both systems and returns `(baseline, olympian, chosen Q in µs)`.
+pub fn reports() -> (RunReport, RunReport, f64) {
+    let cfg = default_config();
+    let clients =
+        homogeneous_clients(ModelKind::InceptionV4, DEFAULT_BATCH, 10, DEFAULT_NUM_BATCHES);
+    let base = run_experiment(&cfg, clients.clone(), &mut FifoScheduler::new());
+    let store = build_store_for(&cfg, &clients);
+    let q = choose_q(&cfg, &clients, DEFAULT_TOLERANCE);
+    let mut sched = fair(store, q);
+    let oly = run_experiment(&cfg, clients, &mut sched);
+    (base, oly, q.as_micros_f64())
+}
+
+/// Runs the experiment and returns the report text.
+pub fn run() -> String {
+    let mut out = banner(
+        "Figure 11",
+        "Fair sharing, homogeneous workload: 10 Inception clients",
+    );
+    let (base, oly, q_us) = reports();
+    out.push_str(&format!(
+        "profiler-chosen Q for {:.1}% tolerance: {q_us:.0} us (paper: 1190 us)\n",
+        DEFAULT_TOLERANCE * 100.0
+    ));
+    out.push_str(&format_finish_times("TF-Serving", &base));
+    out.push_str(&format_finish_times("Olympian fair", &oly));
+    let base_ratio = max_min_ratio(&base.finish_times_secs());
+    let oly_ratio = max_min_ratio(&oly.finish_times_secs());
+    out.push_str(&format!(
+        "\nspread (max/min): TF-Serving {base_ratio:.3} vs Olympian {oly_ratio:.3} \
+         (paper: 42-50 s spread vs 48-50 s near-equal)\n",
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    #[ignore = "full-scale experiment; run with `cargo test --release -- --ignored`"]
+    fn olympian_is_fairer_than_baseline() {
+        let (base, oly, _) = super::reports();
+        let b = metrics::max_min_ratio(&base.finish_times_secs());
+        let o = metrics::max_min_ratio(&oly.finish_times_secs());
+        assert!(o < 1.01, "olympian spread {o}");
+        assert!(b > 1.10, "baseline spread {b}");
+    }
+}

@@ -1,0 +1,62 @@
+//! Figure 12: duration of successive scheduling intervals under Olympian
+//! fair sharing (average ≈ 1.8 ms in the paper).
+//!
+//! Individual intervals vary widely — quantum completion is cost-driven and
+//! jobs do not accumulate cost evenly — but average out to the configured
+//! quantum plus switch costs.
+
+use crate::banner;
+use crate::figs::fig11;
+use metrics::table::render_series;
+use metrics::Summary;
+
+/// Runs the experiment and returns the report text.
+pub fn run() -> String {
+    let mut out = banner(
+        "Figure 12",
+        "Scheduling-interval durations under Olympian fair sharing",
+    );
+    let (_, oly, q_us) = fig11::reports();
+    let intervals_ms: Vec<f64> = oly
+        .scheduling_intervals
+        .iter()
+        .map(|d| d.as_millis_f64())
+        .collect();
+    let s = Summary::of(intervals_ms.iter().copied());
+    out.push_str(&format!(
+        "\nQ = {q_us:.0} us; {} intervals; mean = {:.2} ms (paper: 1.8 ms), \
+         median = {:.2} ms, p99 = {:.2} ms, max = {:.2} ms\n",
+        s.count(),
+        s.mean(),
+        s.median(),
+        {
+            let mut v = intervals_ms.clone();
+            v.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+            v[(v.len() as f64 * 0.99) as usize]
+        },
+        s.max()
+    ));
+    out.push_str("\nfirst 60 intervals (interval_id, duration_ms):\n");
+    let series: Vec<(f64, f64)> = intervals_ms
+        .iter()
+        .take(60)
+        .enumerate()
+        .map(|(i, &d)| (i as f64, d))
+        .collect();
+    out.push_str(&render_series(&series));
+    out.push_str(
+        "\nPaper shape: millisecond-scale intervals with wide variation around the mean.\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    #[ignore = "full-scale experiment; run with `cargo test --release -- --ignored`"]
+    fn intervals_are_millisecond_scale() {
+        let (_, oly, q_us) = super::fig11::reports();
+        let mean = oly.mean_interval_ms().expect("intervals recorded");
+        assert!(mean > q_us / 1000.0 * 0.8 && mean < q_us / 1000.0 * 3.0, "mean {mean}");
+    }
+}

@@ -1,0 +1,38 @@
+//! One module per table/figure of the paper's evaluation.
+//!
+//! Every module exposes `run() -> String`: it executes the experiment,
+//! formats the same rows/series the paper plots, and returns the report
+//! text (which the corresponding binary prints and saves under `results/`).
+
+pub mod ablations;
+pub mod dynamic_workload;
+pub mod fig03;
+pub mod fig04;
+pub mod fig06;
+pub mod fig08;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13_14;
+pub mod fig16;
+pub mod fig17;
+pub mod fig18;
+pub mod fig19;
+pub mod fig20;
+pub mod fig21;
+pub mod motivation;
+pub mod multi_gpu;
+pub mod robustness;
+pub mod scalability;
+pub mod stability;
+pub mod table2;
+pub mod timeline;
+pub mod utilization;
+
+use olympian::{OlympianScheduler, ProfileStore, RoundRobin};
+use simtime::SimDuration;
+use std::sync::Arc;
+
+/// A fair-sharing Olympian scheduler over the given profiles and quantum.
+pub(crate) fn fair(store: Arc<ProfileStore>, q: SimDuration) -> OlympianScheduler {
+    OlympianScheduler::new(store, Box::new(RoundRobin::new()), q)
+}

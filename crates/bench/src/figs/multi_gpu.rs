@@ -1,0 +1,96 @@
+//! Extension experiment (paper §7 future work): multi-GPU serving.
+//!
+//! Two questions:
+//!
+//! 1. does adding GPUs scale client capacity (the §4.3 memory limit is
+//!    per-device)?
+//! 2. is per-device fairness preserved when clients are spread across
+//!    devices?
+
+use crate::{banner, build_store_for, default_config, format_finish_times,
+    homogeneous_clients, DEFAULT_BATCH};
+use metrics::table::render_table;
+use models::ModelKind;
+use olympian::{MultiGpuScheduler, RoundRobin};
+use serving::{run_experiment, FifoScheduler, RunReport};
+use simtime::SimDuration;
+
+/// Runs 12 ResNet-152 clients on `gpus` devices under multi-GPU fair
+/// sharing.
+pub fn fair_on(gpus: usize) -> RunReport {
+    let cfg = default_config().with_device_count(gpus);
+    let clients = homogeneous_clients(ModelKind::ResNet152, DEFAULT_BATCH, 12, 4);
+    let store = build_store_for(&cfg, &clients);
+    let mut sched =
+        MultiGpuScheduler::new(store, || Box::new(RoundRobin::new()), SimDuration::from_micros(1200));
+    run_experiment(&cfg, clients, &mut sched)
+}
+
+/// Largest ResNet-152 client count (step 5) that finishes on `gpus` devices
+/// under the baseline scheduler.
+pub fn capacity_with(gpus: usize, max: usize) -> usize {
+    let cfg = default_config().with_device_count(gpus);
+    let mut last_ok = 0;
+    let mut n = 5;
+    while n <= max {
+        let model = models::load(ModelKind::ResNet152, DEFAULT_BATCH).expect("zoo model");
+        let clients = vec![serving::ClientSpec::new(model, 1); n];
+        let report = run_experiment(&cfg, clients, &mut FifoScheduler::new());
+        if !report.all_finished() {
+            break;
+        }
+        last_ok = n;
+        n += 5;
+    }
+    last_ok
+}
+
+/// Runs the experiment and returns the report text.
+pub fn run() -> String {
+    let mut out = banner(
+        "Extension: multi-GPU",
+        "Client capacity and per-device fairness with 1-3 GPUs",
+    );
+    let mut rows = Vec::new();
+    for gpus in 1..=3usize {
+        let cap = capacity_with(gpus, 160);
+        rows.push(vec![format!("{gpus}"), format!("{cap}")]);
+    }
+    out.push_str(&render_table(&["GPUs", "max ResNet-152 clients"], &rows));
+    out.push_str("(memory is per-device, so capacity scales with GPU count)\n");
+
+    let report = fair_on(2);
+    out.push_str(&format_finish_times("12 clients on 2 GPUs, fair per device", &report));
+    out.push_str(&format!(
+        "per-device utilization: {}\n",
+        report
+            .device_utilizations
+            .iter()
+            .map(|u| format!("{:.1}%", u * 100.0))
+            .collect::<Vec<_>>()
+            .join(", ")
+    ));
+    out.push_str(
+        "\nExpected: clients split 6/6 across devices; each device's cohort finishes \
+         together at about half the single-GPU makespan.\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    #[ignore = "full-scale experiment; run with `cargo test --release -- --ignored`"]
+    fn two_gpus_double_capacity_and_halve_makespan() {
+        let one = super::capacity_with(1, 120);
+        let two = super::capacity_with(2, 120);
+        assert!(two >= one * 2 - 5, "capacity {one} -> {two}");
+
+        let r1 = super::fair_on(1);
+        let r2 = super::fair_on(2);
+        assert!(r1.all_finished() && r2.all_finished());
+        let speedup = r1.makespan.as_secs_f64() / r2.makespan.as_secs_f64();
+        assert!(speedup > 1.7 && speedup < 2.3, "speedup {speedup}");
+        assert_eq!(r2.device_utilizations.len(), 2);
+    }
+}

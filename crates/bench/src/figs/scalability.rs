@@ -1,0 +1,131 @@
+//! §4.3 scalability: how many concurrent clients fit?
+//!
+//! Two limits exist:
+//!
+//! * **GPU memory** — activations scale with clients; both systems hit this
+//!   (paper: ~45 clients of ResNet-152-class models on a 1080 Ti).
+//! * **Worker threads** — Olympian's suspended gangs *hold* their pool
+//!   threads, so for thread-hungry models it saturates the pool well before
+//!   TF-Serving does (paper: 40–60 Inception clients vs ~100).
+
+use crate::{banner, build_store_for, default_config};
+use crate::figs::fair;
+use metrics::table::render_table;
+use models::ModelKind;
+use serving::{run_experiment, ClientSpec, EngineConfig, FifoScheduler, RunReport};
+use simtime::SimDuration;
+
+/// Outcome of one admission probe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Probe {
+    /// All clients finished.
+    Ok,
+    /// Some clients were rejected (GPU memory).
+    Oom,
+    /// Some clients stalled (worker-thread exhaustion).
+    Stalled,
+}
+
+fn classify(report: &RunReport) -> Probe {
+    use serving::ClientOutcome;
+    if report.all_finished() {
+        return Probe::Ok;
+    }
+    if report
+        .clients
+        .iter()
+        .any(|c| matches!(c.outcome, ClientOutcome::Stalled))
+    {
+        return Probe::Stalled;
+    }
+    Probe::Oom
+}
+
+fn probe(cfg: &EngineConfig, kind: ModelKind, n: usize, olympian: bool) -> Probe {
+    let model = models::load(kind, 100).expect("zoo model");
+    let clients = vec![ClientSpec::new(model, 1); n];
+    let report = if olympian {
+        let store = build_store_for(cfg, &clients);
+        let mut sched = fair(store, SimDuration::from_micros(1200));
+        run_experiment(cfg, clients, &mut sched)
+    } else {
+        run_experiment(cfg, clients, &mut FifoScheduler::new())
+    };
+    classify(&report)
+}
+
+/// Largest client count (stepping by 5 up to `max`) at which all clients
+/// finish, plus the failure mode just beyond it.
+pub fn capacity(kind: ModelKind, olympian: bool, max: usize) -> (usize, Probe) {
+    let cfg = default_config();
+    let mut last_ok = 0;
+    let mut failure = Probe::Ok;
+    let mut n = 5;
+    while n <= max {
+        match probe(&cfg, kind, n, olympian) {
+            Probe::Ok => last_ok = n,
+            other => {
+                failure = other;
+                break;
+            }
+        }
+        n += 5;
+    }
+    (last_ok, failure)
+}
+
+/// Runs the experiment and returns the report text.
+pub fn run() -> String {
+    let mut out = banner(
+        "§4.3 scalability",
+        "Maximum concurrent clients (batch 100, 1 batch each, step 5)",
+    );
+    let mut rows = Vec::new();
+    for (kind, max, paper_tf, paper_oly) in [
+        (ModelKind::ResNet152, 70, "~45 (memory)", "~45 (memory)"),
+        (ModelKind::InceptionV4, 130, "~100 (memory)", "40-60 (threads)"),
+    ] {
+        let (tf_cap, tf_fail) = capacity(kind, false, max);
+        let (oly_cap, oly_fail) = capacity(kind, true, max);
+        rows.push(vec![
+            kind.name().to_string(),
+            format!("{tf_cap} ({tf_fail:?} beyond)"),
+            paper_tf.to_string(),
+            format!("{oly_cap} ({oly_fail:?} beyond)"),
+            paper_oly.to_string(),
+        ]);
+    }
+    out.push_str(&render_table(
+        &["model", "tf-serving max", "paper", "olympian max", "paper"],
+        &rows,
+    ));
+    out.push_str(
+        "\nPaper shape: memory caps both systems near 45 clients for big-activation \
+         models; for Inception, Olympian saturates the worker-thread pool (suspended \
+         gangs hold threads) at roughly half of TF-Serving's client count.\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[ignore = "full-scale experiment; run with `cargo test --release -- --ignored`"]
+    fn olympian_thread_bound_below_tf_for_inception() {
+        let (tf_cap, _) = capacity(ModelKind::InceptionV4, false, 130);
+        let (oly_cap, oly_fail) = capacity(ModelKind::InceptionV4, true, 130);
+        assert!(oly_cap < tf_cap, "olympian {oly_cap} vs tf {tf_cap}");
+        assert_eq!(oly_fail, Probe::Stalled);
+        assert!((40..=60).contains(&oly_cap), "olympian cap {oly_cap}");
+    }
+
+    #[test]
+    #[ignore = "full-scale experiment; run with `cargo test --release -- --ignored`"]
+    fn memory_caps_resnet() {
+        let (tf_cap, tf_fail) = capacity(ModelKind::ResNet152, false, 70);
+        assert_eq!(tf_fail, Probe::Oom);
+        assert!((40..=55).contains(&tf_cap), "tf cap {tf_cap}");
+    }
+}

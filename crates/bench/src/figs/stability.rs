@@ -1,0 +1,69 @@
+//! §4.4 stability: are cost and GPU duration stable enough to profile
+//! offline once and reuse?
+//!
+//! The paper profiles Inception (batch 100) 100 times: total cost
+//! σ/µ ≈ 2.5% and GPU duration σ/µ ≈ 1.7%. We repeat the measurement with
+//! 100 differently seeded profiling runs.
+
+use crate::{banner, default_config};
+use metrics::Summary;
+use models::ModelKind;
+use olympian::Profiler;
+
+/// Number of profiling repetitions.
+pub const RUNS: usize = 100;
+
+/// Profiles Inception `RUNS` times; returns `(costs, durations_us)`.
+pub fn samples() -> (Vec<f64>, Vec<f64>) {
+    let model = models::load(ModelKind::InceptionV4, 100).expect("zoo model");
+    let mut costs = Vec::with_capacity(RUNS);
+    let mut durations = Vec::with_capacity(RUNS);
+    for seed in 0..RUNS as u64 {
+        let cfg = default_config().with_seed(seed * 7919 + 13);
+        let p = Profiler::new(&cfg).profile(&model);
+        costs.push(p.total_cost as f64);
+        durations.push(p.gpu_duration.as_micros_f64());
+    }
+    (costs, durations)
+}
+
+/// Runs the experiment and returns the report text.
+pub fn run() -> String {
+    let mut out = banner(
+        "§4.4 stability",
+        "Cost and GPU-duration stability over 100 profiling runs (Inception, batch 100)",
+    );
+    let (costs, durations) = samples();
+    let c = Summary::of(costs.iter().copied());
+    let d = Summary::of(durations.iter().copied());
+    out.push_str(&format!(
+        "\ntotal cost:   mean = {:.3e} units, std = {:.3e} ({:.2}%)  [paper: σ/µ ≈ 2.5%]\n",
+        c.mean(),
+        c.std_dev(),
+        c.cv() * 100.0
+    ));
+    out.push_str(&format!(
+        "GPU duration: mean = {:.0} us, std = {:.0} us ({:.2}%)      [paper: σ/µ ≈ 1.7%]\n",
+        d.mean(),
+        d.std_dev(),
+        d.cv() * 100.0
+    ));
+    out.push_str(
+        "\nPaper shape: both quantities are stable to a few percent across runs, \
+         validating one-shot offline profiling.\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    #[ignore = "full-scale experiment; run with `cargo test --release -- --ignored`"]
+    fn stability_within_paper_band() {
+        let (costs, durations) = super::samples();
+        let c = metrics::Summary::of(costs.iter().copied());
+        let d = metrics::Summary::of(durations.iter().copied());
+        assert!(c.cv() > 0.005 && c.cv() < 0.05, "cost cv {}", c.cv());
+        assert!(d.cv() > 0.005 && d.cv() < 0.04, "duration cv {}", d.cv());
+    }
+}

@@ -1,0 +1,65 @@
+//! A token-ownership timeline: which client's quanta occupied the GPU over
+//! the first few tens of milliseconds of the Figure 11 run — the picture
+//! behind the paper's Figure 9 ("time-slicing simply spreads out the
+//! execution of a DNN").
+
+use crate::{banner, build_store_for, default_config, homogeneous_clients, DEFAULT_BATCH,
+    DEFAULT_NUM_BATCHES};
+use crate::figs::fair;
+use metrics::table::render_gantt;
+use models::ModelKind;
+use serving::run_experiment;
+use simtime::SimDuration;
+
+/// Window rendered, in seconds.
+pub const WINDOW_S: f64 = 0.05;
+
+/// Runs the experiment and returns the report text.
+pub fn run() -> String {
+    let mut out = banner(
+        "Timeline",
+        "Token ownership over the first 50 ms of fair sharing (5 Inception clients)",
+    );
+    let cfg = default_config();
+    let clients = homogeneous_clients(ModelKind::InceptionV4, DEFAULT_BATCH, 5, DEFAULT_NUM_BATCHES);
+    let store = build_store_for(&cfg, &clients);
+    let mut sched = fair(store, SimDuration::from_micros(1200));
+    let report = run_experiment(&cfg, clients, &mut sched);
+
+    let rows: Vec<(String, Vec<(f64, f64)>)> = report
+        .clients
+        .iter()
+        .map(|c| {
+            let spans: Vec<(f64, f64)> = c
+                .quantum_marks
+                .iter()
+                .filter_map(|&(end, dur)| {
+                    let e = end.as_secs_f64();
+                    let s = (e - dur.as_secs_f64()).max(0.0);
+                    (s < WINDOW_S).then_some((s, e.min(WINDOW_S)))
+                })
+                .collect();
+            (format!("client {}", c.client.0), spans)
+        })
+        .collect();
+    out.push_str(&format!("\n0 ms {:>74} ms\n", WINDOW_S * 1e3));
+    out.push_str(&render_gantt(&rows, WINDOW_S, 72));
+    out.push_str(
+        "\nEach '#' block is GPU time attributed to one client's quanta: the token \
+         walks round-robin through the clients at millisecond granularity, exactly \
+         the interleaving the paper's Figure 9 sketches.\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    #[ignore = "full-scale experiment; run with `cargo test --release -- --ignored`"]
+    fn every_client_appears_in_the_window() {
+        let out = super::run();
+        for i in 0..5 {
+            assert!(out.contains(&format!("client {i}")));
+        }
+    }
+}

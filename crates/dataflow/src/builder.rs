@@ -1,0 +1,264 @@
+//! Incremental graph construction with validation.
+
+use crate::graph::{Graph, GraphError};
+use crate::node::{Node, NodeId, OpKind, Placement};
+use simtime::SimDuration;
+use std::collections::HashSet;
+
+/// Everything needed to declare one node before the graph is wired up.
+#[derive(Debug, Clone)]
+pub struct NodeTemplate {
+    name: String,
+    op: OpKind,
+    placement: Placement,
+    duration: SimDuration,
+    true_cost: u64,
+}
+
+impl NodeTemplate {
+    /// A node with explicit placement.
+    pub fn new(
+        name: impl Into<String>,
+        op: OpKind,
+        placement: Placement,
+        duration: SimDuration,
+        true_cost: u64,
+    ) -> Self {
+        NodeTemplate {
+            name: name.into(),
+            op,
+            placement,
+            duration,
+            true_cost,
+        }
+    }
+
+    /// A CPU node; CPU nodes carry no GPU cost.
+    pub fn cpu(name: impl Into<String>, op: OpKind, duration: SimDuration) -> Self {
+        NodeTemplate::new(name, op, Placement::Cpu, duration, 0)
+    }
+
+    /// A GPU node with the given true duration and true cost.
+    pub fn gpu(
+        name: impl Into<String>,
+        op: OpKind,
+        duration: SimDuration,
+        true_cost: u64,
+    ) -> Self {
+        NodeTemplate::new(name, op, Placement::Gpu, duration, true_cost)
+    }
+
+    /// A GPU node whose cost follows the op's default cost density
+    /// (`duration_ns × density`).
+    pub fn gpu_auto_cost(name: impl Into<String>, op: OpKind, duration: SimDuration) -> Self {
+        let cost = (duration.as_nanos() as f64 * op.cost_density()).round() as u64;
+        NodeTemplate::new(name, op, Placement::Gpu, duration, cost)
+    }
+}
+
+/// Builds a validated [`Graph`].
+///
+/// ```
+/// use dataflow::{GraphBuilder, NodeTemplate, OpKind};
+/// use simtime::SimDuration;
+///
+/// let mut b = GraphBuilder::new();
+/// let a = b.add_node(NodeTemplate::cpu("a", OpKind::Bookkeeping, SimDuration::from_nanos(5)));
+/// let c = b.add_node(NodeTemplate::gpu("c", OpKind::MatMul, SimDuration::from_micros(8), 90));
+/// b.add_edge(a, c)?;
+/// let graph = b.build()?;
+/// assert_eq!(graph.roots(), vec![a]);
+/// # Ok::<(), dataflow::GraphError>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct GraphBuilder {
+    nodes: Vec<Node>,
+    children: Vec<Vec<NodeId>>,
+    parent_count: Vec<u32>,
+    edges_seen: HashSet<(u32, u32)>,
+}
+
+impl GraphBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a node and returns its id.
+    pub fn add_node(&mut self, template: NodeTemplate) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Node {
+            name: template.name,
+            op: template.op,
+            placement: template.placement,
+            duration: template.duration,
+            true_cost: if template.placement == Placement::Cpu {
+                0
+            } else {
+                template.true_cost
+            },
+        });
+        self.children.push(Vec::new());
+        self.parent_count.push(0);
+        id
+    }
+
+    /// Adds a dependency edge `from -> to` (`to` cannot start before `from`
+    /// finishes).
+    ///
+    /// # Errors
+    ///
+    /// * [`GraphError::UnknownNode`] if either endpoint was not added.
+    /// * [`GraphError::SelfEdge`] if `from == to`.
+    /// * [`GraphError::DuplicateEdge`] if the edge already exists.
+    pub fn add_edge(&mut self, from: NodeId, to: NodeId) -> Result<(), GraphError> {
+        let n = self.nodes.len() as u32;
+        for id in [from, to] {
+            if id.0 >= n {
+                return Err(GraphError::UnknownNode(id));
+            }
+        }
+        if from == to {
+            return Err(GraphError::SelfEdge(from));
+        }
+        if !self.edges_seen.insert((from.0, to.0)) {
+            return Err(GraphError::DuplicateEdge(from, to));
+        }
+        self.children[from.index()].push(to);
+        self.parent_count[to.index()] += 1;
+        Ok(())
+    }
+
+    /// Number of nodes added so far.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Validates acyclicity and produces the immutable graph.
+    ///
+    /// # Errors
+    ///
+    /// * [`GraphError::Empty`] if no nodes were added.
+    /// * [`GraphError::Cycle`] if the edges form a cycle.
+    pub fn build(self) -> Result<Graph, GraphError> {
+        if self.nodes.is_empty() {
+            return Err(GraphError::Empty);
+        }
+        // Kahn's algorithm to verify acyclicity.
+        let mut indegree = self.parent_count.clone();
+        let mut queue: std::collections::VecDeque<usize> = indegree
+            .iter()
+            .enumerate()
+            .filter(|(_, &d)| d == 0)
+            .map(|(i, _)| i)
+            .collect();
+        let mut visited = 0usize;
+        while let Some(i) = queue.pop_front() {
+            visited += 1;
+            for child in &self.children[i] {
+                let c = child.index();
+                indegree[c] -= 1;
+                if indegree[c] == 0 {
+                    queue.push_back(c);
+                }
+            }
+        }
+        if visited != self.nodes.len() {
+            // Some node still has indegree > 0: it is on (or behind) a cycle.
+            let culprit = indegree
+                .iter()
+                .position(|&d| d > 0)
+                .expect("cycle implies positive indegree");
+            return Err(GraphError::Cycle(self.nodes[culprit].name.clone()));
+        }
+        let gpu_nodes = self.nodes.iter().filter(|n| n.is_gpu()).count() as u32;
+        Ok(Graph {
+            nodes: self.nodes,
+            children: self.children,
+            parent_count: self.parent_count,
+            gpu_nodes,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpl(name: &str) -> NodeTemplate {
+        NodeTemplate::gpu(name, OpKind::Conv2d, SimDuration::from_nanos(10), 100)
+    }
+
+    #[test]
+    fn empty_graph_is_rejected() {
+        assert_eq!(GraphBuilder::new().build().unwrap_err(), GraphError::Empty);
+    }
+
+    #[test]
+    fn self_edge_is_rejected() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_node(tmpl("a"));
+        assert_eq!(b.add_edge(a, a).unwrap_err(), GraphError::SelfEdge(a));
+    }
+
+    #[test]
+    fn unknown_node_is_rejected() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_node(tmpl("a"));
+        let ghost = NodeId(42);
+        assert_eq!(
+            b.add_edge(a, ghost).unwrap_err(),
+            GraphError::UnknownNode(ghost)
+        );
+    }
+
+    #[test]
+    fn duplicate_edge_is_rejected() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_node(tmpl("a"));
+        let c = b.add_node(tmpl("c"));
+        b.add_edge(a, c).unwrap();
+        assert_eq!(
+            b.add_edge(a, c).unwrap_err(),
+            GraphError::DuplicateEdge(a, c)
+        );
+    }
+
+    #[test]
+    fn cycle_is_rejected_with_culprit_name() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_node(tmpl("a"));
+        let c = b.add_node(tmpl("c"));
+        let d = b.add_node(tmpl("d"));
+        b.add_edge(a, c).unwrap();
+        b.add_edge(c, d).unwrap();
+        b.add_edge(d, a).unwrap();
+        match b.build().unwrap_err() {
+            GraphError::Cycle(name) => assert!(["a", "c", "d"].contains(&name.as_str())),
+            other => panic!("expected cycle error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn cpu_nodes_have_zero_cost_even_if_requested() {
+        let mut b = GraphBuilder::new();
+        let id = b.add_node(NodeTemplate::new(
+            "x",
+            OpKind::Bookkeeping,
+            Placement::Cpu,
+            SimDuration::from_nanos(5),
+            999,
+        ));
+        let g = b.build().unwrap();
+        assert_eq!(g.node(id).true_cost(), 0);
+    }
+
+    #[test]
+    fn auto_cost_uses_density() {
+        let t = NodeTemplate::gpu_auto_cost("c", OpKind::Conv2d, SimDuration::from_nanos(100));
+        let mut b = GraphBuilder::new();
+        let id = b.add_node(t);
+        let g = b.build().unwrap();
+        assert_eq!(g.node(id).true_cost(), 1650); // 100ns * 16.5
+    }
+}

@@ -1,0 +1,343 @@
+//! The immutable dataflow graph.
+
+use crate::node::{Node, NodeId, OpKind, Placement};
+use serde::{Deserialize, Serialize};
+use simtime::SimDuration;
+use std::fmt;
+
+/// Errors produced while building or validating a graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// An edge references a node id that does not exist.
+    UnknownNode(NodeId),
+    /// The graph contains a dependency cycle (node named here is on it).
+    Cycle(String),
+    /// The graph has no nodes.
+    Empty,
+    /// An edge would connect a node to itself.
+    SelfEdge(NodeId),
+    /// The same edge was added twice.
+    DuplicateEdge(NodeId, NodeId),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::UnknownNode(id) => write!(f, "unknown node {id}"),
+            GraphError::Cycle(name) => write!(f, "dependency cycle through node {name:?}"),
+            GraphError::Empty => write!(f, "graph has no nodes"),
+            GraphError::SelfEdge(id) => write!(f, "self edge on {id}"),
+            GraphError::DuplicateEdge(a, b) => write!(f, "duplicate edge {a} -> {b}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+/// An immutable, validated dataflow DAG.
+///
+/// Construct one with [`crate::GraphBuilder`]. Node ids are dense indices;
+/// adjacency is stored forward (children) with per-node parent counts, which
+/// is exactly the state the readiness-driven executor needs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Graph {
+    pub(crate) nodes: Vec<Node>,
+    pub(crate) children: Vec<Vec<NodeId>>,
+    pub(crate) parent_count: Vec<u32>,
+    pub(crate) gpu_nodes: u32,
+}
+
+impl Graph {
+    /// Total number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of GPU-placed nodes.
+    pub fn gpu_node_count(&self) -> usize {
+        self.gpu_nodes as usize
+    }
+
+    /// Number of CPU-placed nodes.
+    pub fn cpu_node_count(&self) -> usize {
+        self.node_count() - self.gpu_node_count()
+    }
+
+    /// The node with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this graph.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.index()]
+    }
+
+    /// Children (downstream dependents) of a node.
+    pub fn children(&self, id: NodeId) -> &[NodeId] {
+        &self.children[id.index()]
+    }
+
+    /// Number of parents (upstream dependencies) of a node.
+    pub fn parent_count(&self, id: NodeId) -> u32 {
+        self.parent_count[id.index()]
+    }
+
+    /// All node ids in dense order.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.nodes.len() as u32).map(NodeId)
+    }
+
+    /// Nodes with no parents — where execution starts (TF-Serving's BFS
+    /// queue is seeded with these).
+    pub fn roots(&self) -> Vec<NodeId> {
+        self.node_ids()
+            .filter(|id| self.parent_count(*id) == 0)
+            .collect()
+    }
+
+    /// Sum of true durations of all GPU nodes: the job's serial GPU busy
+    /// time, the paper's `D_j` under exclusive access.
+    pub fn total_gpu_time(&self) -> SimDuration {
+        self.nodes
+            .iter()
+            .filter(|n| n.is_gpu())
+            .map(|n| n.duration)
+            .sum()
+    }
+
+    /// Sum of true durations of all CPU nodes.
+    pub fn total_cpu_time(&self) -> SimDuration {
+        self.nodes
+            .iter()
+            .filter(|n| !n.is_gpu())
+            .map(|n| n.duration)
+            .sum()
+    }
+
+    /// Sum of true costs over all GPU nodes: the paper's `C_j` as an
+    /// instrumented run would measure it (up to measurement noise).
+    pub fn total_true_cost(&self) -> u64 {
+        self.nodes
+            .iter()
+            .filter(|n| n.is_gpu())
+            .map(|n| n.true_cost)
+            .sum()
+    }
+
+    /// A topological order of all nodes (Kahn's algorithm, deterministic
+    /// FIFO tie-breaking). Guaranteed to exist: graphs are validated acyclic
+    /// at build time.
+    pub fn topo_order(&self) -> Vec<NodeId> {
+        let mut indegree = self.parent_count.clone();
+        let mut queue: std::collections::VecDeque<NodeId> = self
+            .node_ids()
+            .filter(|id| indegree[id.index()] == 0)
+            .collect();
+        let mut order = Vec::with_capacity(self.node_count());
+        while let Some(id) = queue.pop_front() {
+            order.push(id);
+            for &child in self.children(id) {
+                indegree[child.index()] -= 1;
+                if indegree[child.index()] == 0 {
+                    queue.push_back(child);
+                }
+            }
+        }
+        debug_assert_eq!(order.len(), self.node_count(), "graph must be acyclic");
+        order
+    }
+
+    /// The length (in nodes) of the longest dependency chain — a lower bound
+    /// on achievable pipeline depth.
+    pub fn critical_path_len(&self) -> usize {
+        let order = self.topo_order();
+        let mut depth = vec![1usize; self.node_count()];
+        let mut best = 0;
+        for id in order {
+            let d = depth[id.index()];
+            best = best.max(d);
+            for &child in self.children(id) {
+                depth[child.index()] = depth[child.index()].max(d + 1);
+            }
+        }
+        best
+    }
+
+    /// Iterates over `(NodeId, &Node)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, &Node)> + '_ {
+        self.nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (NodeId(i as u32), n))
+    }
+
+    /// Per-node placement vector, indexable by `NodeId::index`.
+    pub fn placements(&self) -> Vec<Placement> {
+        self.nodes.iter().map(|n| n.placement).collect()
+    }
+
+    /// Per-op-kind `(count, total GPU time)` statistics, sorted by total
+    /// time descending — a quick profile of where a model's work lives.
+    pub fn op_histogram(&self) -> Vec<(OpKind, usize, SimDuration)> {
+        let mut acc: std::collections::HashMap<OpKind, (usize, SimDuration)> =
+            std::collections::HashMap::new();
+        for node in &self.nodes {
+            let entry = acc.entry(node.op).or_insert((0, SimDuration::ZERO));
+            entry.0 += 1;
+            entry.1 += node.duration;
+        }
+        let mut rows: Vec<(OpKind, usize, SimDuration)> =
+            acc.into_iter().map(|(op, (n, d))| (op, n, d)).collect();
+        rows.sort_by(|a, b| b.2.cmp(&a.2).then_with(|| b.1.cmp(&a.1)));
+        rows
+    }
+
+    /// Renders the graph in Graphviz DOT format for inspection.
+    ///
+    /// GPU nodes are drawn as boxes, CPU nodes as ellipses; labels carry the
+    /// op kind and true duration. Zoo-scale graphs (>1000 nodes) are huge —
+    /// this is meant for the miniatures and for debugging generators.
+    pub fn to_dot(&self, name: &str) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        writeln!(out, "digraph {:?} {{", name).expect("write to string");
+        writeln!(out, "  rankdir=TB;").expect("write to string");
+        for (id, node) in self.iter() {
+            let shape = if node.is_gpu() { "box" } else { "ellipse" };
+            writeln!(
+                out,
+                "  n{} [shape={shape}, label=\"{}\\n{} {}\"];",
+                id.index(),
+                node.name(),
+                node.op(),
+                node.duration(),
+            )
+            .expect("write to string");
+        }
+        for id in self.node_ids() {
+            for child in self.children(id) {
+                writeln!(out, "  n{} -> n{};", id.index(), child.index())
+                    .expect("write to string");
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+
+    /// Overwrites one node's true duration and true cost.
+    ///
+    /// Intended for graph *generators* that assign timing in a normalization
+    /// pass after the structure is built (e.g. scaling a duration mixture to
+    /// a calibrated total). Structure is immutable; only timing may change.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this graph.
+    pub fn set_node_timing(&mut self, id: NodeId, duration: SimDuration, true_cost: u64) {
+        let node = &mut self.nodes[id.index()];
+        node.duration = duration;
+        node.true_cost = if node.is_gpu() { true_cost } else { 0 };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{GraphBuilder, NodeTemplate};
+
+    fn chain(n: usize) -> Graph {
+        let mut b = GraphBuilder::new();
+        let ids: Vec<NodeId> = (0..n)
+            .map(|i| {
+                b.add_node(NodeTemplate::gpu(
+                    format!("g{i}"),
+                    OpKind::Conv2d,
+                    SimDuration::from_micros(10),
+                    100,
+                ))
+            })
+            .collect();
+        for w in ids.windows(2) {
+            b.add_edge(w[0], w[1]).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn chain_has_one_root_and_full_critical_path() {
+        let g = chain(5);
+        assert_eq!(g.roots().len(), 1);
+        assert_eq!(g.critical_path_len(), 5);
+        assert_eq!(g.topo_order().len(), 5);
+    }
+
+    #[test]
+    fn totals_sum_durations_and_costs() {
+        let g = chain(4);
+        assert_eq!(g.total_gpu_time(), SimDuration::from_micros(40));
+        assert_eq!(g.total_cpu_time(), SimDuration::ZERO);
+        assert_eq!(g.total_true_cost(), 400);
+    }
+
+    #[test]
+    fn diamond_counts_parents() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_node(NodeTemplate::cpu("a", OpKind::Bookkeeping, SimDuration::from_nanos(1)));
+        let l = b.add_node(NodeTemplate::gpu("l", OpKind::Conv2d, SimDuration::from_nanos(1), 1));
+        let r = b.add_node(NodeTemplate::gpu("r", OpKind::Conv2d, SimDuration::from_nanos(1), 1));
+        let j = b.add_node(NodeTemplate::gpu("j", OpKind::Concat, SimDuration::from_nanos(1), 1));
+        b.add_edge(a, l).unwrap();
+        b.add_edge(a, r).unwrap();
+        b.add_edge(l, j).unwrap();
+        b.add_edge(r, j).unwrap();
+        let g = b.build().unwrap();
+        assert_eq!(g.parent_count(j), 2);
+        assert_eq!(g.children(a), &[l, r]);
+        assert_eq!(g.roots(), vec![a]);
+        assert_eq!(g.critical_path_len(), 3);
+        assert_eq!(g.gpu_node_count(), 3);
+        assert_eq!(g.cpu_node_count(), 1);
+    }
+
+    #[test]
+    fn op_histogram_sorts_by_total_time() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_node(NodeTemplate::gpu("a", OpKind::Conv2d, SimDuration::from_micros(5), 1));
+        let c = b.add_node(NodeTemplate::gpu("c", OpKind::Activation, SimDuration::from_micros(50), 1));
+        let d = b.add_node(NodeTemplate::gpu("d", OpKind::Conv2d, SimDuration::from_micros(10), 1));
+        b.add_edge(a, c).unwrap();
+        b.add_edge(c, d).unwrap();
+        let g = b.build().unwrap();
+        let hist = g.op_histogram();
+        assert_eq!(hist[0], (OpKind::Activation, 1, SimDuration::from_micros(50)));
+        assert_eq!(hist[1], (OpKind::Conv2d, 2, SimDuration::from_micros(15)));
+    }
+
+    #[test]
+    fn dot_export_lists_every_node_and_edge() {
+        let g = chain(3);
+        let dot = g.to_dot("chain");
+        assert!(dot.starts_with("digraph \"chain\""));
+        assert_eq!(dot.matches("[shape=box").count(), 3);
+        assert_eq!(dot.matches(" -> ").count(), 2);
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn topo_order_respects_edges() {
+        let g = chain(10);
+        let order = g.topo_order();
+        let pos: Vec<usize> = {
+            let mut p = vec![0; 10];
+            for (i, id) in order.iter().enumerate() {
+                p[id.index()] = i;
+            }
+            p
+        };
+        for id in g.node_ids() {
+            for child in g.children(id) {
+                assert!(pos[id.index()] < pos[child.index()]);
+            }
+        }
+    }
+}

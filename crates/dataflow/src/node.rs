@@ -1,0 +1,233 @@
+//! Nodes and operations.
+
+use serde::{Deserialize, Serialize};
+use simtime::SimDuration;
+use std::fmt;
+
+/// Identifier of a node within one [`crate::Graph`] (a dense index).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// The dense index of this node inside its graph.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a `NodeId` from a dense index.
+    ///
+    /// Normally node ids come from the graph that owns them; this is for
+    /// code that stores per-node tables keyed by dense index (profiles,
+    /// schedulers) and for tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` exceeds `u32::MAX`.
+    pub fn from_index(index: usize) -> NodeId {
+        NodeId(u32::try_from(index).expect("node index fits in u32"))
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Where a node executes, mirroring TensorFlow device placement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Placement {
+    /// Runs on a CPU worker thread.
+    Cpu,
+    /// Runs as one (or a few) GPU kernels; the managing CPU thread blocks on
+    /// completion, exactly like TF-Serving's async kernel threads.
+    Gpu,
+}
+
+impl fmt::Display for Placement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Placement::Cpu => "cpu",
+            Placement::Gpu => "gpu",
+        })
+    }
+}
+
+/// Kind of operation a node performs.
+///
+/// The scheduler is oblivious to semantics; the kind matters for (a) default
+/// placement, (b) the cost-per-nanosecond profile of the TensorFlow cost
+/// model (different op implementations report different cost densities,
+/// which is why the paper's `C_j/D_j` rate is model-specific).
+#[non_exhaustive]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OpKind {
+    /// JPEG/PNG decode and resize of a batch of input images (CPU).
+    InputDecode,
+    /// Assembles decoded inputs into the batched input tensor (CPU).
+    BatchAssemble,
+    /// 2-D convolution.
+    Conv2d,
+    /// Dense matrix multiplication / fully connected layer.
+    MatMul,
+    /// Batch normalization.
+    BatchNorm,
+    /// Elementwise activation (ReLU and friends).
+    Activation,
+    /// Spatial pooling (max/avg).
+    Pool,
+    /// Channel-wise concatenation (Inception-style branch joins).
+    Concat,
+    /// Elementwise addition (ResNet-style shortcut joins).
+    Add,
+    /// Local response normalization (AlexNet/GoogLeNet era).
+    Lrn,
+    /// Softmax classifier head.
+    Softmax,
+    /// Small bookkeeping ops: identity, reshape, shape inference (CPU).
+    Bookkeeping,
+}
+
+impl OpKind {
+    /// Default placement TensorFlow would choose for the op.
+    pub fn default_placement(self) -> Placement {
+        match self {
+            OpKind::InputDecode | OpKind::BatchAssemble | OpKind::Bookkeeping => Placement::Cpu,
+            _ => Placement::Gpu,
+        }
+    }
+
+    /// Cost-model density: cost units reported by the (simulated) TensorFlow
+    /// cost profiler per nanosecond of true device time.
+    ///
+    /// Calibrated so that whole-model `C/D` rates land near the ≈15.4 ratio
+    /// the paper measures for Inception (total cost 4,058,477 ns vs GPU
+    /// duration 262,773 ns, §4.4).
+    pub fn cost_density(self) -> f64 {
+        match self {
+            OpKind::Conv2d => 16.5,
+            OpKind::MatMul => 16.0,
+            OpKind::BatchNorm => 14.5,
+            OpKind::Activation => 14.0,
+            OpKind::Pool => 15.0,
+            OpKind::Concat => 13.5,
+            OpKind::Add => 13.5,
+            OpKind::Lrn => 15.0,
+            OpKind::Softmax => 14.0,
+            OpKind::InputDecode | OpKind::BatchAssemble | OpKind::Bookkeeping => 1.0,
+        }
+    }
+
+    /// Every op kind, for enumeration in tests and generators.
+    pub const ALL: [OpKind; 12] = [
+        OpKind::InputDecode,
+        OpKind::BatchAssemble,
+        OpKind::Conv2d,
+        OpKind::MatMul,
+        OpKind::BatchNorm,
+        OpKind::Activation,
+        OpKind::Pool,
+        OpKind::Concat,
+        OpKind::Add,
+        OpKind::Lrn,
+        OpKind::Softmax,
+        OpKind::Bookkeeping,
+    ];
+}
+
+impl fmt::Display for OpKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            OpKind::InputDecode => "input_decode",
+            OpKind::BatchAssemble => "batch_assemble",
+            OpKind::Conv2d => "conv2d",
+            OpKind::MatMul => "matmul",
+            OpKind::BatchNorm => "batch_norm",
+            OpKind::Activation => "activation",
+            OpKind::Pool => "pool",
+            OpKind::Concat => "concat",
+            OpKind::Add => "add",
+            OpKind::Lrn => "lrn",
+            OpKind::Softmax => "softmax",
+            OpKind::Bookkeeping => "bookkeeping",
+        };
+        f.write_str(name)
+    }
+}
+
+/// A single operation in a dataflow graph.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Node {
+    pub(crate) name: String,
+    pub(crate) op: OpKind,
+    pub(crate) placement: Placement,
+    pub(crate) duration: SimDuration,
+    pub(crate) true_cost: u64,
+}
+
+impl Node {
+    /// Human-readable node name (unique within a graph by construction).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Operation kind.
+    pub fn op(&self) -> OpKind {
+        self.op
+    }
+
+    /// Device placement.
+    pub fn placement(&self) -> Placement {
+        self.placement
+    }
+
+    /// True execution duration on its device (mean; the simulated device adds
+    /// run-to-run jitter on top).
+    pub fn duration(&self) -> SimDuration {
+        self.duration
+    }
+
+    /// True cost in TensorFlow cost-model units; what an instrumented run
+    /// would (noisily) measure.
+    pub fn true_cost(&self) -> u64 {
+        self.true_cost
+    }
+
+    /// Whether the node runs on the GPU.
+    pub fn is_gpu(&self) -> bool {
+        self.placement == Placement::Gpu
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_placements() {
+        assert_eq!(OpKind::InputDecode.default_placement(), Placement::Cpu);
+        assert_eq!(OpKind::Conv2d.default_placement(), Placement::Gpu);
+        assert_eq!(OpKind::Bookkeeping.default_placement(), Placement::Cpu);
+    }
+
+    #[test]
+    fn cost_densities_positive() {
+        for op in OpKind::ALL {
+            assert!(op.cost_density() > 0.0, "{op} has non-positive density");
+        }
+    }
+
+    #[test]
+    fn gpu_ops_have_higher_density_than_cpu_ops() {
+        assert!(OpKind::Conv2d.cost_density() > OpKind::Bookkeeping.cost_density());
+    }
+
+    #[test]
+    fn display_is_snake_case() {
+        assert_eq!(OpKind::Conv2d.to_string(), "conv2d");
+        assert_eq!(Placement::Gpu.to_string(), "gpu");
+        assert_eq!(NodeId(3).to_string(), "n3");
+    }
+}

@@ -1,0 +1,33 @@
+#![deny(missing_docs)]
+
+//! A simulated GPU: device profiles, a serial kernel engine behind a driver
+//! FIFO, a memory pool, and utilization accounting.
+//!
+//! # Model
+//!
+//! The paper observes (§"GPU multiplexing") that large-batch DNN kernels
+//! saturate the GPU's parallelism, so *spatial* multiplexing between jobs is
+//! ineffective and only *temporal* multiplexing matters. The device model
+//! follows that observation: kernels execute **serially**, each taking its
+//! true duration scaled by the device's speed factor plus per-run jitter,
+//! with per-context queues arbitrated by a (seeded, per-run) driver bias —
+//! the nondeterminism that spreads vanilla TF-Serving's finish times. The
+//! driver — like the real one — has no idea which job a kernel belongs to;
+//! attribution exists only for measurement.
+//!
+//! ```
+//! use gpusim::{DeviceProfile, GpuDevice, JobTag};
+//! use simtime::{SimDuration, SimTime};
+//!
+//! let mut gpu = GpuDevice::new(DeviceProfile::gtx_1080_ti(), 42);
+//! gpu.enqueue(JobTag(0), 7, SimDuration::from_micros(100), 1.0);
+//! let exec = gpu.try_start(SimTime::ZERO).expect("device is free");
+//! assert_eq!(exec.payload, 7);
+//! assert!(exec.end > exec.start);
+//! ```
+
+mod device;
+mod memory;
+
+pub use device::{DeviceProfile, GpuDevice, JobTag, StartedKernel};
+pub use memory::{Allocation, MemoryError, MemoryPool};

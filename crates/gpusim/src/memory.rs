@@ -1,0 +1,198 @@
+//! GPU memory accounting.
+//!
+//! The paper's scalability limit (§4.3) is GPU memory: a GTX 1080 Ti holds
+//! roughly 45 concurrent clients' model instances. The pool tracks
+//! allocations so the serving layer can refuse clients that do not fit.
+
+use simtime::SimDuration;
+use std::fmt;
+
+/// Error returned when an allocation does not fit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemoryError {
+    /// Bytes requested.
+    pub requested: u64,
+    /// Bytes currently free.
+    pub available: u64,
+}
+
+impl fmt::Display for MemoryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "out of GPU memory: requested {} bytes, {} available",
+            self.requested, self.available
+        )
+    }
+}
+
+impl std::error::Error for MemoryError {}
+
+/// Handle for a live allocation. Dropping it does *not* free the memory —
+/// freeing is explicit through [`MemoryPool::free`], so the pool can verify
+/// double-frees instead of masking them.
+#[derive(Debug, PartialEq, Eq)]
+pub struct Allocation {
+    id: u64,
+    bytes: u64,
+}
+
+impl Allocation {
+    /// Size of the allocation in bytes.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+}
+
+/// A simple capacity-tracked GPU memory pool.
+///
+/// ```
+/// use gpusim::MemoryPool;
+///
+/// let mut pool = MemoryPool::new(1024);
+/// let a = pool.alloc(600)?;
+/// assert!(pool.alloc(600).is_err());
+/// pool.free(a);
+/// assert!(pool.alloc(600).is_ok());
+/// # Ok::<(), gpusim::MemoryError>(())
+/// ```
+#[derive(Debug)]
+pub struct MemoryPool {
+    capacity: u64,
+    used: u64,
+    next_id: u64,
+    live: std::collections::HashSet<u64>,
+    peak: u64,
+}
+
+impl MemoryPool {
+    /// Creates a pool with the given capacity in bytes.
+    pub fn new(capacity: u64) -> Self {
+        MemoryPool {
+            capacity,
+            used: 0,
+            next_id: 0,
+            live: std::collections::HashSet::new(),
+            peak: 0,
+        }
+    }
+
+    /// Allocates `bytes`, failing (without side effects) if they do not fit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemoryError`] when fewer than `bytes` are free.
+    pub fn alloc(&mut self, bytes: u64) -> Result<Allocation, MemoryError> {
+        let available = self.capacity - self.used;
+        if bytes > available {
+            return Err(MemoryError {
+                requested: bytes,
+                available,
+            });
+        }
+        self.used += bytes;
+        self.peak = self.peak.max(self.used);
+        let id = self.next_id;
+        self.next_id += 1;
+        self.live.insert(id);
+        Ok(Allocation { id, bytes })
+    }
+
+    /// Frees a previously returned allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics on double-free (an allocation forged or already freed).
+    pub fn free(&mut self, allocation: Allocation) {
+        assert!(
+            self.live.remove(&allocation.id),
+            "double free of GPU allocation {}",
+            allocation.id
+        );
+        self.used -= allocation.bytes;
+    }
+
+    /// Bytes currently allocated.
+    pub fn used(&self) -> u64 {
+        self.used
+    }
+
+    /// Bytes free.
+    pub fn available(&self) -> u64 {
+        self.capacity - self.used
+    }
+
+    /// Total capacity.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// High-water mark of usage.
+    pub fn peak(&self) -> u64 {
+        self.peak
+    }
+
+    /// Time to copy `bytes` over PCIe at `gbps` effective gigabytes/second —
+    /// used to model model-load latency.
+    pub fn transfer_time(bytes: u64, gbps: f64) -> SimDuration {
+        assert!(gbps > 0.0, "transfer rate must be positive");
+        SimDuration::from_secs_f64(bytes as f64 / (gbps * 1e9))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_and_free_roundtrip() {
+        let mut pool = MemoryPool::new(100);
+        let a = pool.alloc(60).unwrap();
+        assert_eq!(pool.used(), 60);
+        assert_eq!(pool.available(), 40);
+        pool.free(a);
+        assert_eq!(pool.used(), 0);
+    }
+
+    #[test]
+    fn oom_reports_request_and_available() {
+        let mut pool = MemoryPool::new(100);
+        let _a = pool.alloc(80).unwrap();
+        let err = pool.alloc(30).unwrap_err();
+        assert_eq!(err.requested, 30);
+        assert_eq!(err.available, 20);
+    }
+
+    #[test]
+    fn failed_alloc_has_no_side_effects() {
+        let mut pool = MemoryPool::new(100);
+        let _ = pool.alloc(80).unwrap();
+        let _ = pool.alloc(999);
+        assert_eq!(pool.used(), 80);
+    }
+
+    #[test]
+    fn peak_tracks_high_water_mark() {
+        let mut pool = MemoryPool::new(100);
+        let a = pool.alloc(70).unwrap();
+        pool.free(a);
+        let _b = pool.alloc(20).unwrap();
+        assert_eq!(pool.peak(), 70);
+    }
+
+    #[test]
+    #[should_panic(expected = "double free")]
+    fn double_free_panics() {
+        let mut pool = MemoryPool::new(100);
+        let a = pool.alloc(10).unwrap();
+        let forged = Allocation { id: a.id, bytes: a.bytes };
+        pool.free(a);
+        pool.free(forged);
+    }
+
+    #[test]
+    fn transfer_time_scales() {
+        let t = MemoryPool::transfer_time(12_000_000_000, 12.0);
+        assert_eq!(t, SimDuration::from_secs(1));
+    }
+}

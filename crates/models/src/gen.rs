@@ -1,0 +1,314 @@
+//! Deterministic synthetic graph generation.
+//!
+//! The generator builds, per model, an input stage (CPU decode + batch
+//! assembly, as TF's batching nodes do), a GPU stem, a sequence of branching
+//! blocks matching the architecture family (4-way inception modules, 2-way
+//! residual blocks, or plain stacks), a classification tail, and CPU
+//! bookkeeping leaves hanging off block joins until the Table 2 CPU-node
+//! count is met. Node durations follow a tiny/medium/large lognormal mixture
+//! normalized so their sum equals the calibrated GPU busy time, reproducing
+//! the Figure 4 CDF shape.
+
+use crate::calibration::Calibration;
+use crate::ModelKind;
+use dataflow::{Graph, GraphBuilder, NodeId, NodeTemplate, OpKind};
+use simtime::{DetRng, SimDuration};
+
+/// Stable seed per (model, batch) so graphs are identical across processes.
+fn seed_for(kind: ModelKind, batch: u64) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in kind.name().bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h ^ batch.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// Affine batch scaling: a fixed launch floor plus a batch-proportional part,
+/// equal to 1.0 at the reference batch.
+fn batch_factor(cal: &Calibration, batch: u64) -> f64 {
+    cal.batch_alpha + (1.0 - cal.batch_alpha) * batch as f64 / cal.reference_batch as f64
+}
+
+/// GPU op mix for a model family, cycled along branches.
+fn op_mix(kind: ModelKind) -> &'static [OpKind] {
+    match kind {
+        ModelKind::InceptionV4 | ModelKind::GoogLeNet => &[
+            OpKind::Conv2d,
+            OpKind::BatchNorm,
+            OpKind::Activation,
+            OpKind::Conv2d,
+            OpKind::Pool,
+        ],
+        ModelKind::AlexNet => &[
+            OpKind::Conv2d,
+            OpKind::Activation,
+            OpKind::Lrn,
+            OpKind::Pool,
+        ],
+        ModelKind::Vgg => &[OpKind::Conv2d, OpKind::Activation, OpKind::Conv2d, OpKind::Pool],
+        ModelKind::ResNet50 | ModelKind::ResNet101 | ModelKind::ResNet152 => &[
+            OpKind::Conv2d,
+            OpKind::BatchNorm,
+            OpKind::Activation,
+        ],
+    }
+}
+
+/// Draws one node duration from the tiny/medium/large mixture (in ns,
+/// un-normalized). Mixture weights reproduce Figure 4: ~80% of nodes under
+/// 20 µs, >90% under 1 ms, with a heavy tail of big convolutions.
+fn draw_raw_duration(rng: &mut DetRng) -> f64 {
+    let u = rng.next_f64();
+    if u < 0.80 {
+        // tiny: median ~6 µs (elementwise ops, small convolutions)
+        rng.lognormal((6_000.0_f64).ln(), 0.65)
+    } else if u < 0.975 {
+        // medium: median ~110 µs (typical convolution kernels)
+        rng.lognormal((110_000.0_f64).ln(), 0.40)
+    } else {
+        // large: median ~350 µs (the big stem/reduction convolutions)
+        rng.lognormal((350_000.0_f64).ln(), 0.30)
+    }
+}
+
+/// Number of parallel decode nodes in the input stage.
+const DECODE_WIDTH: u32 = 4;
+
+/// Generates the graph for `kind` at `batch`.
+///
+/// Postconditions (asserted): node counts match the calibration exactly and
+/// total GPU time matches the calibrated busy time at this batch to within
+/// rounding.
+pub fn generate(kind: ModelKind, cal: &Calibration, batch: u64) -> Graph {
+    let mut rng = DetRng::new(seed_for(kind, batch));
+    let mut b = GraphBuilder::new();
+
+    let gpu_target = cal.gpu_nodes as usize;
+    let cpu_target = (cal.total_nodes - cal.gpu_nodes) as usize;
+
+    // --- Input stage (CPU): parallel decodes feeding batch assembly. ---
+    let decode_total_us = cal.decode_us_per_image * batch as f64;
+    let per_decode = SimDuration::from_micros_f64(decode_total_us / DECODE_WIDTH as f64);
+    let decodes: Vec<NodeId> = (0..DECODE_WIDTH)
+        .map(|i| {
+            b.add_node(NodeTemplate::cpu(
+                format!("decode_{i}"),
+                OpKind::InputDecode,
+                per_decode,
+            ))
+        })
+        .collect();
+    let assemble = b.add_node(NodeTemplate::cpu(
+        "batch_assemble",
+        OpKind::BatchAssemble,
+        SimDuration::from_micros_f64(0.4 * batch as f64),
+    ));
+    for d in &decodes {
+        b.add_edge(*d, assemble).expect("fresh edge");
+    }
+    let mut cpu_used = DECODE_WIDTH as usize + 1;
+
+    // --- GPU body: stem, blocks, tail. Durations are placeholders (1 ns)
+    // until the normalization pass assigns the real mixture draws. ---
+    let mut gpu_ids: Vec<NodeId> = Vec::with_capacity(gpu_target);
+    let mut gpu_ops: Vec<OpKind> = Vec::with_capacity(gpu_target);
+    fn add_gpu(
+        b: &mut GraphBuilder,
+        gpu_ids: &mut Vec<NodeId>,
+        gpu_ops: &mut Vec<OpKind>,
+        name: String,
+        op: OpKind,
+    ) -> NodeId {
+        let id = b.add_node(NodeTemplate::gpu(name, op, SimDuration::from_nanos(1), 1));
+        gpu_ids.push(id);
+        gpu_ops.push(op);
+        id
+    }
+
+    // Reserve 3 GPU nodes for the tail (pool, fc, softmax).
+    let tail_nodes = 3usize;
+    let stem = add_gpu(&mut b, &mut gpu_ids, &mut gpu_ops, "stem_conv".into(), OpKind::Conv2d);
+    b.add_edge(assemble, stem).expect("fresh edge");
+
+    let mix = op_mix(kind);
+    let mut frontier = stem; // join of the previous block
+    let mut join_nodes: Vec<NodeId> = vec![stem];
+    let mut block_idx = 0u32;
+    // Each block consumes branching*len (+1 join if branching > 1) GPU nodes.
+    while gpu_ids.len() + tail_nodes < gpu_target {
+        let remaining = gpu_target - tail_nodes - gpu_ids.len();
+        // A branched block needs at least one node per branch plus a join;
+        // fall back to a plain chain when the budget is smaller than that.
+        let branches = if remaining > cal.branching as usize {
+            cal.branching
+        } else {
+            1
+        };
+        let join_cost = if branches > 1 { 1 } else { 0 };
+        // Branch length: 2..=6 drawn, but trimmed to exactly fill the target
+        // when we are close to it.
+        let max_len = ((remaining - join_cost) / branches as usize).max(1);
+        let len = (rng.range_u64(2, 7) as usize).min(max_len);
+        let mut branch_ends = Vec::with_capacity(branches as usize);
+        for br in 0..branches {
+            let mut prev = frontier;
+            for i in 0..len {
+                let op = mix[(br as usize + i) % mix.len()];
+                let id = add_gpu(&mut b, &mut gpu_ids, &mut gpu_ops, format!("b{block_idx}_br{br}_{i}_{op}"), op);
+                b.add_edge(prev, id).expect("fresh edge");
+                prev = id;
+            }
+            branch_ends.push(prev);
+        }
+        frontier = if branches > 1 {
+            let join_op = match kind {
+                ModelKind::ResNet50 | ModelKind::ResNet101 | ModelKind::ResNet152 => OpKind::Add,
+                _ => OpKind::Concat,
+            };
+            let join = add_gpu(&mut b, &mut gpu_ids, &mut gpu_ops, format!("b{block_idx}_join"), join_op);
+            for e in &branch_ends {
+                b.add_edge(*e, join).expect("fresh edge");
+            }
+            join
+        } else {
+            branch_ends[0]
+        };
+        join_nodes.push(frontier);
+        block_idx += 1;
+    }
+
+    // Pad with a chain of activations if the block loop undershot.
+    while gpu_ids.len() + tail_nodes < gpu_target {
+        let pad_name = format!("pad_{}", gpu_ids.len());
+        let id = add_gpu(&mut b, &mut gpu_ids, &mut gpu_ops, pad_name, OpKind::Activation);
+        b.add_edge(frontier, id).expect("fresh edge");
+        frontier = id;
+    }
+
+    // --- Tail: global pool, classifier, softmax. ---
+    let pool = add_gpu(&mut b, &mut gpu_ids, &mut gpu_ops, "global_pool".into(), OpKind::Pool);
+    b.add_edge(frontier, pool).expect("fresh edge");
+    let fc = add_gpu(&mut b, &mut gpu_ids, &mut gpu_ops, "fc".into(), OpKind::MatMul);
+    b.add_edge(pool, fc).expect("fresh edge");
+    let softmax = add_gpu(&mut b, &mut gpu_ids, &mut gpu_ops, "softmax".into(), OpKind::Softmax);
+    b.add_edge(fc, softmax).expect("fresh edge");
+
+    assert_eq!(gpu_ids.len(), gpu_target, "GPU node count calibration");
+
+    // --- CPU bookkeeping leaves hanging off joins (shape/summary ops). ---
+    let mut j = 0usize;
+    while cpu_used < cpu_target {
+        let parent = join_nodes[j % join_nodes.len()];
+        let id = b.add_node(NodeTemplate::cpu(
+            format!("bk_{cpu_used}"),
+            OpKind::Bookkeeping,
+            SimDuration::from_nanos(rng.range_u64(400, 2_500)),
+        ));
+        b.add_edge(parent, id).expect("fresh edge");
+        cpu_used += 1;
+        j += 1;
+    }
+
+    let mut graph = b.build().expect("generator always builds a DAG");
+
+    // --- Normalization pass: assign mixture durations scaled so the total
+    // GPU busy time equals the calibration at this batch, then derive costs
+    // from per-op densities with a ±15% per-node wiggle. ---
+    let raws: Vec<f64> = gpu_ids.iter().map(|_| draw_raw_duration(&mut rng)).collect();
+    let raw_sum: f64 = raws.iter().sum();
+    let busy_ref_ns = cal.runtime_s * cal.gpu_busy_fraction * 1e9;
+    let busy_ns = busy_ref_ns * batch_factor(cal, batch);
+    let scale = busy_ns / raw_sum;
+    set_gpu_durations(&mut graph, &gpu_ids, &gpu_ops, &raws, scale, &mut rng);
+
+    debug_assert_eq!(graph.node_count(), cal.total_nodes as usize);
+    debug_assert_eq!(graph.gpu_node_count(), cal.gpu_nodes as usize);
+    graph
+}
+
+/// Writes normalized durations and densities-derived costs into the built
+/// graph through `Graph::set_node_timing` (the generator-facing timing API).
+fn set_gpu_durations(
+    graph: &mut Graph,
+    gpu_ids: &[NodeId],
+    gpu_ops: &[OpKind],
+    raws: &[f64],
+    scale: f64,
+    rng: &mut DetRng,
+) {
+    for ((id, op), raw) in gpu_ids.iter().zip(gpu_ops).zip(raws) {
+        let dur_ns = (raw * scale).max(200.0);
+        let wiggle = rng.range_f64(0.95, 1.05);
+        let cost = (dur_ns * op.cost_density() * wiggle).round().max(1.0) as u64;
+        graph.set_node_timing(*id, SimDuration::from_nanos(dur_ns.round() as u64), cost);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec;
+    use metrics::Cdf;
+
+    #[test]
+    fn node_counts_match_table2_exactly() {
+        for kind in ModelKind::ALL {
+            let cal = spec(kind);
+            let g = generate(kind, cal, cal.reference_batch);
+            assert_eq!(g.node_count(), cal.total_nodes as usize, "{kind}");
+            assert_eq!(g.gpu_node_count(), cal.gpu_nodes as usize, "{kind}");
+        }
+    }
+
+    #[test]
+    fn gpu_busy_time_matches_calibration() {
+        for kind in [ModelKind::InceptionV4, ModelKind::ResNet152] {
+            let cal = spec(kind);
+            let g = generate(kind, cal, cal.reference_batch);
+            let busy = g.total_gpu_time().as_secs_f64();
+            let target = cal.runtime_s * cal.gpu_busy_fraction;
+            let err = (busy - target).abs() / target;
+            assert!(err < 0.02, "{kind}: busy {busy} vs target {target}");
+        }
+    }
+
+    #[test]
+    fn duration_cdf_matches_figure4_shape() {
+        let cal = spec(ModelKind::InceptionV4);
+        let g = generate(ModelKind::InceptionV4, cal, 100);
+        let durations: Vec<f64> = g
+            .iter()
+            .filter(|(_, n)| n.is_gpu())
+            .map(|(_, n)| n.duration().as_micros_f64())
+            .collect();
+        let cdf = Cdf::of(durations);
+        assert!(cdf.fraction_below(20.0) > 0.70, "most nodes are tiny");
+        assert!(cdf.fraction_below(1_000.0) > 0.90, ">90% under 1 ms");
+    }
+
+    #[test]
+    fn cost_rate_lands_near_paper_ratio() {
+        let cal = spec(ModelKind::InceptionV4);
+        let g = generate(ModelKind::InceptionV4, cal, 100);
+        let rate = g.total_true_cost() as f64 / g.total_gpu_time().as_nanos() as f64;
+        assert!(rate > 10.0 && rate < 20.0, "C/D rate {rate}");
+    }
+
+    #[test]
+    fn graphs_are_acyclic_with_single_entry_stage() {
+        let cal = spec(ModelKind::GoogLeNet);
+        let g = generate(ModelKind::GoogLeNet, cal, 50);
+        let roots = g.roots();
+        assert_eq!(roots.len(), DECODE_WIDTH as usize, "decode nodes are the only roots");
+        assert_eq!(g.topo_order().len(), g.node_count());
+    }
+
+    #[test]
+    fn batch_factor_is_affine_and_anchored() {
+        let cal = spec(ModelKind::InceptionV4);
+        assert!((batch_factor(cal, cal.reference_batch) - 1.0).abs() < 1e-12);
+        assert!(batch_factor(cal, 1) > cal.batch_alpha);
+        assert!(batch_factor(cal, 2 * cal.reference_batch) < 2.0);
+    }
+}

@@ -1,0 +1,162 @@
+//! Miniature models for fast tests.
+//!
+//! The calibrated zoo graphs carry 12k–24k nodes — ideal for experiments,
+//! slow for debug-mode unit tests. These miniatures keep the same structural
+//! features (CPU input stage, branching GPU blocks, bookkeeping leaves,
+//! classification tail) at a few dozen nodes and microsecond durations.
+
+use crate::LoadedModel;
+use dataflow::{Graph, GraphBuilder, NodeId, NodeTemplate, OpKind};
+use simtime::SimDuration;
+use std::sync::Arc;
+
+/// A ~20-node single-branch model: decode → 16-GPU-node chain → softmax.
+///
+/// Total GPU time ≈ 16 × 10 µs = 160 µs per run.
+pub fn tiny(batch: u64) -> LoadedModel {
+    chain_model("mini-tiny", batch, 16, SimDuration::from_micros(10))
+}
+
+/// A ~64-GPU-node chain with 25 µs nodes (≈1.6 ms of GPU time per run) —
+/// big enough that multi-quantum scheduling effects show up in tests.
+pub fn small(batch: u64) -> LoadedModel {
+    chain_model("mini-small", batch, 64, SimDuration::from_micros(25))
+}
+
+/// A branching miniature: 8 blocks of 2 branches × 3 nodes, exercising
+/// joins, parallel readiness and concat joins.
+pub fn branchy(batch: u64) -> LoadedModel {
+    let mut b = GraphBuilder::new();
+    let decode = b.add_node(NodeTemplate::cpu(
+        "decode",
+        OpKind::InputDecode,
+        SimDuration::from_micros(5),
+    ));
+    let mut frontier = {
+        let stem = gpu(&mut b, "stem", OpKind::Conv2d, 20);
+        b.add_edge(decode, stem).expect("fresh edge");
+        stem
+    };
+    for blk in 0..8 {
+        let mut ends = Vec::new();
+        for br in 0..2 {
+            let mut prev = frontier;
+            for i in 0..3 {
+                let id = gpu(&mut b, &format!("b{blk}_{br}_{i}"), OpKind::Conv2d, 15);
+                b.add_edge(prev, id).expect("fresh edge");
+                prev = id;
+            }
+            ends.push(prev);
+        }
+        let join = gpu(&mut b, &format!("b{blk}_join"), OpKind::Concat, 5);
+        for e in ends {
+            b.add_edge(e, join).expect("fresh edge");
+        }
+        let leaf = b.add_node(NodeTemplate::cpu(
+            format!("bk{blk}"),
+            OpKind::Bookkeeping,
+            SimDuration::from_nanos(500),
+        ));
+        b.add_edge(join, leaf).expect("fresh edge");
+        frontier = join;
+    }
+    let sm = gpu(&mut b, "softmax", OpKind::Softmax, 8);
+    b.add_edge(frontier, sm).expect("fresh edge");
+    finish("mini-branchy", batch, b.build().expect("DAG by construction"))
+}
+
+/// A CPU-only miniature: preprocessing pipelines exist that never touch the
+/// GPU. Exercises the scheduler's zero-GPU-duration edge (such a job never
+/// accrues cost, so its turn only ends when it completes).
+pub fn cpu_only(batch: u64) -> LoadedModel {
+    let mut b = GraphBuilder::new();
+    let mut prev = b.add_node(NodeTemplate::cpu(
+        "decode",
+        OpKind::InputDecode,
+        SimDuration::from_micros(10),
+    ));
+    for i in 0..8 {
+        let id = b.add_node(NodeTemplate::cpu(
+            format!("cpu{i}"),
+            OpKind::Bookkeeping,
+            SimDuration::from_micros(20),
+        ));
+        b.add_edge(prev, id).expect("fresh edge");
+        prev = id;
+    }
+    finish("mini-cpu-only", batch, b.build().expect("DAG by construction"))
+}
+
+fn gpu(b: &mut GraphBuilder, name: &str, op: OpKind, micros: u64) -> NodeId {
+    b.add_node(NodeTemplate::gpu_auto_cost(
+        name,
+        op,
+        SimDuration::from_micros(micros),
+    ))
+}
+
+fn chain_model(name: &str, batch: u64, gpu_len: usize, node_dur: SimDuration) -> LoadedModel {
+    let mut b = GraphBuilder::new();
+    let decode = b.add_node(NodeTemplate::cpu(
+        "decode",
+        OpKind::InputDecode,
+        SimDuration::from_micros(5),
+    ));
+    let mut prev = decode;
+    for i in 0..gpu_len {
+        let id = b.add_node(NodeTemplate::gpu_auto_cost(
+            format!("g{i}"),
+            OpKind::Conv2d,
+            node_dur,
+        ));
+        b.add_edge(prev, id).expect("fresh edge");
+        prev = id;
+    }
+    finish(name, batch, b.build().expect("DAG by construction"))
+}
+
+fn finish(name: &str, batch: u64, graph: Graph) -> LoadedModel {
+    LoadedModel::from_parts(
+        name,
+        None,
+        batch,
+        Arc::new(graph),
+        1024 * 1024,
+        64 * 1024 * batch,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_is_tiny() {
+        let m = tiny(4);
+        assert!(m.graph().node_count() < 32);
+        assert_eq!(m.graph().gpu_node_count(), 16);
+        assert_eq!(m.graph().total_gpu_time(), SimDuration::from_micros(160));
+    }
+
+    #[test]
+    fn branchy_has_joins() {
+        let m = branchy(1);
+        let g = m.graph();
+        assert!(g.node_ids().any(|id| g.parent_count(id) == 2), "has a join");
+        assert_eq!(g.topo_order().len(), g.node_count());
+    }
+
+    #[test]
+    fn cpu_only_has_no_gpu_nodes() {
+        let m = cpu_only(2);
+        assert_eq!(m.graph().gpu_node_count(), 0);
+        assert!(m.graph().total_cpu_time() > SimDuration::ZERO);
+        assert_eq!(m.graph().total_gpu_time(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn small_gpu_time() {
+        let m = small(1);
+        assert_eq!(m.graph().total_gpu_time(), SimDuration::from_micros(64 * 25));
+    }
+}

@@ -1,0 +1,175 @@
+//! On-disk model format — the reproduction's "SavedModel".
+//!
+//! TF-Serving loads *servables* from disk; this module gives [`LoadedModel`]
+//! the same lifecycle: serialize a generated (or hand-built) model to JSON,
+//! load it back bit-identically. Useful for pinning a model across tool
+//! invocations (e.g. `olympctl profile` writes profiles that must match the
+//! exact graph a later `olympctl run` uses) and for shipping miniature
+//! repro cases.
+
+use crate::{LoadedModel, ModelKind};
+use dataflow::Graph;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::io::{Read, Write};
+use std::sync::Arc;
+
+/// Serialized form of a [`LoadedModel`].
+#[derive(Debug, Serialize, Deserialize)]
+struct ServableFile {
+    format_version: u32,
+    name: String,
+    kind: Option<ModelKind>,
+    batch: u64,
+    weights_bytes: u64,
+    activation_bytes: u64,
+    graph: Graph,
+}
+
+/// Current servable format version.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Errors from servable I/O.
+#[derive(Debug)]
+pub enum ServableError {
+    /// I/O failure.
+    Io(std::io::Error),
+    /// Malformed JSON.
+    Format(serde_json::Error),
+    /// The file is from an incompatible format version.
+    Version {
+        /// Version found in the file.
+        found: u32,
+        /// Version this build supports.
+        supported: u32,
+    },
+}
+
+impl fmt::Display for ServableError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServableError::Io(e) => write!(f, "servable I/O error: {e}"),
+            ServableError::Format(e) => write!(f, "malformed servable: {e}"),
+            ServableError::Version { found, supported } => {
+                write!(f, "servable format v{found} unsupported (this build reads v{supported})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServableError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServableError::Io(e) => Some(e),
+            ServableError::Format(e) => Some(e),
+            ServableError::Version { .. } => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ServableError {
+    fn from(e: std::io::Error) -> Self {
+        ServableError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for ServableError {
+    fn from(e: serde_json::Error) -> Self {
+        ServableError::Format(e)
+    }
+}
+
+/// Writes a model as a servable to `writer`.
+///
+/// # Errors
+///
+/// Returns [`ServableError`] on I/O or serialization failure.
+pub fn save<W: Write>(model: &LoadedModel, writer: W) -> Result<(), ServableError> {
+    let file = ServableFile {
+        format_version: FORMAT_VERSION,
+        name: model.name().to_string(),
+        kind: model.kind(),
+        batch: model.batch(),
+        weights_bytes: model.weights_bytes(),
+        activation_bytes: model.activation_bytes(),
+        graph: model.graph().as_ref().clone(),
+    };
+    serde_json::to_writer(writer, &file)?;
+    Ok(())
+}
+
+/// Reads a servable previously written by [`save`].
+///
+/// # Errors
+///
+/// Returns [`ServableError`] on I/O failure, malformed input or an
+/// unsupported format version.
+pub fn load<R: Read>(reader: R) -> Result<LoadedModel, ServableError> {
+    let file: ServableFile = serde_json::from_reader(reader)?;
+    if file.format_version != FORMAT_VERSION {
+        return Err(ServableError::Version {
+            found: file.format_version,
+            supported: FORMAT_VERSION,
+        });
+    }
+    Ok(LoadedModel::from_parts(
+        file.name,
+        file.kind,
+        file.batch,
+        Arc::new(file.graph),
+        file.weights_bytes,
+        file.activation_bytes,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let model = crate::mini::branchy(4);
+        let mut buf = Vec::new();
+        save(&model, &mut buf).expect("save");
+        let back = load(buf.as_slice()).expect("load");
+        assert_eq!(back.name(), model.name());
+        assert_eq!(back.kind(), model.kind());
+        assert_eq!(back.batch(), model.batch());
+        assert_eq!(back.weights_bytes(), model.weights_bytes());
+        assert_eq!(back.activation_bytes(), model.activation_bytes());
+        assert_eq!(back.graph().as_ref(), model.graph().as_ref());
+    }
+
+    #[test]
+    fn zoo_model_roundtrips() {
+        let model = crate::load(ModelKind::ResNet50, 16).expect("zoo model");
+        let mut buf = Vec::new();
+        save(&model, &mut buf).expect("save");
+        let back = load(buf.as_slice()).expect("load");
+        assert_eq!(back.kind(), Some(ModelKind::ResNet50));
+        assert_eq!(back.graph().as_ref(), model.graph().as_ref());
+    }
+
+    #[test]
+    fn wrong_version_is_rejected() {
+        let model = crate::mini::tiny(1);
+        let mut buf = Vec::new();
+        save(&model, &mut buf).expect("save");
+        let text = String::from_utf8(buf).expect("json is utf8");
+        let bumped = text.replace("\"format_version\":1", "\"format_version\":99");
+        match load(bumped.as_bytes()) {
+            Err(ServableError::Version { found: 99, supported }) => {
+                assert_eq!(supported, FORMAT_VERSION);
+            }
+            other => panic!("expected version error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn garbage_is_rejected() {
+        assert!(matches!(
+            load(&b"definitely not json"[..]),
+            Err(ServableError::Format(_))
+        ));
+    }
+}

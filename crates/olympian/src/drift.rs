@@ -1,0 +1,132 @@
+//! Profile drift detection — operational tooling around the paper's
+//! "predictability of DNNs" assumption (its §7 reflections call out
+//! adaptive re-profiling as the remedy when the assumption erodes).
+//!
+//! Offline profiles encode a cost-accumulation rate measured once. If the
+//! deployment drifts — driver update, thermal regime, a re-exported model —
+//! the observed per-quantum GPU duration systematically departs from the
+//! configured `Q`. The detector compares observed quanta against `Q` and
+//! flags profiles that need re-measurement.
+
+use crate::profile::ModelProfile;
+use serving::ClientReport;
+use simtime::SimDuration;
+
+/// Outcome of a drift check for one client's session.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DriftReport {
+    /// Model under test.
+    pub model: String,
+    /// Batch size under test.
+    pub batch: u64,
+    /// The quantum the scheduler aimed for, in µs.
+    pub expected_quantum_us: f64,
+    /// Mean observed per-quantum GPU duration, in µs.
+    pub observed_mean_us: f64,
+    /// Relative deviation `|observed - expected| / expected`.
+    pub deviation: f64,
+    /// Whether the deviation exceeds the tolerance — time to re-profile.
+    pub stale: bool,
+}
+
+/// Checks one client's observed quanta against the configured quantum.
+///
+/// Returns `None` when the session produced too few quanta to judge
+/// (fewer than `min_quanta`).
+///
+/// # Panics
+///
+/// Panics if `tolerance` is not positive or `quantum` is zero.
+pub fn detect_drift(
+    profile: &ModelProfile,
+    quantum: SimDuration,
+    report: &ClientReport,
+    tolerance: f64,
+    min_quanta: usize,
+) -> Option<DriftReport> {
+    assert!(tolerance > 0.0, "tolerance must be positive");
+    assert!(quantum > SimDuration::ZERO, "quantum must be positive");
+    if report.quantum_marks.len() < min_quanta.max(3) {
+        return None;
+    }
+    let observed = report.mean_quantum_us()?;
+    let expected = quantum.as_micros_f64();
+    let deviation = (observed - expected).abs() / expected;
+    Some(DriftReport {
+        model: profile.model.clone(),
+        batch: profile.batch,
+        expected_quantum_us: expected,
+        observed_mean_us: observed,
+        deviation,
+        stale: deviation > tolerance,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dataflow::CostModel;
+    use serving::{ClientId, ClientOutcome};
+    use simtime::SimTime;
+
+    fn profile() -> ModelProfile {
+        ModelProfile {
+            model: "m".into(),
+            batch: 8,
+            costs: CostModel::from_costs(vec![10]),
+            total_cost: 10,
+            gpu_duration: SimDuration::from_micros(10),
+        }
+    }
+
+    fn report_with_quanta(quanta_us: &[u64]) -> ClientReport {
+        ClientReport {
+            client: ClientId(0),
+            model_name: "m".into(),
+            batch: 8,
+            outcome: ClientOutcome::Finished(SimTime::from_millis(1)),
+            run_finish_times: vec![],
+            run_gpu_durations: vec![],
+            quantum_marks: quanta_us
+                .iter()
+                .enumerate()
+                .map(|(i, &d)| (SimTime::from_micros(i as u64), SimDuration::from_micros(d)))
+                .collect(),
+            total_gpu: SimDuration::ZERO,
+        }
+    }
+
+    #[test]
+    fn healthy_profile_is_not_stale() {
+        let r = report_with_quanta(&[1000, 1010, 990, 1005, 995, 1000]);
+        let d = detect_drift(&profile(), SimDuration::from_micros(1000), &r, 0.10, 3)
+            .expect("enough quanta");
+        assert!(!d.stale, "{d:?}");
+        assert!(d.deviation < 0.02);
+    }
+
+    #[test]
+    fn drifted_profile_is_flagged() {
+        // Observed quanta 30% above the target: the rate C/D is stale.
+        let r = report_with_quanta(&[1300, 1310, 1290, 1305, 1295, 1300]);
+        let d = detect_drift(&profile(), SimDuration::from_micros(1000), &r, 0.10, 3)
+            .expect("enough quanta");
+        assert!(d.stale);
+        assert!((d.deviation - 0.30).abs() < 0.02, "{d:?}");
+        assert_eq!(d.model, "m");
+        assert_eq!(d.batch, 8);
+    }
+
+    #[test]
+    fn too_few_quanta_is_inconclusive() {
+        let r = report_with_quanta(&[1000, 1000]);
+        assert!(detect_drift(&profile(), SimDuration::from_micros(1000), &r, 0.1, 3).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "tolerance")]
+    fn zero_tolerance_panics() {
+        let r = report_with_quanta(&[1000; 5]);
+        detect_drift(&profile(), SimDuration::from_micros(1000), &r, 0.0, 3);
+    }
+}

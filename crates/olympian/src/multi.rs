@@ -1,0 +1,246 @@
+//! Multi-GPU scheduling — the paper's §7 future work ("support multiple
+//! GPUs within a single server").
+//!
+//! The serving engine places each client's model instance on one device and
+//! reports that device in [`JobCtx::device`]. [`MultiGpuScheduler`] keeps an
+//! independent [`OlympianScheduler`] — token, cost accounts, policy ring —
+//! per device, routing every hook by the job's placement. GPUs never share
+//! a token: temporal multiplexing is a per-device concern, so fairness and
+//! quanta behave on each GPU exactly as they do on a single-GPU server.
+//!
+//! ```
+//! use olympian::{MultiGpuScheduler, Profiler, ProfileStore, RoundRobin};
+//! use serving::{run_experiment, ClientSpec, EngineConfig};
+//! use simtime::SimDuration;
+//! use std::sync::Arc;
+//!
+//! let cfg = EngineConfig::default().with_device_count(2);
+//! let model = models::mini::small(4);
+//! let mut store = ProfileStore::new();
+//! store.insert(Profiler::new(&cfg).profile(&model));
+//! let mut sched = MultiGpuScheduler::new(
+//!     Arc::new(store),
+//!     || Box::new(RoundRobin::new()),
+//!     SimDuration::from_micros(200),
+//! );
+//! let report = run_experiment(&cfg, vec![ClientSpec::new(model, 2); 4], &mut sched);
+//! assert!(report.all_finished());
+//! assert_eq!(report.device_utilizations.len(), 2);
+//! ```
+
+use crate::policy::Policy;
+use crate::profile::ProfileStore;
+use crate::scheduler::OlympianScheduler;
+use dataflow::NodeId;
+use serving::{JobCtx, JobId, RegisterError, Scheduler, Verdict};
+use simtime::{SimDuration, SimTime};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// One Olympian token scheduler per GPU.
+pub struct MultiGpuScheduler {
+    profiles: Arc<ProfileStore>,
+    policy_factory: Box<dyn Fn() -> Box<dyn Policy>>,
+    quantum: SimDuration,
+    per_device: HashMap<u32, OlympianScheduler>,
+    job_device: HashMap<JobId, u32>,
+    name: String,
+}
+
+impl fmt::Debug for MultiGpuScheduler {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MultiGpuScheduler")
+            .field("quantum", &self.quantum)
+            .field("devices", &self.per_device.len())
+            .field("jobs", &self.job_device.len())
+            .finish()
+    }
+}
+
+impl MultiGpuScheduler {
+    /// Creates a scheduler that spawns one policy instance (from
+    /// `policy_factory`) per device on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `quantum` is zero (checked on first device creation).
+    pub fn new(
+        profiles: Arc<ProfileStore>,
+        policy_factory: impl Fn() -> Box<dyn Policy> + 'static,
+        quantum: SimDuration,
+    ) -> Self {
+        assert!(quantum > SimDuration::ZERO, "quantum must be positive");
+        let name = format!("olympian-multi-{}", policy_factory().name());
+        MultiGpuScheduler {
+            profiles,
+            policy_factory: Box::new(policy_factory),
+            quantum,
+            per_device: HashMap::new(),
+            job_device: HashMap::new(),
+            name,
+        }
+    }
+
+    /// Number of devices that have seen at least one job.
+    pub fn active_devices(&self) -> usize {
+        self.per_device.len()
+    }
+
+    fn sub_for(&mut self, device: u32) -> &mut OlympianScheduler {
+        self.per_device.entry(device).or_insert_with(|| {
+            OlympianScheduler::new(
+                Arc::clone(&self.profiles),
+                (self.policy_factory)(),
+                self.quantum,
+            )
+        })
+    }
+}
+
+impl Scheduler for MultiGpuScheduler {
+    fn register(&mut self, job: JobId, ctx: &JobCtx<'_>) -> Result<Verdict, RegisterError> {
+        let verdict = self.sub_for(ctx.device).register(job, ctx)?;
+        self.job_device.insert(job, ctx.device);
+        Ok(verdict)
+    }
+
+    fn deregister(&mut self, job: JobId, now: SimTime) -> Verdict {
+        let Some(device) = self.job_device.remove(&job) else {
+            return Verdict::Unchanged;
+        };
+        self.sub_for(device).deregister(job, now)
+    }
+
+    fn may_run(&self, job: JobId) -> bool {
+        match self.job_device.get(&job) {
+            Some(device) => self
+                .per_device
+                .get(device)
+                .is_some_and(|s| s.may_run(job)),
+            None => false,
+        }
+    }
+
+    fn on_gpu_node_done(&mut self, job: JobId, node: NodeId, now: SimTime) -> Verdict {
+        let device = *self
+            .job_device
+            .get(&job)
+            .expect("cost event for unregistered job");
+        self.sub_for(device).on_gpu_node_done(job, node, now)
+    }
+
+    fn next_timer(&self, now: SimTime) -> Option<SimTime> {
+        self.per_device
+            .values()
+            .filter_map(|s| s.next_timer(now))
+            .min()
+    }
+
+    fn on_timer(&mut self, now: SimTime) -> Verdict {
+        // Deliver to every sub-scheduler; stale timers are no-ops. At most
+        // one can legitimately fire per instant under distinct quanta, and
+        // the engine treats multiple `Moved`s across calls correctly anyway.
+        let mut verdict = Verdict::Unchanged;
+        let mut devices: Vec<u32> = self.per_device.keys().copied().collect();
+        devices.sort_unstable();
+        for d in devices {
+            let v = self
+                .per_device
+                .get_mut(&d)
+                .expect("device listed")
+                .on_timer(now);
+            if v != Verdict::Unchanged {
+                verdict = v;
+            }
+        }
+        verdict
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::RoundRobin;
+    use crate::profile::ModelProfile;
+    use dataflow::CostModel;
+    use serving::ClientId;
+
+    fn store() -> Arc<ProfileStore> {
+        let mut s = ProfileStore::new();
+        s.insert(ModelProfile {
+            model: "m".into(),
+            batch: 1,
+            costs: CostModel::from_costs(vec![60, 60]),
+            total_cost: 120,
+            gpu_duration: SimDuration::from_nanos(120),
+        });
+        Arc::new(s)
+    }
+
+    fn ctx(device: u32) -> JobCtx<'static> {
+        JobCtx {
+            client: ClientId(0),
+            model_name: "m",
+            batch: 1,
+            weight: 1,
+            priority: 0,
+            device,
+            now: SimTime::ZERO,
+        }
+    }
+
+    fn sched() -> MultiGpuScheduler {
+        MultiGpuScheduler::new(store(), || Box::new(RoundRobin::new()), SimDuration::from_nanos(100))
+    }
+
+    #[test]
+    fn tokens_are_independent_per_device() {
+        let mut s = sched();
+        s.register(JobId(1), &ctx(0)).unwrap();
+        s.register(JobId(2), &ctx(1)).unwrap();
+        // Both hold their device's token simultaneously.
+        assert!(s.may_run(JobId(1)));
+        assert!(s.may_run(JobId(2)));
+        assert_eq!(s.active_devices(), 2);
+    }
+
+    #[test]
+    fn rotation_stays_within_a_device() {
+        let mut s = sched();
+        s.register(JobId(1), &ctx(0)).unwrap();
+        s.register(JobId(2), &ctx(0)).unwrap();
+        s.register(JobId(3), &ctx(1)).unwrap();
+        // Job 1 crosses its threshold: token rotates to job 2 on device 0;
+        // device 1's holder is untouched.
+        s.on_gpu_node_done(JobId(1), NodeId::from_index(0), SimTime::from_nanos(1));
+        let v = s.on_gpu_node_done(JobId(1), NodeId::from_index(1), SimTime::from_nanos(2));
+        assert_eq!(v, Verdict::Moved { from: Some(JobId(1)), to: Some(JobId(2)) });
+        assert!(s.may_run(JobId(2)));
+        assert!(s.may_run(JobId(3)));
+        assert!(!s.may_run(JobId(1)));
+    }
+
+    #[test]
+    fn deregister_routes_to_owning_device() {
+        let mut s = sched();
+        s.register(JobId(1), &ctx(0)).unwrap();
+        s.register(JobId(2), &ctx(1)).unwrap();
+        assert_eq!(
+            s.deregister(JobId(1), SimTime::from_nanos(5)),
+            Verdict::Moved { from: Some(JobId(1)), to: None }
+        );
+        assert!(s.may_run(JobId(2)), "other device unaffected");
+        assert_eq!(s.deregister(JobId(99), SimTime::ZERO), Verdict::Unchanged);
+    }
+
+    #[test]
+    fn unknown_job_may_not_run() {
+        let s = sched();
+        assert!(!s.may_run(JobId(42)));
+    }
+}

@@ -1,0 +1,308 @@
+//! Offline profiles and their persistent store.
+
+use dataflow::{CostModel, NodeId};
+use serde::{Deserialize, Serialize};
+use simtime::SimDuration;
+use std::collections::HashMap;
+use std::fmt;
+use std::io::{Read, Write};
+use std::sync::Arc;
+
+/// The offline profile of one `(model, batch)` configuration.
+///
+/// Contains everything Olympian's online scheduler needs: the per-node cost
+/// table, the total cost `C_j`, and the exclusive-access GPU duration `D_j`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelProfile {
+    /// Model name (the serving-layer profile key).
+    pub model: String,
+    /// Batch size.
+    pub batch: u64,
+    /// Per-node measured costs.
+    pub costs: CostModel,
+    /// Total cost `C_j` (sum of `costs`).
+    pub total_cost: u64,
+    /// GPU duration `D_j`: total time ≥ 1 node of the job occupied the GPU
+    /// during an exclusive-access run.
+    pub gpu_duration: SimDuration,
+}
+
+impl ModelProfile {
+    /// The cost-accumulation rate `C_j / D_j` in cost units per nanosecond.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the profile recorded zero GPU duration.
+    pub fn rate(&self) -> f64 {
+        let d = self.gpu_duration.as_nanos();
+        assert!(d > 0, "profile for {} has zero GPU duration", self.model);
+        self.total_cost as f64 / d as f64
+    }
+
+    /// The quantum threshold `T_j = Q · C_j / D_j` (paper §3.3): a job has
+    /// consumed one quantum of GPU duration `q` once it accumulates this
+    /// much cost.
+    ///
+    /// A profile with zero GPU duration (a CPU-only model) yields
+    /// `u64::MAX`: such a job never consumes GPU quanta, so its turn never
+    /// expires on cost — it simply runs to completion and deregisters.
+    pub fn threshold(&self, q: SimDuration) -> u64 {
+        if self.gpu_duration == SimDuration::ZERO {
+            return u64::MAX;
+        }
+        ((q.as_nanos() as f64 * self.rate()).round() as u64).max(1)
+    }
+
+    /// Cost of a single node.
+    pub fn node_cost(&self, node: NodeId) -> u64 {
+        self.costs.cost(node)
+    }
+}
+
+/// Error from loading or saving a profile store.
+#[derive(Debug)]
+pub enum StoreError {
+    /// I/O failure.
+    Io(std::io::Error),
+    /// Malformed serialized store.
+    Format(serde_json::Error),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "profile store I/O error: {e}"),
+            StoreError::Format(e) => write!(f, "malformed profile store: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            StoreError::Format(e) => Some(e),
+        }
+    }
+}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for StoreError {
+    fn from(e: serde_json::Error) -> Self {
+        StoreError::Format(e)
+    }
+}
+
+/// A collection of offline profiles keyed by `(model, batch)`.
+///
+/// Profiles are computed once per model (for a few common batch sizes,
+/// with [`crate::LinearCostModel`] interpolating the rest) and persisted —
+/// the paper's profiler writes them alongside the servable.
+///
+/// ```
+/// use olympian::{ModelProfile, ProfileStore};
+/// use dataflow::CostModel;
+/// use simtime::SimDuration;
+///
+/// let mut store = ProfileStore::new();
+/// store.insert(ModelProfile {
+///     model: "m".into(),
+///     batch: 8,
+///     costs: CostModel::from_costs(vec![10, 20]),
+///     total_cost: 30,
+///     gpu_duration: SimDuration::from_micros(3),
+/// });
+/// assert!(store.get("m", 8).is_some());
+/// assert!(store.get("m", 16).is_none());
+/// ```
+#[derive(Debug, Default)]
+pub struct ProfileStore {
+    profiles: HashMap<(String, u64), Arc<ModelProfile>>,
+    linear: HashMap<String, crate::profiler::LinearCostModel>,
+}
+
+impl ProfileStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds (or replaces) a profile, returning the previous one if present.
+    pub fn insert(&mut self, profile: ModelProfile) -> Option<Arc<ModelProfile>> {
+        self.profiles
+            .insert((profile.model.clone(), profile.batch), Arc::new(profile))
+    }
+
+    /// Looks up the profile for `(model, batch)`.
+    pub fn get(&self, model: &str, batch: u64) -> Option<Arc<ModelProfile>> {
+        self.profiles.get(&(model.to_string(), batch)).cloned()
+    }
+
+    /// Registers a fitted linear batch-size model so that
+    /// [`resolve`](Self::resolve) can serve *any* batch size of `model`
+    /// (paper §4.4: profile a few common batch sizes, interpolate the rest).
+    pub fn insert_linear(&mut self, linear: crate::profiler::LinearCostModel) {
+        self.linear.insert(linear.model().to_string(), linear);
+    }
+
+    /// Resolves a profile: an exact measurement if one exists, otherwise a
+    /// prediction from the model's linear fit, otherwise `None`.
+    ///
+    /// Predictions are memoized would-be — they are cheap enough (one pass
+    /// over the node table) that this returns a fresh `Arc` each call.
+    pub fn resolve(&self, model: &str, batch: u64) -> Option<Arc<ModelProfile>> {
+        if let Some(p) = self.get(model, batch) {
+            return Some(p);
+        }
+        self.linear.get(model).map(|lin| Arc::new(lin.predict(batch)))
+    }
+
+    /// Number of registered linear models.
+    pub fn linear_count(&self) -> usize {
+        self.linear.len()
+    }
+
+    /// Number of stored profiles.
+    pub fn len(&self) -> usize {
+        self.profiles.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.profiles.is_empty()
+    }
+
+    /// Iterates over stored profiles in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = &Arc<ModelProfile>> {
+        self.profiles.values()
+    }
+
+    /// Serializes the store as JSON to a writer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError`] on I/O or serialization failure.
+    pub fn save<W: Write>(&self, writer: W) -> Result<(), StoreError> {
+        let mut items: Vec<&ModelProfile> = self.profiles.values().map(|p| p.as_ref()).collect();
+        items.sort_by(|a, b| (&a.model, a.batch).cmp(&(&b.model, b.batch)));
+        serde_json::to_writer(writer, &items)?;
+        Ok(())
+    }
+
+    /// Loads a store previously written by [`save`](Self::save).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError`] on I/O failure or malformed input.
+    pub fn load<R: Read>(reader: R) -> Result<ProfileStore, StoreError> {
+        let items: Vec<ModelProfile> = serde_json::from_reader(reader)?;
+        let mut store = ProfileStore::new();
+        for p in items {
+            store.insert(p);
+        }
+        Ok(store)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(model: &str, batch: u64) -> ModelProfile {
+        ModelProfile {
+            model: model.into(),
+            batch,
+            costs: CostModel::from_costs(vec![5, 0, 10]),
+            total_cost: 15,
+            gpu_duration: SimDuration::from_nanos(10),
+        }
+    }
+
+    #[test]
+    fn rate_and_threshold() {
+        let p = sample("m", 4);
+        assert!((p.rate() - 1.5).abs() < 1e-12);
+        assert_eq!(p.threshold(SimDuration::from_nanos(100)), 150);
+        assert_eq!(p.threshold(SimDuration::ZERO), 1, "threshold is at least 1");
+    }
+
+    #[test]
+    fn cpu_only_profile_never_expires() {
+        let mut p = sample("cpu", 1);
+        p.gpu_duration = SimDuration::ZERO;
+        assert_eq!(p.threshold(SimDuration::from_micros(1)), u64::MAX);
+    }
+
+    #[test]
+    fn store_roundtrip_through_json() {
+        let mut store = ProfileStore::new();
+        store.insert(sample("a", 1));
+        store.insert(sample("b", 2));
+        let mut buf = Vec::new();
+        store.save(&mut buf).unwrap();
+        let loaded = ProfileStore::load(buf.as_slice()).unwrap();
+        assert_eq!(loaded.len(), 2);
+        assert_eq!(loaded.get("a", 1).unwrap().total_cost, 15);
+        assert!(loaded.get("a", 2).is_none());
+    }
+
+    #[test]
+    fn insert_replaces() {
+        let mut store = ProfileStore::new();
+        store.insert(sample("a", 1));
+        let mut newer = sample("a", 1);
+        newer.total_cost = 99;
+        let old = store.insert(newer);
+        assert_eq!(old.unwrap().total_cost, 15);
+        assert_eq!(store.get("a", 1).unwrap().total_cost, 99);
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn resolve_prefers_exact_then_linear() {
+        use crate::profiler::LinearCostModel;
+        let mk = |batch: u64| ModelProfile {
+            model: "lin".into(),
+            batch,
+            costs: CostModel::from_costs(vec![10 * batch, 20 * batch]),
+            total_cost: 30 * batch,
+            gpu_duration: SimDuration::from_nanos(100 * batch),
+        };
+        let p50 = mk(50);
+        let p100 = mk(100);
+        let lin = LinearCostModel::fit(&[&p50, &p100]).unwrap();
+        let mut store = ProfileStore::new();
+        store.insert(p50.clone());
+        store.insert_linear(lin);
+        assert_eq!(store.linear_count(), 1);
+        // Exact hit returns the measurement.
+        assert_eq!(store.resolve("lin", 50).unwrap().as_ref(), &p50);
+        // Unprofiled batch is predicted.
+        let predicted = store.resolve("lin", 75).unwrap();
+        assert_eq!(predicted.total_cost, 30 * 75);
+        assert_eq!(predicted.gpu_duration, SimDuration::from_nanos(7_500));
+        // Unknown model still misses.
+        assert!(store.resolve("ghost", 10).is_none());
+    }
+
+    #[test]
+    fn load_rejects_garbage() {
+        assert!(matches!(
+            ProfileStore::load(&b"not json"[..]),
+            Err(StoreError::Format(_))
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "zero GPU duration")]
+    fn zero_duration_rate_panics() {
+        let mut p = sample("m", 1);
+        p.gpu_duration = SimDuration::ZERO;
+        let _ = p.rate();
+    }
+}

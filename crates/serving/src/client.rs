@@ -1,0 +1,128 @@
+//! Client workload specification.
+
+use models::LoadedModel;
+use simtime::{SimDuration, SimTime};
+
+/// One client: a stream of sequential `Session::Run` requests against a
+/// single model, mirroring the paper's workload ("each client submits 10
+/// batches sequentially", §4).
+#[derive(Debug, Clone)]
+pub struct ClientSpec {
+    /// The model (with batch size baked in) this client queries.
+    pub model: LoadedModel,
+    /// Number of sequential batches (one `Session::Run` each).
+    pub num_batches: u32,
+    /// Weight for weighted-fair scheduling (≥ 1; plain fair sharing treats
+    /// everyone as weight 1).
+    pub weight: u32,
+    /// Priority for priority scheduling (higher runs first; ignored by
+    /// other policies).
+    pub priority: u32,
+    /// When the client connects.
+    pub start_at: SimTime,
+    /// Idle time between consecutive batches — the "intermittent and bursty
+    /// GPU usage" of real applications (paper §1): a camera frame interval,
+    /// user think time, an upstream pipeline stage. Zero (the default)
+    /// reproduces the paper's back-to-back evaluation workload.
+    pub think_time: SimDuration,
+    /// Per-`Session::Run` deadline: if a run has not completed this long
+    /// after it was issued, it is cancelled, its queued kernels dropped and
+    /// the whole session ends with
+    /// [`ClientOutcome::DeadlineExceeded`](crate::ClientOutcome::DeadlineExceeded).
+    /// `None` (the default) disables deadlines.
+    pub run_deadline: Option<SimDuration>,
+}
+
+impl ClientSpec {
+    /// A default client: unit weight, zero priority, starts at time zero.
+    pub fn new(model: LoadedModel, num_batches: u32) -> Self {
+        ClientSpec {
+            model,
+            num_batches,
+            weight: 1,
+            priority: 0,
+            start_at: SimTime::ZERO,
+            think_time: SimDuration::ZERO,
+            run_deadline: None,
+        }
+    }
+
+    /// Sets the scheduling weight.
+    pub fn with_weight(mut self, weight: u32) -> Self {
+        self.weight = weight;
+        self
+    }
+
+    /// Sets the scheduling priority.
+    pub fn with_priority(mut self, priority: u32) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Sets the connection time.
+    pub fn with_start(mut self, at: SimTime) -> Self {
+        self.start_at = at;
+        self
+    }
+
+    /// Sets the idle gap between consecutive batches.
+    pub fn with_think_time(mut self, think: SimDuration) -> Self {
+        self.think_time = think;
+        self
+    }
+
+    /// Sets the per-run deadline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `deadline` is zero.
+    pub fn with_run_deadline(mut self, deadline: SimDuration) -> Self {
+        assert!(deadline > SimDuration::ZERO, "deadline must be positive");
+        self.run_deadline = Some(deadline);
+        self
+    }
+
+    /// Validates the spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_batches` or `weight` is zero.
+    pub fn validate(&self) {
+        assert!(self.num_batches > 0, "client must send at least one batch");
+        assert!(self.weight > 0, "weight must be at least 1");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_chain() {
+        let spec = ClientSpec::new(models::mini::tiny(1), 3)
+            .with_weight(2)
+            .with_priority(7)
+            .with_start(SimTime::from_millis(5))
+            .with_think_time(SimDuration::from_millis(2));
+        assert_eq!(spec.num_batches, 3);
+        assert_eq!(spec.weight, 2);
+        assert_eq!(spec.priority, 7);
+        assert_eq!(spec.start_at, SimTime::from_millis(5));
+        assert_eq!(spec.think_time, SimDuration::from_millis(2));
+        spec.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one batch")]
+    fn zero_batches_rejected() {
+        ClientSpec::new(models::mini::tiny(1), 0).validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "weight")]
+    fn zero_weight_rejected() {
+        let mut s = ClientSpec::new(models::mini::tiny(1), 1);
+        s.weight = 0;
+        s.validate();
+    }
+}

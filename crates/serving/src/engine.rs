@@ -1,0 +1,973 @@
+//! The discrete-event serving engine: TF-Serving's processing loop
+//! (Algorithm 1) with Olympian's hook points (Algorithm 2) on a virtual
+//! clock.
+//!
+//! # How a job executes
+//!
+//! A job (`Session::Run`) owns a readiness-driven BFS over its graph. Gang
+//! threads come from the shared worker pool: a thread takes a ready node,
+//! passes the scheduler's yield check, then either runs a CPU node inline or
+//! spends the launch overhead submitting a GPU kernel and blocks until the
+//! kernel completes. Children whose parents have all finished become ready.
+//!
+//! # Worker-pool semantics (the §4.3 scalability mechanism)
+//!
+//! * A gang thread with no ready node is returned to the pool **only while
+//!   its job may run**. Threads of a *suspended* job stay parked inside the
+//!   scheduler's yield — they keep their pool slot, which is why Olympian
+//!   exhausts the thread pool at lower client counts than TF-Serving.
+//! * A runnable job that cannot obtain any worker joins a starvation queue
+//!   and is woken when the pool refills; if the pool never refills (every
+//!   slot parked under suspended gangs), the run ends with the job stalled.
+//!
+//! # Baseline nondeterminism
+//!
+//! Two seeded draws per client model the OS/driver noise that makes vanilla
+//! TF-Serving unpredictable (Figure 3): an *effective gang width* (how many
+//! kernels the client keeps in flight) and a *submission latency factor*.
+//! Under Olympian both still exist but exclusive quanta mask them.
+
+use crate::client::ClientSpec;
+use crate::config::EngineConfig;
+use crate::report::{ClientOutcome, ClientReport, RunReport};
+use crate::scheduler::{ClientId, JobCtx, JobId, Scheduler, Verdict};
+use crate::trace::{TraceEvent, TraceKind};
+use dataflow::{Graph, NodeId, Placement};
+use gpusim::{Allocation, GpuDevice, JobTag, MemoryPool};
+use simtime::{DetRng, EventQueue, SimDuration, SimTime};
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+#[derive(Debug)]
+enum Event {
+    ClientStart(ClientId),
+    /// A bursty client's think time elapsed; issue its next batch.
+    NextBatch(ClientId),
+    SubmitKernel { job: JobId, node: NodeId },
+    NodeDone { job: JobId, node: NodeId, gpu: Option<SimDuration> },
+    ResumeJob(JobId),
+    /// A run's deadline elapsed; cancel it if it is still alive.
+    RunDeadline(JobId),
+    SchedTimer(u64),
+}
+
+#[derive(Debug)]
+struct JobState {
+    client: ClientId,
+    graph: Arc<Graph>,
+    remaining_parents: Vec<u32>,
+    ready: VecDeque<NodeId>,
+    done_nodes: u32,
+    total_nodes: u32,
+    /// Workers currently owned by this gang (busy + parked-idle).
+    held: u32,
+    /// Of `held`, workers executing a node or blocked on a kernel.
+    busy: u32,
+    /// Earliest time the gang may proceed after being granted the token.
+    resume_at: SimTime,
+    resume_scheduled: bool,
+    starving: bool,
+    gpu_busy: SimDuration,
+    quantum_acc: SimDuration,
+    /// Completed quanta as `(end time, GPU duration received)`.
+    quanta: Vec<(SimTime, SimDuration)>,
+}
+
+impl JobState {
+    fn new(client: ClientId, graph: Arc<Graph>) -> Self {
+        let remaining_parents: Vec<u32> =
+            graph.node_ids().map(|id| graph.parent_count(id)).collect();
+        let ready: VecDeque<NodeId> = graph.roots().into();
+        let total_nodes = graph.node_count() as u32;
+        JobState {
+            client,
+            graph,
+            remaining_parents,
+            ready,
+            done_nodes: 0,
+            total_nodes,
+            held: 0,
+            busy: 0,
+            resume_at: SimTime::ZERO,
+            resume_scheduled: false,
+            starving: false,
+            gpu_busy: SimDuration::ZERO,
+            quantum_acc: SimDuration::ZERO,
+            quanta: Vec::new(),
+        }
+    }
+}
+
+#[derive(Debug)]
+struct ClientState {
+    spec: ClientSpec,
+    outcome: Option<ClientOutcome>,
+    batches_done: u32,
+    current_job: Option<JobId>,
+    gang_limit: u32,
+    submit_factor: f64,
+    /// Which GPU this client's model instance lives on.
+    device: u32,
+    activations: Option<Allocation>,
+    run_finish_times: Vec<SimTime>,
+    run_gpu_durations: Vec<SimDuration>,
+    quantum_marks: Vec<(SimTime, SimDuration)>,
+    rng: DetRng,
+}
+
+struct Engine<'a> {
+    cfg: EngineConfig,
+    queue: EventQueue<Event>,
+    now: SimTime,
+    devices: Vec<GpuDevice>,
+    memories: Vec<MemoryPool>,
+    scheduler: &'a mut dyn Scheduler,
+    clients: Vec<ClientState>,
+    jobs: HashMap<JobId, JobState>,
+    next_job_id: u64,
+    pool_idle: u32,
+    starving: VecDeque<JobId>,
+    /// Clients waiting for memory under queued admission, FIFO.
+    admission_waiting: VecDeque<ClientId>,
+    /// Jobs cancelled by a deadline (→ their device index); stale events
+    /// for them are swallowed.
+    cancelled_jobs: HashMap<JobId, usize>,
+    /// Loaded weights, keyed by (model name, device index).
+    weights_loaded: HashMap<(String, u32), Allocation>,
+    /// In-flight kernels: device payload → (job, node).
+    kernels: HashMap<u64, (JobId, NodeId)>,
+    next_kernel_id: u64,
+    last_switch: Option<SimTime>,
+    trace: Vec<TraceEvent>,
+    intervals: Vec<SimDuration>,
+    switch_count: u64,
+    timer_gen: u64,
+    event_count: u64,
+}
+
+/// Runs one experiment to completion and reports the results.
+///
+/// Deterministic: identical `(cfg, clients, scheduler)` inputs produce
+/// identical reports.
+///
+/// # Panics
+///
+/// Panics if the configuration or a client spec is invalid, or if the event
+/// watchdog (`cfg.max_events`) trips — which indicates an engine or
+/// scheduler bug, never a legal workload.
+pub fn run_experiment(
+    cfg: &EngineConfig,
+    clients: Vec<ClientSpec>,
+    scheduler: &mut dyn Scheduler,
+) -> RunReport {
+    cfg.validate();
+    for spec in &clients {
+        spec.validate();
+    }
+    let mut master_rng = DetRng::new(cfg.seed);
+    let client_states: Vec<ClientState> = clients
+        .into_iter()
+        .enumerate()
+        .map(|(i, spec)| ClientState {
+            spec,
+            outcome: None,
+            batches_done: 0,
+            current_job: None,
+            gang_limit: cfg.max_gang,
+            submit_factor: 1.0,
+            device: 0,
+            activations: None,
+            run_finish_times: Vec::new(),
+            run_gpu_durations: Vec::new(),
+            quantum_marks: Vec::new(),
+            rng: master_rng.fork(i as u64),
+        })
+        .collect();
+
+    let mut profiles = vec![cfg.device.clone()];
+    profiles.extend(cfg.extra_devices.iter().cloned());
+    let devices: Vec<GpuDevice> = profiles
+        .iter()
+        .enumerate()
+        .map(|(i, p)| GpuDevice::new(p.clone(), cfg.seed ^ 0x6709 ^ ((i as u64) << 32)))
+        .collect();
+    let memories: Vec<MemoryPool> = profiles
+        .iter()
+        .map(|p| MemoryPool::new(p.memory_bytes()))
+        .collect();
+    let mut engine = Engine {
+        cfg: cfg.clone(),
+        queue: EventQueue::new(),
+        now: SimTime::ZERO,
+        devices,
+        memories,
+        scheduler,
+        clients: client_states,
+        jobs: HashMap::new(),
+        next_job_id: 0,
+        pool_idle: cfg.pool_size,
+        starving: VecDeque::new(),
+        admission_waiting: VecDeque::new(),
+        cancelled_jobs: HashMap::new(),
+        weights_loaded: HashMap::new(),
+        kernels: HashMap::new(),
+        next_kernel_id: 0,
+        last_switch: None,
+        trace: Vec::new(),
+        intervals: Vec::new(),
+        switch_count: 0,
+        timer_gen: 0,
+        event_count: 0,
+    };
+    for i in 0..engine.clients.len() {
+        let at = engine.clients[i].spec.start_at;
+        engine.queue.schedule(at, Event::ClientStart(ClientId(i as u32)));
+    }
+    engine.run();
+    engine.finalize()
+}
+
+impl Engine<'_> {
+    fn run(&mut self) {
+        while let Some((t, event)) = self.queue.pop() {
+            debug_assert!(t >= self.now, "time went backwards");
+            self.now = t;
+            self.event_count += 1;
+            assert!(
+                self.event_count <= self.cfg.max_events,
+                "event watchdog tripped after {} events at {} — engine or scheduler bug",
+                self.event_count,
+                self.now
+            );
+            match event {
+                Event::ClientStart(c) => self.client_start(c),
+                Event::NextBatch(c) => self.start_run(c),
+                Event::SubmitKernel { job, node } => self.submit_kernel(job, node),
+                Event::NodeDone { job, node, gpu } => self.node_done(job, node, gpu),
+                Event::RunDeadline(job) => {
+                    if self.jobs.contains_key(&job) {
+                        self.cancel_job(job);
+                    }
+                }
+                Event::ResumeJob(job) => {
+                    if let Some(j) = self.jobs.get_mut(&job) {
+                        j.resume_scheduled = false;
+                    }
+                    self.dispatch(job);
+                }
+                Event::SchedTimer(gen) => {
+                    if gen == self.timer_gen {
+                        let verdict = self.scheduler.on_timer(self.now);
+                        self.apply_verdict(verdict);
+                        self.schedule_timer();
+                    }
+                }
+            }
+        }
+    }
+
+    // ---- client lifecycle -------------------------------------------------
+
+    fn client_start(&mut self, c: ClientId) {
+        let cfg = self.cfg.clone();
+        let client = &mut self.clients[c.0 as usize];
+        client.gang_limit = if cfg.min_effective_gang == cfg.max_gang {
+            cfg.max_gang
+        } else {
+            cfg.min_effective_gang
+                + (client.rng.next_u64() % (cfg.max_gang - cfg.min_effective_gang + 1) as u64)
+                    as u32
+        };
+        client.submit_factor = if cfg.submit_latency_spread > 0.0 {
+            client.rng.lognormal(0.0, cfg.submit_latency_spread)
+        } else {
+            1.0
+        };
+
+        // Model weights are loaded once and shared across clients of the
+        // same model (TF-Serving's servable sharing).
+        let model_name = client.spec.model.name().to_string();
+        let weights_bytes = client.spec.model.weights_bytes();
+        let activation_bytes = client.spec.model.activation_bytes();
+        let bias = if cfg.driver_bias_spread > 0.0 {
+            Some(client.rng.lognormal(0.0, cfg.driver_bias_spread))
+        } else {
+            None
+        };
+        // Place the client's model instance on the device with the most
+        // free memory (deterministic lowest-index tie-break) — how a
+        // serving deployment spreads servables across GPUs.
+        let dev = (0..self.memories.len())
+            .max_by_key(|&i| (self.memories[i].available(), usize::MAX - i))
+            .expect("at least one device") as u32;
+        self.clients[c.0 as usize].device = dev;
+        // Per-(run, client) driver arbitration bias — the Figure 3 spread.
+        if let Some(b) = bias {
+            self.devices[dev as usize].set_bias(JobTag(c.0 as u64), b);
+        }
+        if self.try_admit(c, dev, model_name, weights_bytes, activation_bytes) {
+            self.record(TraceKind::ClientAdmitted(c));
+            self.start_run(c);
+        }
+    }
+
+    /// Attempts to reserve the client's memory on `dev`. On failure, either
+    /// parks the client in the admission queue (queued admission) or
+    /// rejects it outright (the default, TF-Serving's behaviour).
+    fn try_admit(
+        &mut self,
+        c: ClientId,
+        dev: u32,
+        model_name: String,
+        weights_bytes: u64,
+        activation_bytes: u64,
+    ) -> bool {
+        let key = (model_name, dev);
+        if !self.weights_loaded.contains_key(&key) {
+            match self.memories[dev as usize].alloc(weights_bytes) {
+                Ok(a) => {
+                    self.weights_loaded.insert(key, a);
+                }
+                Err(e) => {
+                    self.admission_failure(c, e);
+                    return false;
+                }
+            }
+        }
+        match self.memories[dev as usize].alloc(activation_bytes) {
+            Ok(a) => {
+                self.clients[c.0 as usize].activations = Some(a);
+                true
+            }
+            Err(e) => {
+                self.admission_failure(c, e);
+                false
+            }
+        }
+    }
+
+    fn admission_failure(&mut self, c: ClientId, e: gpusim::MemoryError) {
+        if self.cfg.queue_admission {
+            if !self.admission_waiting.contains(&c) {
+                self.admission_waiting.push_back(c);
+            }
+        } else {
+            self.clients[c.0 as usize].outcome = Some(ClientOutcome::RejectedOom {
+                requested: e.requested,
+                available: e.available,
+            });
+            self.record(TraceKind::ClientRejected(c));
+        }
+    }
+
+    /// Re-attempts admission for waiting clients, FIFO, after memory freed.
+    fn pump_admission(&mut self) {
+        while let Some(&c) = self.admission_waiting.front() {
+            let client = &self.clients[c.0 as usize];
+            let dev = client.device;
+            let model_name = client.spec.model.name().to_string();
+            let weights = client.spec.model.weights_bytes();
+            let activations = client.spec.model.activation_bytes();
+            if self.try_admit(c, dev, model_name, weights, activations) {
+                self.admission_waiting.pop_front();
+                self.start_run(c);
+            } else {
+                // Head-of-line blocking preserved: admission is FIFO.
+                break;
+            }
+        }
+    }
+
+    fn start_run(&mut self, c: ClientId) {
+        let job_id = JobId(self.next_job_id);
+        self.next_job_id += 1;
+        let client = &self.clients[c.0 as usize];
+        let graph = Arc::clone(client.spec.model.graph());
+        let ctx = JobCtx {
+            client: c,
+            model_name: client.spec.model.name(),
+            batch: client.spec.model.batch(),
+            weight: client.spec.weight,
+            priority: client.spec.priority,
+            device: client.device,
+            now: self.now,
+        };
+        match self.scheduler.register(job_id, &ctx) {
+            Ok(verdict) => {
+                self.record(TraceKind::RunRegistered { job: job_id, client: c });
+                self.jobs.insert(job_id, JobState::new(c, graph));
+                self.clients[c.0 as usize].current_job = Some(job_id);
+                if let Some(deadline) = self.clients[c.0 as usize].spec.run_deadline {
+                    self.queue
+                        .schedule(self.now + deadline, Event::RunDeadline(job_id));
+                }
+                self.apply_verdict(verdict);
+                self.schedule_timer();
+                self.dispatch(job_id);
+            }
+            Err(e) => {
+                let client = &mut self.clients[c.0 as usize];
+                client.outcome = Some(ClientOutcome::RejectedByScheduler(e.to_string()));
+                let dev = client.device as usize;
+                if let Some(a) = client.activations.take() {
+                    self.memories[dev].free(a);
+                    self.pump_admission();
+                }
+            }
+        }
+    }
+
+    fn complete_run(&mut self, job_id: JobId) {
+        let mut job = self.jobs.remove(&job_id).expect("completing a live job");
+        debug_assert_eq!(job.busy, 0, "no in-flight work at completion");
+        // Return the whole gang to the pool.
+        if job.held > 0 {
+            self.pool_idle += job.held;
+            job.held = 0;
+            self.wake_starving();
+        }
+        if job.quantum_acc > SimDuration::ZERO {
+            job.quanta.push((self.now, job.quantum_acc));
+        }
+        let c = job.client;
+        self.record(TraceKind::RunCompleted { job: job_id, client: c });
+        {
+            let client = &mut self.clients[c.0 as usize];
+            client.run_finish_times.push(self.now);
+            client.run_gpu_durations.push(job.gpu_busy);
+            client.quantum_marks.extend(job.quanta.iter().copied());
+            client.batches_done += 1;
+            client.current_job = None;
+        }
+        let verdict = self.scheduler.deregister(job_id, self.now);
+        self.apply_verdict(verdict);
+        self.schedule_timer();
+        let client = &mut self.clients[c.0 as usize];
+        if client.batches_done < client.spec.num_batches {
+            if client.spec.think_time > SimDuration::ZERO {
+                // Bursty client: idle between batches (paper §1).
+                self.queue.schedule(
+                    self.now + client.spec.think_time,
+                    Event::NextBatch(c),
+                );
+            } else {
+                self.start_run(c);
+            }
+        } else {
+            client.outcome = Some(ClientOutcome::Finished(self.now));
+            // The session is over: release its activation memory so queued
+            // clients (and the peak-memory metric) see the truth.
+            let dev = client.device as usize;
+            let freed = client.activations.take();
+            self.record(TraceKind::ClientFinished(c));
+            if let Some(a) = freed {
+                self.memories[dev].free(a);
+                self.pump_admission();
+            }
+        }
+    }
+
+    /// Cancels a live job whose deadline elapsed: drops its queued kernels,
+    /// returns its gang to the pool, deregisters it and aborts the session.
+    /// Kernels already *executing* finish on the device (non-preemptive, as
+    /// on real hardware) but their completions are swallowed.
+    fn cancel_job(&mut self, job_id: JobId) {
+        let job = self.jobs.remove(&job_id).expect("cancelling a live job");
+        let c = job.client;
+        self.record(TraceKind::RunCancelled { job: job_id, client: c });
+        let dev = self.clients[c.0 as usize].device as usize;
+        self.cancelled_jobs.insert(job_id, dev);
+        // Drop this job's not-yet-started kernels from the device queue.
+        let doomed: std::collections::HashSet<u64> = self
+            .kernels
+            .iter()
+            .filter(|(_, &(j, _))| j == job_id)
+            .map(|(&k, _)| k)
+            .collect();
+        if !doomed.is_empty() {
+            self.devices[dev].cancel_payloads(&doomed);
+            self.kernels.retain(|k, _| !doomed.contains(k));
+        }
+        // The gang's threads observe the cancellation and return.
+        if job.held > 0 {
+            self.pool_idle += job.held;
+            self.wake_starving();
+        }
+        let verdict = self.scheduler.deregister(job_id, self.now);
+        self.apply_verdict(verdict);
+        self.schedule_timer();
+        // Abort the whole session and release its memory.
+        let client = &mut self.clients[c.0 as usize];
+        client.current_job = None;
+        client.outcome = Some(ClientOutcome::DeadlineExceeded(self.now));
+        if let Some(a) = client.activations.take() {
+            self.memories[dev].free(a);
+            self.pump_admission();
+        }
+    }
+
+    // ---- scheduling plumbing ---------------------------------------------
+
+    fn record(&mut self, kind: TraceKind) {
+        if self.cfg.record_trace {
+            self.trace.push(TraceEvent { at: self.now, kind });
+        }
+    }
+
+    fn apply_verdict(&mut self, verdict: Verdict) {
+        let Verdict::Moved { from, to } = verdict else {
+            return;
+        };
+        self.record(TraceKind::TokenMoved { from, to });
+        self.switch_count += 1;
+        if let Some(last) = self.last_switch {
+            self.intervals.push(self.now - last);
+        }
+        self.last_switch = Some(self.now);
+        if let Some(old) = from {
+            if let Some(j) = self.jobs.get_mut(&old) {
+                if j.quantum_acc > SimDuration::ZERO {
+                    let acc = std::mem::take(&mut j.quantum_acc);
+                    j.quanta.push((self.now, acc));
+                }
+            }
+        }
+        if let Some(new) = to {
+            if let Some(j) = self.jobs.get_mut(&new) {
+                j.resume_at = self.now + self.cfg.switch_latency;
+                if !j.resume_scheduled {
+                    j.resume_scheduled = true;
+                    self.queue.schedule(j.resume_at, Event::ResumeJob(new));
+                }
+            }
+        }
+    }
+
+    fn schedule_timer(&mut self) {
+        if let Some(t) = self.scheduler.next_timer(self.now) {
+            self.timer_gen += 1;
+            self.queue.schedule(t.max(self.now), Event::SchedTimer(self.timer_gen));
+        }
+    }
+
+    fn wake_starving(&mut self) {
+        while self.pool_idle > 0 {
+            let Some(job) = self.starving.pop_front() else {
+                break;
+            };
+            if let Some(j) = self.jobs.get_mut(&job) {
+                j.starving = false;
+                self.dispatch(job);
+            }
+        }
+    }
+
+    // ---- the processing loop (Algorithm 1 + Algorithm 2 hooks) ------------
+
+    fn dispatch(&mut self, job_id: JobId) {
+        loop {
+            let Some(job) = self.jobs.get(&job_id) else {
+                return;
+            };
+            // Algorithm 2 line 12: scheduler.yield() — a suspended gang's
+            // threads park here, keeping their pool slots.
+            if !self.scheduler.may_run(job_id) {
+                return;
+            }
+            // Gang wake-up latency after a token hand-off.
+            if self.now < job.resume_at {
+                let at = job.resume_at;
+                let job = self.jobs.get_mut(&job_id).expect("job exists");
+                if !job.resume_scheduled {
+                    job.resume_scheduled = true;
+                    self.queue.schedule(at, Event::ResumeJob(job_id));
+                }
+                return;
+            }
+            if job.ready.is_empty() {
+                // Nothing to pick up: idle gang threads go back to the pool
+                // (TF-Serving returns threads as soon as Process() drains).
+                let idle = job.held - job.busy;
+                if idle > 0 {
+                    let job = self.jobs.get_mut(&job_id).expect("job exists");
+                    job.held -= idle;
+                    self.pool_idle += idle;
+                    self.wake_starving();
+                }
+                return;
+            }
+            // Acquire a worker: prefer an idle gang member, else the pool.
+            let gang_limit = self.clients[job.client.0 as usize].gang_limit;
+            if job.held == job.busy {
+                if job.held < gang_limit && self.pool_idle > 0 {
+                    self.pool_idle -= 1;
+                    let job = self.jobs.get_mut(&job_id).expect("job exists");
+                    job.held += 1;
+                } else {
+                    if job.busy == 0 && !job.starving {
+                        let job = self.jobs.get_mut(&job_id).expect("job exists");
+                        job.starving = true;
+                        self.starving.push_back(job_id);
+                    }
+                    return;
+                }
+            }
+            let job = self.jobs.get_mut(&job_id).expect("job exists");
+            job.busy += 1;
+            let node = job.ready.pop_front().expect("checked non-empty");
+            self.execute_node(job_id, node);
+        }
+    }
+
+    fn execute_node(&mut self, job_id: JobId, node: NodeId) {
+        let job = self.jobs.get(&job_id).expect("executing a live job");
+        let graph = Arc::clone(&job.graph);
+        let client = &mut self.clients[job.client.0 as usize];
+        let n = graph.node(node);
+        let inflation = if self.cfg.online_profiling {
+            1.0 + self.cfg.profiling_inflation
+        } else {
+            1.0
+        };
+        let jitter = if self.cfg.cpu_jitter > 0.0 {
+            client.rng.jitter(self.cfg.cpu_jitter)
+        } else {
+            1.0
+        };
+        match n.placement() {
+            Placement::Cpu => {
+                let d = n.duration().mul_f64(jitter * client.submit_factor * inflation);
+                self.queue.schedule(
+                    self.now + d,
+                    Event::NodeDone { job: job_id, node, gpu: None },
+                );
+            }
+            Placement::Gpu => {
+                let launch = self
+                    .cfg
+                    .launch_overhead
+                    .mul_f64(jitter * client.submit_factor * inflation);
+                self.queue
+                    .schedule(self.now + launch, Event::SubmitKernel { job: job_id, node });
+            }
+        }
+    }
+
+    fn submit_kernel(&mut self, job_id: JobId, node: NodeId) {
+        if self.cancelled_jobs.contains_key(&job_id) {
+            return; // launch raced with a deadline cancellation
+        }
+        let job = self.jobs.get(&job_id).expect("submitting for a live job");
+        let duration = job.graph.node(node).duration();
+        let tag = JobTag(job.client.0 as u64);
+        let inflation = if self.cfg.online_profiling {
+            1.0 + self.cfg.profiling_inflation
+        } else {
+            1.0
+        };
+        let dev = self.clients[job.client.0 as usize].device as usize;
+        let kernel_id = self.next_kernel_id;
+        self.next_kernel_id += 1;
+        self.kernels.insert(kernel_id, (job_id, node));
+        self.devices[dev].enqueue(tag, kernel_id, duration, inflation);
+        self.pump_device(dev);
+    }
+
+    /// Starts the next queued kernel if the device is free and schedules its
+    /// completion. Called after every enqueue and every kernel completion —
+    /// the device's pump protocol keeps exactly one completion outstanding.
+    fn pump_device(&mut self, dev: usize) {
+        if let Some(k) = self.devices[dev].try_start(self.now) {
+            let (job, node) = self
+                .kernels
+                .remove(&k.payload)
+                .expect("started kernel was enqueued");
+            self.queue.schedule(
+                k.end,
+                Event::NodeDone { job, node, gpu: Some(k.duration) },
+            );
+        }
+    }
+
+    fn node_done(&mut self, job_id: JobId, node: NodeId, gpu: Option<SimDuration>) {
+        if let Some(&dev) = self.cancelled_jobs.get(&job_id) {
+            // Overflow completion of a cancelled job: the device is free
+            // again, but nobody is accounting for this job any more.
+            if gpu.is_some() {
+                self.pump_device(dev);
+            }
+            return;
+        }
+        if gpu.is_some() {
+            // A kernel just finished: its device is free for the next one.
+            let dev = {
+                let job = self.jobs.get(&job_id).expect("finishing a live job");
+                self.clients[job.client.0 as usize].device as usize
+            };
+            self.pump_device(dev);
+        }
+        let job = self.jobs.get_mut(&job_id).expect("finishing a live job");
+        job.busy -= 1;
+        job.done_nodes += 1;
+        if let Some(d) = gpu {
+            // Algorithm 2 lines 14-18: cost is charged to the job that
+            // launched the kernel, even if it was switched out meanwhile
+            // (the overflow rule, Figures 10/15).
+            job.gpu_busy += d;
+            job.quantum_acc += d;
+            let verdict = self.scheduler.on_gpu_node_done(job_id, node, self.now);
+            self.apply_verdict(verdict);
+            self.schedule_timer();
+        }
+        let job = self.jobs.get_mut(&job_id).expect("job exists");
+        let graph = Arc::clone(&job.graph);
+        for &child in graph.children(node) {
+            let r = &mut job.remaining_parents[child.index()];
+            debug_assert!(*r > 0, "child readiness underflow");
+            *r -= 1;
+            if *r == 0 {
+                job.ready.push_back(child);
+            }
+        }
+        if job.done_nodes == job.total_nodes {
+            self.complete_run(job_id);
+        } else {
+            self.dispatch(job_id);
+        }
+    }
+
+    // ---- wrap-up -----------------------------------------------------------
+
+    fn finalize(mut self) -> RunReport {
+        let makespan = self.now;
+        let mut reports = Vec::with_capacity(self.clients.len());
+        for (i, client) in self.clients.iter_mut().enumerate() {
+            let outcome = client.outcome.take().unwrap_or(ClientOutcome::Stalled);
+            reports.push(ClientReport {
+                client: ClientId(i as u32),
+                model_name: client.spec.model.name().to_string(),
+                batch: client.spec.model.batch(),
+                outcome,
+                run_finish_times: std::mem::take(&mut client.run_finish_times),
+                run_gpu_durations: std::mem::take(&mut client.run_gpu_durations),
+                quantum_marks: std::mem::take(&mut client.quantum_marks),
+                total_gpu: self.devices[client.device as usize].job_busy(JobTag(i as u64)),
+            });
+        }
+        let device_utilizations: Vec<f64> = self
+            .devices
+            .iter()
+            .map(|d| {
+                if makespan > SimTime::ZERO {
+                    d.utilization(makespan.max(d.busy_until()))
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        let utilization = device_utilizations.iter().sum::<f64>()
+            / device_utilizations.len().max(1) as f64;
+        RunReport {
+            clients: reports,
+            makespan,
+            utilization,
+            scheduling_intervals: self.intervals,
+            switch_count: self.switch_count,
+            kernel_count: self.devices.iter().map(GpuDevice::kernel_count).sum(),
+            event_count: self.event_count,
+            scheduler_name: self.scheduler.name().to_string(),
+            peak_memory: self.memories.iter().map(MemoryPool::peak).sum(),
+            device_utilizations,
+            trace: self.trace,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::FifoScheduler;
+
+    fn tiny_clients(n: usize, batches: u32) -> Vec<ClientSpec> {
+        (0..n)
+            .map(|_| ClientSpec::new(models::mini::tiny(4), batches))
+            .collect()
+    }
+
+    #[test]
+    fn single_client_finishes() {
+        let cfg = EngineConfig::default();
+        let report = run_experiment(&cfg, tiny_clients(1, 1), &mut FifoScheduler::new());
+        assert!(report.all_finished());
+        assert_eq!(report.kernel_count, 16);
+        assert!(report.makespan > SimTime::ZERO);
+    }
+
+    #[test]
+    fn runtime_close_to_serial_gpu_time() {
+        // One client, one batch: makespan ≈ decode + Σ(kernel + launch gap).
+        let cfg = EngineConfig::default().quiescent();
+        let report = run_experiment(&cfg, tiny_clients(1, 1), &mut FifoScheduler::new());
+        let t = report.makespan.as_secs_f64();
+        // 16 nodes × (10 µs kernel + 10 µs launch) + 5 µs decode ≈ 325 µs.
+        assert!(t > 250e-6 && t < 400e-6, "makespan {t}");
+    }
+
+    #[test]
+    fn sequential_batches_accumulate() {
+        let cfg = EngineConfig::default();
+        let report = run_experiment(&cfg, tiny_clients(1, 5), &mut FifoScheduler::new());
+        assert!(report.all_finished());
+        assert_eq!(report.clients[0].run_finish_times.len(), 5);
+        assert_eq!(report.kernel_count, 5 * 16);
+        // Runs are sequential: finish times strictly increase.
+        let f = &report.clients[0].run_finish_times;
+        assert!(f.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn concurrent_clients_all_finish_and_share_device() {
+        let cfg = EngineConfig::default();
+        let report = run_experiment(&cfg, tiny_clients(4, 2), &mut FifoScheduler::new());
+        assert!(report.all_finished());
+        assert_eq!(report.kernel_count, 4 * 2 * 16);
+        for c in &report.clients {
+            assert!(c.total_gpu > SimDuration::ZERO);
+        }
+    }
+
+    #[test]
+    fn determinism_same_seed_same_report() {
+        let cfg = EngineConfig::default();
+        let a = run_experiment(&cfg, tiny_clients(3, 2), &mut FifoScheduler::new());
+        let b = run_experiment(&cfg, tiny_clients(3, 2), &mut FifoScheduler::new());
+        assert_eq!(a.makespan, b.makespan);
+        assert_eq!(a.finish_times_secs(), b.finish_times_secs());
+        assert_eq!(a.kernel_count, b.kernel_count);
+        assert_eq!(a.event_count, b.event_count);
+    }
+
+    #[test]
+    fn different_seed_changes_timeline() {
+        let cfg = EngineConfig::default();
+        let a = run_experiment(&cfg, tiny_clients(3, 2), &mut FifoScheduler::new());
+        let b = run_experiment(
+            &cfg.with_seed(999),
+            tiny_clients(3, 2),
+            &mut FifoScheduler::new(),
+        );
+        assert_ne!(a.makespan, b.makespan);
+    }
+
+    #[test]
+    fn online_profiling_inflates_makespan() {
+        let cfg = EngineConfig::default().quiescent();
+        let plain = run_experiment(&cfg, tiny_clients(1, 2), &mut FifoScheduler::new());
+        let profiled = run_experiment(
+            &cfg.with_online_profiling(0.25),
+            tiny_clients(1, 2),
+            &mut FifoScheduler::new(),
+        );
+        let ratio = profiled.makespan.as_secs_f64() / plain.makespan.as_secs_f64();
+        assert!(ratio > 1.15 && ratio < 1.35, "inflation ratio {ratio}");
+    }
+
+    #[test]
+    fn oom_client_is_rejected_others_proceed() {
+        let mut cfg = EngineConfig::default();
+        // Tiny device: fits one client's weights+activations but not two
+        // clients' activations (weights are shared).
+        let m = models::mini::tiny(4);
+        let need = m.weights_bytes() + m.activation_bytes();
+        cfg.device = gpusim::DeviceProfile::custom(
+            "toy",
+            1.0,
+            need + m.activation_bytes() / 2,
+            4,
+            0.0,
+        );
+        let report = run_experiment(&cfg, tiny_clients(2, 1), &mut FifoScheduler::new());
+        assert_eq!(report.finished_count(), 1);
+        assert!(matches!(
+            report.clients[1].outcome,
+            ClientOutcome::RejectedOom { .. }
+        ));
+    }
+
+    #[test]
+    fn baseline_reports_no_scheduling_intervals() {
+        let cfg = EngineConfig::default();
+        let report = run_experiment(&cfg, tiny_clients(2, 1), &mut FifoScheduler::new());
+        assert!(report.scheduling_intervals.is_empty());
+        assert_eq!(report.switch_count, 0);
+        assert_eq!(report.scheduler_name, "tf-serving");
+    }
+
+    #[test]
+    fn utilization_is_a_fraction() {
+        let cfg = EngineConfig::default();
+        let report = run_experiment(&cfg, tiny_clients(3, 3), &mut FifoScheduler::new());
+        assert!(report.utilization > 0.1 && report.utilization <= 1.0);
+    }
+
+    #[test]
+    fn staggered_starts_respected() {
+        let cfg = EngineConfig::default();
+        let late_start = SimTime::from_millis(10);
+        let clients = vec![
+            ClientSpec::new(models::mini::tiny(4), 1),
+            ClientSpec::new(models::mini::tiny(4), 1).with_start(late_start),
+        ];
+        let report = run_experiment(&cfg, clients, &mut FifoScheduler::new());
+        assert!(report.all_finished());
+        assert!(report.clients[1].finish_time() > late_start);
+        assert!(report.clients[0].finish_time() < late_start);
+    }
+
+    #[test]
+    fn watchdog_trips_on_tiny_budget() {
+        let cfg = EngineConfig {
+            max_events: 5,
+            ..EngineConfig::default()
+        };
+        let result = std::panic::catch_unwind(|| {
+            run_experiment(&cfg, tiny_clients(1, 1), &mut FifoScheduler::new())
+        });
+        assert!(result.is_err(), "watchdog should panic");
+    }
+
+    #[test]
+    fn two_devices_place_clients_apart() {
+        let cfg = EngineConfig::default().with_device_count(2);
+        let report = run_experiment(&cfg, tiny_clients(2, 2), &mut FifoScheduler::new());
+        assert!(report.all_finished());
+        assert_eq!(report.device_utilizations.len(), 2);
+        // Memory-balanced placement puts one client on each device, so both
+        // accumulated busy time.
+        assert!(report.device_utilizations.iter().all(|&u| u > 0.0));
+        for c in &report.clients {
+            assert!(c.total_gpu > SimDuration::ZERO);
+        }
+    }
+
+    #[test]
+    fn single_device_report_has_one_utilization() {
+        let cfg = EngineConfig::default();
+        let report = run_experiment(&cfg, tiny_clients(1, 1), &mut FifoScheduler::new());
+        assert_eq!(report.device_utilizations.len(), 1);
+        assert!((report.device_utilizations[0] - report.utilization).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quiescent_single_client_is_seed_stable_without_wobble() {
+        // With clock wobble disabled via a custom device, two different
+        // seeds give identical single-client makespans in quiescent mode.
+        let cfg = EngineConfig {
+            device: gpusim::DeviceProfile::custom("flat", 1.0, 1 << 33, 8, 0.0),
+            ..EngineConfig::default().quiescent()
+        };
+        let a = run_experiment(&cfg.with_seed(1), tiny_clients(1, 1), &mut FifoScheduler::new());
+        let b = run_experiment(&cfg.with_seed(2), tiny_clients(1, 1), &mut FifoScheduler::new());
+        assert_eq!(a.makespan, b.makespan);
+    }
+}

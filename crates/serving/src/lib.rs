@@ -1,0 +1,48 @@
+#![deny(missing_docs)]
+
+//! The model-serving middleware: a faithful simulation of TF-Serving's
+//! execution model on the virtual clock.
+//!
+//! # Execution model (paper §2, Algorithm 1)
+//!
+//! Every client runs a sequence of `Session::Run` invocations ("jobs"). A
+//! job is executed by a *gang* of CPU worker threads drawn from a shared
+//! pool: threads pop ready nodes off the job's BFS queue, execute CPU nodes
+//! inline, and manage GPU nodes by submitting a kernel to the driver and
+//! blocking until it completes. The simulated GPU driver is a FIFO that has
+//! no idea which job a kernel belongs to — exactly the property that makes
+//! vanilla TF-Serving's finish times unpredictable (Figure 3).
+//!
+//! # The scheduler hook surface (paper §3, Algorithm 2)
+//!
+//! Olympian's extension points appear here as the [`Scheduler`] trait:
+//! a yield check before every node ([`Scheduler::may_run`]), a cost update
+//! after every GPU node ([`Scheduler::on_gpu_node_done`]), and
+//! register/deregister around each job. The baseline [`FifoScheduler`]
+//! implements the trait as no-ops, giving stock TF-Serving behaviour; the
+//! `olympian` crate provides the real scheduler.
+//!
+//! ```
+//! use serving::{run_experiment, ClientSpec, EngineConfig, FifoScheduler};
+//!
+//! let cfg = EngineConfig::default();
+//! let clients = vec![ClientSpec::new(models::mini::tiny(4), 2)];
+//! let report = run_experiment(&cfg, clients, &mut FifoScheduler::new());
+//! assert!(report.clients[0].is_finished());
+//! ```
+
+pub mod batching;
+mod client;
+mod config;
+mod engine;
+mod report;
+mod scheduler;
+pub mod trace;
+
+pub use client::ClientSpec;
+pub use config::EngineConfig;
+pub use engine::run_experiment;
+pub use report::{ClientOutcome, ClientReport, RunReport};
+pub use scheduler::{
+    ClientId, FifoScheduler, JobCtx, JobId, RegisterError, Scheduler, Verdict,
+};

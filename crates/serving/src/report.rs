@@ -1,0 +1,213 @@
+//! Experiment output: everything the figure harness needs.
+
+use crate::scheduler::ClientId;
+use simtime::{SimDuration, SimTime};
+
+/// How a client's session ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClientOutcome {
+    /// All batches completed; the finish time of the last one.
+    Finished(SimTime),
+    /// The client could not be admitted: its activations (or its model's
+    /// weights) did not fit in GPU memory.
+    RejectedOom {
+        /// Bytes the admission attempt needed.
+        requested: u64,
+        /// Bytes that were free.
+        available: u64,
+    },
+    /// The scheduler refused the client's jobs (e.g. missing profile).
+    RejectedByScheduler(String),
+    /// A `Session::Run` blew through its deadline; the job was cancelled
+    /// and the session aborted at this instant.
+    DeadlineExceeded(SimTime),
+    /// The run ended with this client unable to make progress (typically
+    /// worker-thread starvation under gang-holding schedulers, §4.3).
+    Stalled,
+}
+
+/// Per-client results.
+#[derive(Debug, Clone)]
+pub struct ClientReport {
+    /// The client.
+    pub client: ClientId,
+    /// Model name it queried.
+    pub model_name: String,
+    /// Batch size.
+    pub batch: u64,
+    /// How the session ended.
+    pub outcome: ClientOutcome,
+    /// Finish time of each completed `Session::Run`.
+    pub run_finish_times: Vec<SimTime>,
+    /// GPU duration of each completed run (the paper's per-run `D_j`).
+    pub run_gpu_durations: Vec<SimDuration>,
+    /// Completed quanta as `(end time, GPU duration received)`, across the
+    /// whole session (Figures 14/16). Empty under the baseline scheduler.
+    pub quantum_marks: Vec<(SimTime, SimDuration)>,
+    /// Total GPU busy time attributed to the client.
+    pub total_gpu: SimDuration,
+}
+
+impl ClientReport {
+    /// Whether the client finished all batches.
+    pub fn is_finished(&self) -> bool {
+        matches!(self.outcome, ClientOutcome::Finished(_))
+    }
+
+    /// Finish time of the whole session.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the client did not finish; check [`is_finished`][Self::is_finished] first.
+    pub fn finish_time(&self) -> SimTime {
+        match self.outcome {
+            ClientOutcome::Finished(t) => t,
+            ref other => panic!("client {} did not finish: {other:?}", self.client),
+        }
+    }
+
+    /// GPU durations of the completed quanta, without timestamps.
+    pub fn quantum_gpu_durations(&self) -> Vec<SimDuration> {
+        self.quantum_marks.iter().map(|&(_, d)| d).collect()
+    }
+
+    /// Mean per-quantum GPU duration in microseconds, dropping the first and
+    /// last quantum of the session (ramp-up and final partial quantum), as
+    /// the paper averages "while all jobs are active". Returns `None` when
+    /// fewer than three quanta were observed.
+    pub fn mean_quantum_us(&self) -> Option<f64> {
+        let q = &self.quantum_marks;
+        if q.len() < 3 {
+            return None;
+        }
+        let inner = &q[1..q.len() - 1];
+        Some(inner.iter().map(|(_, d)| d.as_micros_f64()).sum::<f64>() / inner.len() as f64)
+    }
+
+    /// Per-quantum GPU durations in µs, trimmed as in
+    /// [`mean_quantum_us`](Self::mean_quantum_us).
+    pub fn trimmed_quanta_us(&self) -> Vec<f64> {
+        let q = &self.quantum_marks;
+        if q.len() < 3 {
+            return Vec::new();
+        }
+        q[1..q.len() - 1].iter().map(|(_, d)| d.as_micros_f64()).collect()
+    }
+
+    /// Total GPU duration received in quanta that completed by `horizon` —
+    /// the windowed share measurement behind the weighted-sharing analyses.
+    pub fn gpu_received_by(&self, horizon: SimTime) -> SimDuration {
+        self.quantum_marks
+            .iter()
+            .filter(|&&(t, _)| t <= horizon)
+            .map(|&(_, d)| d)
+            .sum()
+    }
+}
+
+/// Whole-run results.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// One report per client, in client-id order.
+    pub clients: Vec<ClientReport>,
+    /// When the last client finished (or the run stalled).
+    pub makespan: SimTime,
+    /// Mean GPU busy fraction over `[0, makespan]` across all devices.
+    pub utilization: f64,
+    /// Per-device busy fractions (length = number of simulated GPUs).
+    pub device_utilizations: Vec<f64>,
+    /// Wall durations between consecutive token movements (Figure 12).
+    /// Empty under the baseline scheduler.
+    pub scheduling_intervals: Vec<SimDuration>,
+    /// Number of token movements.
+    pub switch_count: u64,
+    /// Number of GPU kernels executed.
+    pub kernel_count: u64,
+    /// Number of simulation events processed.
+    pub event_count: u64,
+    /// Name of the scheduler that ran.
+    pub scheduler_name: String,
+    /// Peak GPU memory usage in bytes.
+    pub peak_memory: u64,
+    /// Structured execution trace; empty unless
+    /// [`EngineConfig::record_trace`](crate::EngineConfig::record_trace) was set.
+    pub trace: Vec<crate::trace::TraceEvent>,
+}
+
+impl RunReport {
+    /// Finish times (seconds) of all finished clients, in client order.
+    pub fn finish_times_secs(&self) -> Vec<f64> {
+        self.clients
+            .iter()
+            .filter(|c| c.is_finished())
+            .map(|c| c.finish_time().as_secs_f64())
+            .collect()
+    }
+
+    /// Number of clients that finished.
+    pub fn finished_count(&self) -> usize {
+        self.clients.iter().filter(|c| c.is_finished()).count()
+    }
+
+    /// Whether every client finished.
+    pub fn all_finished(&self) -> bool {
+        self.finished_count() == self.clients.len()
+    }
+
+    /// Mean scheduling-interval duration in milliseconds, if any.
+    pub fn mean_interval_ms(&self) -> Option<f64> {
+        if self.scheduling_intervals.is_empty() {
+            return None;
+        }
+        Some(
+            self.scheduling_intervals
+                .iter()
+                .map(|d| d.as_millis_f64())
+                .sum::<f64>()
+                / self.scheduling_intervals.len() as f64,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report_with_quanta(q: Vec<u64>) -> ClientReport {
+        ClientReport {
+            client: ClientId(0),
+            model_name: "m".into(),
+            batch: 1,
+            outcome: ClientOutcome::Finished(SimTime::from_millis(1)),
+            run_finish_times: vec![],
+            run_gpu_durations: vec![],
+            quantum_marks: q
+                .into_iter()
+                .enumerate()
+                .map(|(i, d)| (SimTime::from_micros(i as u64), SimDuration::from_micros(d)))
+                .collect(),
+            total_gpu: SimDuration::ZERO,
+        }
+    }
+
+    #[test]
+    fn mean_quantum_trims_first_and_last() {
+        let r = report_with_quanta(vec![5, 100, 120, 110, 7]);
+        assert!((r.mean_quantum_us().unwrap() - 110.0).abs() < 1e-9);
+        assert_eq!(r.trimmed_quanta_us().len(), 3);
+    }
+
+    #[test]
+    fn mean_quantum_needs_three() {
+        assert_eq!(report_with_quanta(vec![5, 6]).mean_quantum_us(), None);
+        assert!(report_with_quanta(vec![1, 2]).trimmed_quanta_us().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "did not finish")]
+    fn finish_time_of_stalled_panics() {
+        let mut r = report_with_quanta(vec![]);
+        r.outcome = ClientOutcome::Stalled;
+        let _ = r.finish_time();
+    }
+}

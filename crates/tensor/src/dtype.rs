@@ -1,0 +1,92 @@
+//! Element types.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Element type of a tensor.
+///
+/// Only the types the model zoo actually uses are represented; the variant
+/// set can grow without breaking users because the enum is `#[non_exhaustive]`.
+///
+/// ```
+/// use tensor::DType;
+///
+/// assert_eq!(DType::F32.byte_width(), 4);
+/// assert!(DType::F16.is_float());
+/// ```
+#[non_exhaustive]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DType {
+    /// 32-bit IEEE float — the default for inference weights and activations.
+    #[default]
+    F32,
+    /// 16-bit IEEE float.
+    F16,
+    /// 64-bit IEEE float.
+    F64,
+    /// Signed 32-bit integer (indices, labels).
+    I32,
+    /// Signed 64-bit integer.
+    I64,
+    /// Unsigned 8-bit integer (raw image bytes before decode).
+    U8,
+}
+
+impl DType {
+    /// Size of one element in bytes.
+    pub const fn byte_width(self) -> u64 {
+        match self {
+            DType::F32 | DType::I32 => 4,
+            DType::F16 => 2,
+            DType::F64 | DType::I64 => 8,
+            DType::U8 => 1,
+        }
+    }
+
+    /// Whether the type is a floating-point type.
+    pub const fn is_float(self) -> bool {
+        matches!(self, DType::F32 | DType::F16 | DType::F64)
+    }
+}
+
+impl fmt::Display for DType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            DType::F32 => "f32",
+            DType::F16 => "f16",
+            DType::F64 => "f64",
+            DType::I32 => "i32",
+            DType::I64 => "i64",
+            DType::U8 => "u8",
+        };
+        f.write_str(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byte_widths() {
+        assert_eq!(DType::F32.byte_width(), 4);
+        assert_eq!(DType::F16.byte_width(), 2);
+        assert_eq!(DType::F64.byte_width(), 8);
+        assert_eq!(DType::I32.byte_width(), 4);
+        assert_eq!(DType::I64.byte_width(), 8);
+        assert_eq!(DType::U8.byte_width(), 1);
+    }
+
+    #[test]
+    fn float_classification() {
+        assert!(DType::F32.is_float());
+        assert!(!DType::I64.is_float());
+        assert!(!DType::U8.is_float());
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(DType::F32.to_string(), "f32");
+        assert_eq!(DType::U8.to_string(), "u8");
+    }
+}

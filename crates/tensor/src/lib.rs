@@ -1,0 +1,98 @@
+#![deny(missing_docs)]
+
+//! Tensor shapes, element types and memory accounting.
+//!
+//! The Olympian scheduler never touches tensor *values* — it schedules whole
+//! jobs — but the serving stack needs shapes and byte sizes to model:
+//!
+//! * batching (a batch dimension on every input),
+//! * GPU memory pressure (the scalability limit in §4.3 of the paper is GPU
+//!   memory on a GTX 1080 Ti), and
+//! * realistic per-node work estimates in the model zoo.
+//!
+//! ```
+//! use tensor::{DType, Shape};
+//!
+//! let activations = Shape::nchw(100, 64, 56, 56);
+//! assert_eq!(activations.elements(), 100 * 64 * 56 * 56);
+//! assert_eq!(activations.byte_size(DType::F32), activations.elements() * 4);
+//! ```
+
+mod dtype;
+mod shape;
+
+pub use dtype::DType;
+pub use shape::{Shape, ShapeError};
+
+/// Describes a tensor without storing its data: a shape plus element type.
+///
+/// ```
+/// use tensor::{DType, Shape, TensorSpec};
+///
+/// let spec = TensorSpec::new(Shape::vector(1000), DType::F16);
+/// assert_eq!(spec.byte_size(), 2000);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub struct TensorSpec {
+    shape: Shape,
+    dtype: DType,
+}
+
+impl TensorSpec {
+    /// Creates a spec from a shape and element type.
+    pub fn new(shape: Shape, dtype: DType) -> Self {
+        TensorSpec { shape, dtype }
+    }
+
+    /// The tensor's shape.
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// The tensor's element type.
+    pub fn dtype(&self) -> DType {
+        self.dtype
+    }
+
+    /// Total bytes needed to store the tensor densely.
+    pub fn byte_size(&self) -> u64 {
+        self.shape.byte_size(self.dtype)
+    }
+
+    /// Returns a copy with the leading (batch) dimension replaced.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError::Scalar`] if the shape has no dimensions.
+    pub fn with_batch(&self, batch: u64) -> Result<TensorSpec, ShapeError> {
+        Ok(TensorSpec {
+            shape: self.shape.with_batch(batch)?,
+            dtype: self.dtype,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_byte_size_combines_shape_and_dtype() {
+        let spec = TensorSpec::new(Shape::nchw(2, 3, 4, 5), DType::F64);
+        assert_eq!(spec.byte_size(), 2 * 3 * 4 * 5 * 8);
+    }
+
+    #[test]
+    fn with_batch_rewrites_leading_dim() {
+        let spec = TensorSpec::new(Shape::nchw(1, 3, 224, 224), DType::F32);
+        let batched = spec.with_batch(64).unwrap();
+        assert_eq!(batched.shape().dims()[0], 64);
+        assert_eq!(batched.byte_size(), 64 * 3 * 224 * 224 * 4);
+    }
+
+    #[test]
+    fn with_batch_on_scalar_errors() {
+        let spec = TensorSpec::new(Shape::scalar(), DType::F32);
+        assert!(spec.with_batch(4).is_err());
+    }
+}

@@ -1,0 +1,177 @@
+//! Tensor shapes.
+
+use crate::DType;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Error produced by shape operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShapeError {
+    /// Operation requires at least one dimension but the shape is a scalar.
+    Scalar,
+    /// Dimensions do not match for the attempted operation.
+    Mismatch {
+        /// The dimensions that were expected.
+        expected: Vec<u64>,
+        /// The dimensions that were found.
+        found: Vec<u64>,
+    },
+}
+
+impl fmt::Display for ShapeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShapeError::Scalar => write!(f, "operation requires a non-scalar shape"),
+            ShapeError::Mismatch { expected, found } => {
+                write!(f, "shape mismatch: expected {expected:?}, found {found:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ShapeError {}
+
+/// A dense tensor shape: an ordered list of dimension extents.
+///
+/// ```
+/// use tensor::Shape;
+///
+/// let s = Shape::new(vec![10, 3, 224, 224]);
+/// assert_eq!(s.rank(), 4);
+/// assert_eq!(s.elements(), 10 * 3 * 224 * 224);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Shape {
+    dims: Vec<u64>,
+}
+
+impl Shape {
+    /// Creates a shape from its dimensions. An empty vector is a scalar.
+    pub fn new(dims: Vec<u64>) -> Self {
+        Shape { dims }
+    }
+
+    /// A rank-0 (scalar) shape.
+    pub fn scalar() -> Self {
+        Shape { dims: Vec::new() }
+    }
+
+    /// A rank-1 shape with `n` elements.
+    pub fn vector(n: u64) -> Self {
+        Shape { dims: vec![n] }
+    }
+
+    /// A rank-2 shape.
+    pub fn matrix(rows: u64, cols: u64) -> Self {
+        Shape { dims: vec![rows, cols] }
+    }
+
+    /// The standard image-batch layout: batch, channels, height, width.
+    pub fn nchw(n: u64, c: u64, h: u64, w: u64) -> Self {
+        Shape { dims: vec![n, c, h, w] }
+    }
+
+    /// The dimension extents.
+    pub fn dims(&self) -> &[u64] {
+        &self.dims
+    }
+
+    /// Number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Total number of elements (1 for scalars).
+    pub fn elements(&self) -> u64 {
+        self.dims.iter().product()
+    }
+
+    /// Bytes needed to store the tensor densely with the given element type.
+    pub fn byte_size(&self, dtype: DType) -> u64 {
+        self.elements() * dtype.byte_width()
+    }
+
+    /// The leading dimension, conventionally the batch size.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError::Scalar`] for rank-0 shapes.
+    pub fn batch(&self) -> Result<u64, ShapeError> {
+        self.dims.first().copied().ok_or(ShapeError::Scalar)
+    }
+
+    /// Returns a copy with the leading dimension replaced by `batch`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError::Scalar`] for rank-0 shapes.
+    pub fn with_batch(&self, batch: u64) -> Result<Shape, ShapeError> {
+        if self.dims.is_empty() {
+            return Err(ShapeError::Scalar);
+        }
+        let mut dims = self.dims.clone();
+        dims[0] = batch;
+        Ok(Shape { dims })
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, d) in self.dims.iter().enumerate() {
+            if i > 0 {
+                write!(f, "x")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl From<Vec<u64>> for Shape {
+    fn from(dims: Vec<u64>) -> Self {
+        Shape::new(dims)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_has_one_element() {
+        let s = Shape::scalar();
+        assert_eq!(s.rank(), 0);
+        assert_eq!(s.elements(), 1);
+        assert!(s.batch().is_err());
+    }
+
+    #[test]
+    fn element_counts_multiply() {
+        assert_eq!(Shape::nchw(2, 3, 4, 5).elements(), 120);
+        assert_eq!(Shape::matrix(7, 9).elements(), 63);
+        assert_eq!(Shape::vector(11).elements(), 11);
+    }
+
+    #[test]
+    fn batch_reads_leading_dim() {
+        assert_eq!(Shape::nchw(32, 3, 8, 8).batch().unwrap(), 32);
+    }
+
+    #[test]
+    fn with_batch_only_changes_leading_dim() {
+        let s = Shape::nchw(1, 3, 8, 8).with_batch(16).unwrap();
+        assert_eq!(s.dims(), &[16, 3, 8, 8]);
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(Shape::nchw(1, 2, 3, 4).to_string(), "[1x2x3x4]");
+        assert_eq!(Shape::scalar().to_string(), "[]");
+    }
+
+    #[test]
+    fn byte_size_uses_dtype_width() {
+        assert_eq!(Shape::vector(10).byte_size(DType::F16), 20);
+    }
+}

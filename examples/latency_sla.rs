@@ -1,0 +1,79 @@
+//! Service differentiation for a latency-sensitive tenant.
+//!
+//! The scenario from the paper's introduction: a user-facing application
+//! (think: interactive image search) shares a serving GPU with batch
+//! analytics jobs. Under stock TF-Serving the interactive tenant's latency
+//! is at the mercy of driver arbitration; under Olympian priority
+//! scheduling it gets the GPU whenever it has work.
+//!
+//! ```bash
+//! cargo run --release --example latency_sla
+//! ```
+
+use metrics::Summary;
+use models::ModelKind;
+use olympian::{OlympianScheduler, Priority, Profiler, ProfileStore};
+use serving::{run_experiment, ClientSpec, EngineConfig, FifoScheduler, RunReport};
+use simtime::SimDuration;
+use std::sync::Arc;
+
+/// Per-request latencies (ms) of the interactive client (client 0).
+fn interactive_latencies(report: &RunReport) -> Vec<f64> {
+    let runs = &report.clients[0].run_finish_times;
+    let mut latencies = Vec::with_capacity(runs.len());
+    let mut prev = simtime::SimTime::ZERO;
+    for &t in runs {
+        latencies.push((t - prev).as_millis_f64());
+        prev = t;
+    }
+    latencies
+}
+
+fn workload() -> Vec<ClientSpec> {
+    // Client 0: interactive, small batches, many requests, top priority.
+    let interactive = models::load(ModelKind::ResNet50, 16).expect("zoo model");
+    let mut clients = vec![ClientSpec::new(interactive, 40).with_priority(10)];
+    // Clients 1-4: batch analytics on big batches, low priority.
+    let batch = models::load(ModelKind::InceptionV4, 100).expect("zoo model");
+    clients.extend(vec![ClientSpec::new(batch, 4).with_priority(1); 4]);
+    clients
+}
+
+fn main() {
+    let cfg = EngineConfig::default();
+    let clients = workload();
+
+    let baseline = run_experiment(&cfg, clients.clone(), &mut FifoScheduler::new());
+    let base_lat = Summary::of(interactive_latencies(&baseline));
+
+    let profiler = Profiler::new(&cfg);
+    let mut store = ProfileStore::new();
+    for spec in &clients {
+        if store.get(spec.model.name(), spec.model.batch()).is_none() {
+            store.insert(profiler.profile(&spec.model));
+        }
+    }
+    let mut sched = OlympianScheduler::new(
+        Arc::new(store),
+        Box::new(Priority::new()),
+        SimDuration::from_micros(1200),
+    );
+    let olympian = run_experiment(&cfg, clients, &mut sched);
+    let oly_lat = Summary::of(interactive_latencies(&olympian));
+
+    println!("interactive tenant per-request latency (40 requests, 4 batch jobs competing):");
+    println!("  stock TF-Serving : mean {:.1} ms, max {:.1} ms", base_lat.mean(), base_lat.max());
+    println!("  Olympian priority: mean {:.1} ms, max {:.1} ms", oly_lat.mean(), oly_lat.max());
+    println!(
+        "  speedup: {:.1}x mean, {:.1}x tail",
+        base_lat.mean() / oly_lat.mean(),
+        base_lat.max() / oly_lat.max()
+    );
+    println!(
+        "\nbatch tenants still finish (makespans: {:.1} s vs {:.1} s — priority \
+         costs the batch tier little because the interactive job is small).",
+        baseline.makespan.as_secs_f64(),
+        olympian.makespan.as_secs_f64()
+    );
+    assert!(olympian.all_finished() && baseline.all_finished());
+}

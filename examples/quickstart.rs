@@ -1,0 +1,63 @@
+//! Quickstart: profile a model offline, then fair-share the GPU among three
+//! concurrent clients.
+//!
+//! ```bash
+//! cargo run --release --example quickstart
+//! ```
+
+use olympian::{OlympianScheduler, Profiler, ProfileStore, RoundRobin};
+use serving::{run_experiment, ClientSpec, EngineConfig, FifoScheduler};
+use simtime::SimDuration;
+use std::sync::Arc;
+
+fn main() {
+    // 1. A serving platform: simulated GTX 1080 Ti + worker-thread pool.
+    let cfg = EngineConfig::default();
+
+    // 2. A model. The zoo has the paper's seven DNNs; the miniatures are
+    //    instant to run. Swap in e.g. `models::load(models::ModelKind::
+    //    InceptionV4, 100).unwrap()` for the full-scale experience.
+    let model = models::mini::branchy(8);
+
+    // 3. Offline profiling: one instrumented run for per-node costs, one
+    //    clean run for the GPU duration D.
+    let profile = Profiler::new(&cfg).profile(&model);
+    println!(
+        "profiled {:?}: C = {} cost units, D = {}, rate C/D = {:.2}",
+        profile.model,
+        profile.total_cost,
+        profile.gpu_duration,
+        profile.rate()
+    );
+    let mut store = ProfileStore::new();
+    store.insert(profile);
+
+    // 4. Three identical clients, two batches each — first on stock
+    //    TF-Serving, then under Olympian fair sharing.
+    let clients = vec![ClientSpec::new(model, 2); 3];
+
+    let baseline = run_experiment(&cfg, clients.clone(), &mut FifoScheduler::new());
+    println!("\n--- stock TF-Serving ---");
+    for c in &baseline.clients {
+        println!("  client {}: finished at {}", c.client, c.finish_time());
+    }
+
+    let quantum = SimDuration::from_micros(200);
+    let mut sched = OlympianScheduler::new(Arc::new(store), Box::new(RoundRobin::new()), quantum);
+    let report = run_experiment(&cfg, clients, &mut sched);
+    println!("\n--- Olympian fair sharing (Q = {quantum}) ---");
+    for c in &report.clients {
+        println!(
+            "  client {}: finished at {}, GPU time {}",
+            c.client,
+            c.finish_time(),
+            c.total_gpu
+        );
+    }
+    println!(
+        "\n{} token switches, mean scheduling interval {:.3} ms, GPU util {:.1}%",
+        report.switch_count,
+        report.mean_interval_ms().unwrap_or(0.0),
+        report.utilization * 100.0
+    );
+}

@@ -1,0 +1,256 @@
+//! Property-based tests over the core data structures and invariants.
+
+use dataflow::{GraphBuilder, NodeTemplate, OpKind};
+use metrics::linear_fit;
+use olympian::{Policy, Priority, RoundRobin, WeightedFair};
+use proptest::prelude::*;
+use serving::JobId;
+use simtime::{DetRng, EventQueue, IntervalUnion, SimDuration, SimTime};
+
+proptest! {
+    /// The event queue pops in non-decreasing time order with FIFO ties.
+    #[test]
+    fn event_queue_total_order(times in prop::collection::vec(0u64..1_000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(SimTime::from_nanos(t), (t, i));
+        }
+        let mut prev: Option<(u64, usize)> = None;
+        while let Some((at, (t, i))) = q.pop() {
+            prop_assert_eq!(at.as_nanos(), t);
+            if let Some((pt, pi)) = prev {
+                prop_assert!(pt <= t);
+                if pt == t {
+                    prop_assert!(pi < i, "FIFO violated among ties");
+                }
+            }
+            prev = Some((t, i));
+        }
+    }
+
+    /// IntervalUnion agrees with a brute-force boolean-timeline oracle.
+    #[test]
+    fn interval_union_matches_oracle(
+        spans in prop::collection::vec((0u64..500, 1u64..60), 0..40)
+    ) {
+        let mut u = IntervalUnion::new();
+        let mut timeline = [false; 600];
+        for &(start, len) in &spans {
+            let end = start + len;
+            u.add(SimTime::from_nanos(start), SimTime::from_nanos(end));
+            for slot in timeline.iter_mut().take(end as usize).skip(start as usize) {
+                *slot = true;
+            }
+        }
+        let oracle: u64 = timeline.iter().filter(|&&b| b).count() as u64;
+        prop_assert_eq!(u.total().as_nanos(), oracle);
+    }
+
+    /// Random layered DAGs build successfully and topo-sort completely.
+    #[test]
+    fn random_layered_graphs_are_valid(
+        layers in prop::collection::vec(1usize..5, 1..8),
+        seed in 0u64..1000,
+    ) {
+        let mut rng = DetRng::new(seed);
+        let mut b = GraphBuilder::new();
+        let mut prev_layer: Vec<dataflow::NodeId> = Vec::new();
+        let mut total = 0usize;
+        for (li, &width) in layers.iter().enumerate() {
+            let layer: Vec<dataflow::NodeId> = (0..width)
+                .map(|i| {
+                    b.add_node(NodeTemplate::gpu(
+                        format!("n{li}_{i}"),
+                        OpKind::Conv2d,
+                        SimDuration::from_nanos(1 + rng.range_u64(0, 100)),
+                        1 + rng.range_u64(0, 50),
+                    ))
+                })
+                .collect();
+            for node in &layer {
+                for parent in &prev_layer {
+                    if rng.next_f64() < 0.6 {
+                        b.add_edge(*parent, *node).expect("fresh edge");
+                    }
+                }
+            }
+            total += width;
+            prev_layer = layer;
+        }
+        let g = b.build().expect("layered graphs are acyclic");
+        prop_assert_eq!(g.node_count(), total);
+        prop_assert_eq!(g.topo_order().len(), total);
+        prop_assert!(!g.roots().is_empty());
+    }
+
+    /// Least squares recovers an exact affine relationship.
+    #[test]
+    fn linear_fit_recovers_affine(
+        a in -1e3..1e3f64,
+        m in -1e3..1e3f64,
+        xs in prop::collection::hash_set(0u32..10_000, 2..20),
+    ) {
+        let pts: Vec<(f64, f64)> = xs
+            .into_iter()
+            .map(|x| (f64::from(x), a + m * f64::from(x)))
+            .collect();
+        let (ia, im) = linear_fit(&pts);
+        prop_assert!((ia - a).abs() < 1e-6 * (1.0 + a.abs()), "{ia} vs {a}");
+        prop_assert!((im - m).abs() < 1e-6 * (1.0 + m.abs()), "{im} vs {m}");
+    }
+
+    /// Round-robin visits every registered job exactly once per cycle.
+    #[test]
+    fn round_robin_is_a_cycle(n in 1u64..30) {
+        let mut p = RoundRobin::new();
+        let mut current = None;
+        for j in 0..n {
+            current = p.admit(JobId(j), 1, 0, current);
+        }
+        let mut holder = current.expect("jobs admitted");
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..n {
+            prop_assert!(seen.insert(holder), "revisited {holder} early");
+            holder = p.quantum_expired(holder).expect("non-empty ring");
+        }
+        prop_assert_eq!(seen.len() as u64, n);
+    }
+
+    /// Weighted fair gives each job exactly `weight` quanta per cycle.
+    #[test]
+    fn weighted_fair_quanta_proportional(weights in prop::collection::vec(1u32..5, 2..8)) {
+        let mut p = WeightedFair::new();
+        let mut current = None;
+        for (j, &w) in weights.iter().enumerate() {
+            current = p.admit(JobId(j as u64), w, 0, current);
+        }
+        let mut holder = current.expect("jobs admitted");
+        let cycle: u32 = weights.iter().sum();
+        let mut counts = vec![0u32; weights.len()];
+        for _ in 0..cycle * 3 {
+            counts[holder.0 as usize] += 1;
+            holder = p.quantum_expired(holder).expect("non-empty ring");
+        }
+        for (j, &w) in weights.iter().enumerate() {
+            prop_assert_eq!(counts[j], w * 3, "job {} got {} of {}", j, counts[j], w * 3);
+        }
+    }
+
+    /// Priority never schedules below the highest live level.
+    #[test]
+    fn priority_never_runs_lower_level(prios in prop::collection::vec(0u32..5, 2..10)) {
+        let mut p = Priority::new();
+        let mut current = None;
+        for (j, &pr) in prios.iter().enumerate() {
+            current = p.admit(JobId(j as u64), 1, pr, current);
+        }
+        let top = *prios.iter().max().expect("non-empty");
+        let mut holder = current.expect("jobs admitted");
+        // After one expiry the holder must sit in the top level forever.
+        for _ in 0..20 {
+            holder = p.quantum_expired(holder).expect("non-empty");
+            prop_assert_eq!(prios[holder.0 as usize], top);
+        }
+    }
+
+    /// The batcher partitions every arrival into exactly one batch, in
+    /// order, never exceeding the size cap, closing timeouts promptly.
+    #[test]
+    fn batcher_partitions_arrivals(
+        gaps in prop::collection::vec(0u64..40_000, 1..120),
+        max_batch in 1u64..12,
+        timeout_us in 1u64..30_000,
+    ) {
+        use serving::batching::{plan_batches, BatchingConfig};
+        let mut t = 0u64;
+        let arrivals: Vec<SimTime> = gaps
+            .iter()
+            .map(|&g| {
+                t += g;
+                SimTime::from_nanos(t * 1000)
+            })
+            .collect();
+        let cfg = BatchingConfig::new(max_batch, SimDuration::from_micros(timeout_us));
+        let plan = plan_batches(&arrivals, &cfg);
+        // Partition: total sizes add up and arrivals appear in order.
+        let total: u64 = plan.iter().map(|b| b.size()).sum();
+        prop_assert_eq!(total as usize, arrivals.len());
+        let flat: Vec<SimTime> = plan
+            .iter()
+            .flat_map(|b| b.request_arrivals().iter().copied())
+            .collect();
+        prop_assert_eq!(flat, arrivals.clone());
+        for b in &plan {
+            prop_assert!(b.size() <= max_batch);
+            // A batch closes no later than first arrival + timeout, and no
+            // earlier than its last arrival.
+            let first = b.request_arrivals()[0];
+            let last = *b.request_arrivals().last().expect("non-empty");
+            prop_assert!(b.formed_at() <= first + SimDuration::from_micros(timeout_us));
+            prop_assert!(b.formed_at() >= last);
+        }
+        // Batches are emitted in formation order.
+        prop_assert!(plan.windows(2).all(|w| w[0].formed_at() <= w[1].formed_at()));
+    }
+
+    /// The serial device never overlaps kernels: following the enqueue/pump
+    /// protocol yields strictly ordered, non-overlapping executions, and
+    /// busy_total equals the sum of kernel durations.
+    #[test]
+    fn device_kernels_never_overlap(
+        ops in prop::collection::vec((0u64..4, 1u64..200), 1..80),
+        seed in 0u64..200,
+    ) {
+        use gpusim::{DeviceProfile, GpuDevice, JobTag};
+        let profile = DeviceProfile::custom("prop", 1.0, 1 << 30, 8, 0.0)
+            .with_kernel_gap(SimDuration::from_micros(2));
+        let mut gpu = GpuDevice::new(profile, seed);
+        let mut now = SimTime::ZERO;
+        let mut executions = Vec::new();
+        for (payload, &(tag, dur_us)) in ops.iter().enumerate() {
+            gpu.enqueue(JobTag(tag), payload as u64, SimDuration::from_micros(dur_us), 1.0);
+            // Pump until drained, advancing virtual time to each completion.
+            while let Some(k) = gpu.try_start(now) {
+                executions.push(k);
+                now = k.end;
+            }
+        }
+        prop_assert_eq!(executions.len(), ops.len(), "all kernels ran");
+        for w in executions.windows(2) {
+            prop_assert!(w[0].end <= w[1].start, "overlap: {:?} then {:?}", w[0], w[1]);
+        }
+        let total: u64 = executions.iter().map(|k| k.duration.as_nanos()).sum();
+        prop_assert_eq!(gpu.busy_total().as_nanos(), total);
+    }
+
+    /// Lottery draws always land on a registered job.
+    #[test]
+    fn lottery_draws_live_jobs(
+        n in 1u64..20,
+        seed in 0u64..500,
+        draws in 1usize..60,
+    ) {
+        use olympian::Lottery;
+        let mut p = Lottery::new(seed);
+        let mut current = None;
+        for j in 0..n {
+            current = p.admit(JobId(j), 1 + (j % 4) as u32, 0, current);
+        }
+        let mut holder = current.expect("jobs admitted");
+        for _ in 0..draws {
+            holder = p.quantum_expired(holder).expect("jobs live");
+            prop_assert!(holder.0 < n);
+        }
+    }
+
+    /// DetRng::range_f64 stays within bounds for arbitrary ranges.
+    #[test]
+    fn rng_range_respects_bounds(seed in 0u64..1000, lo in -1e6..1e6f64, span in 1e-3..1e6f64) {
+        let mut rng = DetRng::new(seed);
+        let hi = lo + span;
+        for _ in 0..100 {
+            let x = rng.range_f64(lo, hi);
+            prop_assert!((lo..hi).contains(&x));
+        }
+    }
+}

@@ -1,0 +1,114 @@
+//! Randomized stress tests: arbitrary miniature workloads across policies,
+//! device counts and seeds must uphold the engine's invariants.
+
+use olympian::{MultiGpuScheduler, OlympianScheduler, Profiler, ProfileStore};
+use proptest::prelude::*;
+use serving::{run_experiment, ClientSpec, EngineConfig, FifoScheduler};
+use simtime::{DetRng, SimDuration, SimTime};
+use std::sync::Arc;
+
+/// Invariants every finished report must satisfy.
+fn check_invariants(report: &serving::RunReport, expected_clients: usize) {
+    assert_eq!(report.clients.len(), expected_clients);
+    assert!(report.utilization >= 0.0 && report.utilization <= 1.0 + 1e-9);
+    for c in &report.clients {
+        // Conservation: quanta (if any) sum to per-run GPU time which sums
+        // to the device-attributed total.
+        let from_runs: u64 = c.run_gpu_durations.iter().map(|d| d.as_nanos()).sum();
+        assert_eq!(from_runs, c.total_gpu.as_nanos(), "client {}", c.client.0);
+        if !c.quantum_marks.is_empty() {
+            let from_quanta: u64 = c.quantum_marks.iter().map(|(_, d)| d.as_nanos()).sum();
+            assert_eq!(from_quanta, from_runs, "client {}", c.client.0);
+        }
+        // Run finish times are ordered and within the makespan.
+        assert!(c.run_finish_times.windows(2).all(|w| w[0] < w[1]));
+        if let Some(&last) = c.run_finish_times.last() {
+            assert!(last <= report.makespan);
+        }
+    }
+    // Scheduling intervals are positive and no more numerous than switches.
+    assert!(report.scheduling_intervals.len() as u64 <= report.switch_count);
+}
+
+fn mini_for(idx: u64, batch: u64) -> models::LoadedModel {
+    match idx % 3 {
+        0 => models::mini::tiny(batch),
+        1 => models::mini::small(batch),
+        _ => models::mini::branchy(batch),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Random mixed workloads finish (resources are ample) and uphold
+    /// conservation under every scheduler.
+    #[test]
+    fn random_workloads_uphold_invariants(
+        seed in 0u64..1_000,
+        n_clients in 1usize..6,
+        policy in 0u8..4,
+        gpus in 1usize..3,
+    ) {
+        let mut rng = DetRng::new(seed);
+        let cfg = EngineConfig::default()
+            .with_seed(seed ^ 0xBEEF)
+            .with_device_count(gpus);
+        let clients: Vec<ClientSpec> = (0..n_clients)
+            .map(|i| {
+                let model = mini_for(rng.next_u64(), 1 + rng.range_u64(1, 8));
+                ClientSpec::new(model, 1 + rng.range_u64(0, 4) as u32)
+                    .with_weight(1 + rng.range_u64(0, 3) as u32)
+                    .with_priority(rng.range_u64(0, 4) as u32)
+                    .with_start(SimTime::from_micros(i as u64 * rng.range_u64(0, 500)))
+            })
+            .collect();
+
+        let report = if policy == 0 {
+            run_experiment(&cfg, clients.clone(), &mut FifoScheduler::new())
+        } else {
+            let profiler = Profiler::new(&cfg);
+            let mut store = ProfileStore::new();
+            for c in &clients {
+                if store.get(c.model.name(), c.model.batch()).is_none() {
+                    store.insert(profiler.profile(&c.model));
+                }
+            }
+            let store = Arc::new(store);
+            let q = SimDuration::from_micros(100 + rng.range_u64(0, 400));
+            let factory: Box<dyn Fn() -> Box<dyn olympian::Policy>> = match policy {
+                1 => Box::new(|| Box::new(olympian::RoundRobin::new())),
+                2 => Box::new(|| Box::new(olympian::WeightedFair::new())),
+                _ => Box::new(|| Box::new(olympian::Priority::new())),
+            };
+            if gpus > 1 {
+                let mut sched = MultiGpuScheduler::new(store, factory, q);
+                run_experiment(&cfg, clients.clone(), &mut sched)
+            } else {
+                let mut sched = OlympianScheduler::new(store, factory(), q);
+                run_experiment(&cfg, clients.clone(), &mut sched)
+            }
+        };
+        prop_assert!(report.all_finished(), "outcomes: {:?}",
+            report.clients.iter().map(|c| &c.outcome).collect::<Vec<_>>());
+        check_invariants(&report, n_clients);
+    }
+
+    /// Determinism holds across the whole configuration space: running the
+    /// same random workload twice gives identical reports.
+    #[test]
+    fn random_workloads_are_deterministic(seed in 0u64..1_000, gpus in 1usize..3) {
+        let cfg = EngineConfig::default().with_seed(seed).with_device_count(gpus);
+        let make = || {
+            let clients = vec![
+                ClientSpec::new(models::mini::branchy(3), 2),
+                ClientSpec::new(models::mini::small(2), 3),
+            ];
+            run_experiment(&cfg, clients, &mut FifoScheduler::new())
+        };
+        let (a, b) = (make(), make());
+        prop_assert_eq!(a.makespan, b.makespan);
+        prop_assert_eq!(a.event_count, b.event_count);
+        prop_assert_eq!(a.finish_times_secs(), b.finish_times_secs());
+    }
+}
