@@ -4,7 +4,7 @@
 //! the events/second the engine sustains, under both schedulers, on
 //! miniature workloads sized for quick iteration.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use bench::harness;
 use olympian::{OlympianScheduler, Profiler, ProfileStore, RoundRobin};
 use serving::{run_experiment, ClientSpec, EngineConfig, FifoScheduler};
 use simtime::SimDuration;
@@ -15,25 +15,25 @@ fn clients(n: usize, batches: u32) -> Vec<ClientSpec> {
     vec![ClientSpec::new(models::mini::small(4), batches); n]
 }
 
-fn bench_baseline(c: &mut Criterion) {
+fn bench_baseline() {
     let cfg = EngineConfig::default();
-    // Count events once so the group can report events/second.
+    // Count events once so the result can report events/second.
     let probe = run_experiment(&cfg, clients(4, 2), &mut FifoScheduler::new());
-    let mut g = c.benchmark_group("engine_baseline");
-    g.throughput(Throughput::Elements(probe.event_count));
-    g.bench_function(BenchmarkId::new("clients", 4), |b| {
-        b.iter(|| {
-            black_box(run_experiment(
-                &cfg,
-                clients(4, 2),
-                &mut FifoScheduler::new(),
-            ))
-        });
+    let m = harness::run("engine_baseline/clients=4", || {
+        black_box(run_experiment(
+            &cfg,
+            clients(4, 2),
+            &mut FifoScheduler::new(),
+        ))
     });
-    g.finish();
+    println!(
+        "  -> {:.0} events/s ({} events per run)",
+        m.per_second() * probe.event_count as f64,
+        probe.event_count
+    );
 }
 
-fn bench_olympian(c: &mut Criterion) {
+fn bench_olympian() {
     let cfg = EngineConfig::default();
     let model = models::mini::small(4);
     let mut store = ProfileStore::new();
@@ -47,20 +47,22 @@ fn bench_olympian(c: &mut Criterion) {
         );
         run_experiment(&cfg, clients(4, 2), &mut sched)
     };
-    let mut g = c.benchmark_group("engine_olympian");
-    g.throughput(Throughput::Elements(probe.event_count));
-    g.bench_function(BenchmarkId::new("clients", 4), |b| {
-        b.iter(|| {
-            let mut sched = OlympianScheduler::new(
-                Arc::clone(&store),
-                Box::new(RoundRobin::new()),
-                SimDuration::from_micros(200),
-            );
-            black_box(run_experiment(&cfg, clients(4, 2), &mut sched))
-        });
+    let m = harness::run("engine_olympian/clients=4", || {
+        let mut sched = OlympianScheduler::new(
+            Arc::clone(&store),
+            Box::new(RoundRobin::new()),
+            SimDuration::from_micros(200),
+        );
+        black_box(run_experiment(&cfg, clients(4, 2), &mut sched))
     });
-    g.finish();
+    println!(
+        "  -> {:.0} events/s ({} events per run)",
+        m.per_second() * probe.event_count as f64,
+        probe.event_count
+    );
 }
 
-criterion_group!(benches, bench_baseline, bench_olympian);
-criterion_main!(benches);
+fn main() {
+    bench_baseline();
+    bench_olympian();
+}

@@ -1,39 +1,38 @@
 //! Profiler and model-zoo benchmarks: offline profiling cost, linear-model
 //! fitting and full-scale graph generation.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use bench::harness;
 use models::ModelKind;
 use olympian::{LinearCostModel, Profiler};
 use serving::EngineConfig;
 use std::hint::black_box;
 
-fn bench_profile(c: &mut Criterion) {
+fn bench_profile() {
     let cfg = EngineConfig::default();
     let profiler = Profiler::new(&cfg);
     let model = models::mini::small(8);
-    c.bench_function("profile_mini_model", |b| {
-        b.iter(|| black_box(profiler.profile(&model)));
-    });
+    harness::run("profile_mini_model", || black_box(profiler.profile(&model)));
 }
 
-fn bench_linear_fit(c: &mut Criterion) {
+fn bench_linear_fit() {
     let cfg = EngineConfig::default();
     let profiler = Profiler::new(&cfg);
     let p1 = profiler.profile(&models::mini::small(4));
     let p2 = profiler.profile(&models::mini::small(8));
-    c.bench_function("linear_cost_model_fit_predict", |b| {
-        b.iter(|| {
-            let lin = LinearCostModel::fit(&[&p1, &p2]).expect("two batches");
-            black_box(lin.predict(6))
-        });
+    harness::run("linear_cost_model_fit_predict", || {
+        let lin = LinearCostModel::fit(&[&p1, &p2]).expect("two batches");
+        black_box(lin.predict(6))
     });
 }
 
-fn bench_zoo_generation(c: &mut Criterion) {
-    c.bench_function("generate_inception_graph", |b| {
-        b.iter(|| black_box(models::load(ModelKind::InceptionV4, 100).expect("zoo model")));
+fn bench_zoo_generation() {
+    harness::run("generate_inception_graph", || {
+        black_box(models::load(ModelKind::InceptionV4, 100).expect("zoo model"))
     });
 }
 
-criterion_group!(benches, bench_profile, bench_linear_fit, bench_zoo_generation);
-criterion_main!(benches);
+fn main() {
+    bench_profile();
+    bench_linear_fit();
+    bench_zoo_generation();
+}

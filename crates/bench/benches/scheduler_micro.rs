@@ -4,7 +4,7 @@
 //! hundreds of thousands of times per second on a busy server — so their
 //! cost is the scheduler's effective overhead floor.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use bench::harness;
 use dataflow::{CostModel, NodeId};
 use olympian::{ModelProfile, OlympianScheduler, Priority, ProfileStore, RoundRobin, WeightedFair};
 use serving::{ClientId, JobCtx, JobId, Scheduler};
@@ -50,18 +50,18 @@ fn registered_scheduler(jobs: u64) -> OlympianScheduler {
     sched
 }
 
-fn bench_hooks(c: &mut Criterion) {
-    let mut g = c.benchmark_group("scheduler_hooks");
-
-    g.bench_function("may_run", |b| {
+fn bench_hooks() {
+    {
         let sched = registered_scheduler(10);
-        b.iter(|| black_box(sched.may_run(black_box(JobId(3)))));
-    });
+        harness::run("scheduler_hooks/may_run", || {
+            black_box(sched.may_run(black_box(JobId(3))))
+        });
+    }
 
-    g.bench_function("on_gpu_node_done", |b| {
+    {
         let mut sched = registered_scheduler(10);
         let mut i = 0u32;
-        b.iter(|| {
+        harness::run("scheduler_hooks/on_gpu_node_done", || {
             i = (i + 1) % 4096;
             black_box(sched.on_gpu_node_done(
                 JobId(0),
@@ -69,22 +69,20 @@ fn bench_hooks(c: &mut Criterion) {
                 SimTime::from_nanos(u64::from(i)),
             ))
         });
-    });
+    }
 
-    g.bench_function("register_deregister", |b| {
+    {
         let mut sched = registered_scheduler(10);
         let mut j = 100u64;
-        b.iter(|| {
+        harness::run("scheduler_hooks/register_deregister", || {
             j += 1;
             sched.register(JobId(j), &ctx()).expect("profile exists");
             black_box(sched.deregister(JobId(j), SimTime::ZERO));
         });
-    });
-    g.finish();
+    }
 }
 
-fn bench_policies(c: &mut Criterion) {
-    let mut g = c.benchmark_group("policy_quantum_expired");
+fn bench_policies() {
     type PolicyFactory = Box<dyn Fn() -> Box<dyn olympian::Policy>>;
     let policies: Vec<(&str, PolicyFactory)> = vec![
         ("round_robin", Box::new(|| Box::new(RoundRobin::new()))),
@@ -92,21 +90,20 @@ fn bench_policies(c: &mut Criterion) {
         ("priority", Box::new(|| Box::new(Priority::new()))),
     ];
     for (name, mk) in policies {
-        g.bench_function(name, |b| {
-            let mut p = mk();
-            let mut current = None;
-            for j in 0..64u64 {
-                current = p.admit(JobId(j), 1 + (j % 3) as u32, (j % 5) as u32, current);
-            }
-            let mut holder = current.expect("jobs admitted");
-            b.iter(|| {
-                holder = p.quantum_expired(holder).expect("ring non-empty");
-                black_box(holder)
-            });
+        let mut p = mk();
+        let mut current = None;
+        for j in 0..64u64 {
+            current = p.admit(JobId(j), 1 + (j % 3) as u32, (j % 5) as u32, current);
+        }
+        let mut holder = current.expect("jobs admitted");
+        harness::run(&format!("policy_quantum_expired/{name}"), || {
+            holder = p.quantum_expired(holder).expect("ring non-empty");
+            black_box(holder)
         });
     }
-    g.finish();
 }
 
-criterion_group!(benches, bench_hooks, bench_policies);
-criterion_main!(benches);
+fn main() {
+    bench_hooks();
+    bench_policies();
+}

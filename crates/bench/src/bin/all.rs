@@ -1,40 +1,64 @@
-//! Runs every table/figure experiment in sequence and saves each report
-//! under `results/`. This is the one-command reproduction of the paper's
-//! entire evaluation section.
+//! Runs every table/figure experiment and saves each report under
+//! `results/`. This is the one-command reproduction of the paper's entire
+//! evaluation section.
+//!
+//! Experiments are independent deterministic simulations, so they run in
+//! parallel (`--jobs N` or `OLYMPIAN_JOBS=N`, default: all cores) and the
+//! reports are printed and saved in registry order — the output is
+//! byte-identical to a serial run. Wall-clock diagnostics go to stderr.
 
-type Experiment = fn() -> String;
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
 
-fn main() {
-    let experiments: Vec<(&str, Experiment)> = vec![
-        ("table2", bench::figs::table2::run),
-        ("fig03", bench::figs::fig03::run),
-        ("fig04", bench::figs::fig04::run),
-        ("fig06", bench::figs::fig06::run),
-        ("fig08", bench::figs::fig08::run),
-        ("fig11", bench::figs::fig11::run),
-        ("fig12", bench::figs::fig12::run),
-        ("fig13_14", bench::figs::fig13_14::run),
-        ("fig16", bench::figs::fig16::run),
-        ("fig17", bench::figs::fig17::run),
-        ("fig18", bench::figs::fig18::run),
-        ("fig19", bench::figs::fig19::run),
-        ("fig20", bench::figs::fig20::run),
-        ("fig21", bench::figs::fig21::run),
-        ("utilization", bench::figs::utilization::run),
-        ("scalability", bench::figs::scalability::run),
-        ("stability", bench::figs::stability::run),
-        ("multi_gpu", bench::figs::multi_gpu::run),
-        ("dynamic_workload", bench::figs::dynamic_workload::run),
-        ("ablations", bench::figs::ablations::run),
-        ("timeline", bench::figs::timeline::run),
-        ("motivation", bench::figs::motivation::run),
-        ("robustness", bench::figs::robustness::run),
-    ];
-    for (name, f) in experiments {
-        let t0 = std::time::Instant::now();
-        let out = f();
-        print!("{out}");
-        let path = bench::save_result(&format!("{name}.txt"), &out);
-        eprintln!("({name} done in {:.1?}, saved to {})\n", t0.elapsed(), path.display());
+fn usage() -> ExitCode {
+    eprintln!("usage: all [--jobs N]");
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let mut jobs = simpar::max_jobs();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--jobs" => {
+                let Some(v) = args.get(i + 1) else {
+                    return usage();
+                };
+                match v.parse::<usize>() {
+                    Ok(n) if n > 0 => jobs = n,
+                    _ => return usage(),
+                }
+                i += 2;
+            }
+            _ => return usage(),
+        }
     }
+    // Propagate the cap to the nested replication/sweep loops, which size
+    // themselves via `simpar::max_jobs`.
+    std::env::set_var(simpar::JOBS_ENV, jobs.to_string());
+
+    let experiments = bench::figs::registry();
+    let t0 = Instant::now();
+    let results: Vec<(String, Duration)> = simpar::par_map_jobs(jobs, &experiments, |_, &(_, f)| {
+        let t = Instant::now();
+        (f(), t.elapsed())
+    });
+    let mut serial_equivalent = Duration::ZERO;
+    for ((name, _), (out, dt)) in experiments.iter().zip(&results) {
+        print!("{out}");
+        let path = bench::save_result(&format!("{name}.txt"), out);
+        eprintln!("({name} done in {dt:.1?}, saved to {})\n", path.display());
+        serial_equivalent += *dt;
+    }
+    let elapsed = t0.elapsed();
+    eprintln!(
+        "all: {} experiments in {:.1?} with {} jobs (serial-equivalent {:.1?}, speedup {:.2}x)",
+        experiments.len(),
+        elapsed,
+        jobs,
+        serial_equivalent,
+        serial_equivalent.as_secs_f64() / elapsed.as_secs_f64().max(1e-9),
+    );
+    ExitCode::SUCCESS
 }

@@ -28,7 +28,9 @@ fn usage() -> ExitCode {
          olympctl curve --model <name> --batch <n> [--tolerance <frac>]\n  \
          olympctl run --model <name> --batch <n> --clients <n> [--batches <n>]\n               \
          --policy <fair|weighted|priority|drr|lottery|baseline>\n               \
-         [--quantum-us <n>] [--gpus <n>] [--seed <n>]"
+         [--quantum-us <n>] [--gpus <n>] [--seed <n>]\n  \
+         any command also accepts --jobs <n> (worker threads for parallel\n  \
+         sweeps; default: all cores, or OLYMPIAN_JOBS)"
     );
     ExitCode::FAILURE
 }
@@ -272,6 +274,17 @@ fn main() -> ExitCode {
             return usage();
         }
     };
+    if let Some(j) = flags.get("jobs") {
+        match j.parse::<usize>() {
+            // Parallel sweeps (e.g. the Overhead-Q grid) size themselves via
+            // `simpar::max_jobs`, which reads this variable.
+            Ok(n) if n > 0 => std::env::set_var(simpar::JOBS_ENV, n.to_string()),
+            _ => {
+                eprintln!("error: --jobs: expected a positive integer, got {j:?}");
+                return usage();
+            }
+        }
+    }
     let result = match cmd.as_str() {
         "models" => cmd_models(),
         "export-model" => cmd_export_model(&flags),

@@ -1,0 +1,326 @@
+//! `perfsuite` — the engine performance suite.
+//!
+//! Measures the simulator's hot paths and writes `BENCH_engine.json` at the
+//! workspace root:
+//!
+//! * event-queue throughput, for both the optimized 4-ary queue and the
+//!   original binary-heap baseline it replaced (the seed reference), plus
+//!   the resulting speedup;
+//! * end-to-end engine throughput in events/second under the TF-Serving
+//!   baseline (FIFO) and the Olympian scheduler;
+//! * total wall-clock of the full `bench::all` experiment suite run through
+//!   the parallel harness, with its serial-equivalent time and speedup;
+//! * the recorded seed-reference numbers (pre-optimization engine + queue)
+//!   and this run's speedups over them.
+//!
+//! ```text
+//! perfsuite [--smoke] [--jobs N] [--out path]
+//! ```
+//!
+//! `--smoke` keeps the run CI-sized: it still measures the queue and engine
+//! sections but skips the (minutes-long) experiment suite, emitting the same
+//! JSON schema with a zero-experiment suite section.
+
+use bench::harness;
+use microjson::Value;
+use olympian::{OlympianScheduler, Profiler, ProfileStore, RoundRobin};
+use serving::{run_experiment, ClientSpec, EngineConfig, FifoScheduler};
+use simtime::{BaselineEventQueue, DetRng, EventQueue, SimDuration, SimTime};
+use std::hint::black_box;
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Events pushed through each queue per measured iteration.
+const QUEUE_EVENTS: usize = 100_000;
+
+/// Seed-reference numbers: this suite run against the pre-optimization tree
+/// (HashMap job/kernel tables, per-run allocation, binary-heap event queue)
+/// on the same machine — `perfsuite --smoke` for the engine rates and a
+/// timed `all --jobs 1` for the suite wall clock. The queue section needs no
+/// recorded number because `BaselineEventQueue` *is* the seed queue and is
+/// measured live above.
+const SEED_ENGINE_FIFO_EPS: f64 = 3_088_458.0;
+const SEED_ENGINE_OLYMPIAN_EPS: f64 = 2_955_628.0;
+const SEED_SUITE_WALL_SECS: f64 = 172.5;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: perfsuite [--smoke] [--jobs N] [--out path]");
+    ExitCode::FAILURE
+}
+
+/// Pre-generated schedule instants: a mix of near-future times with plenty
+/// of same-instant ties, the shape the serving engine produces.
+fn queue_workload() -> Vec<SimTime> {
+    let mut rng = DetRng::new(0xBEEF);
+    (0..QUEUE_EVENTS)
+        .map(|_| SimTime::from_nanos(rng.range_u64(0, 4096)))
+        .collect()
+}
+
+/// Schedules all instants in bursts of 4, popping 3 per burst, then drains —
+/// exercising both sift directions under realistic occupancy.
+fn churn_optimized(times: &[SimTime]) -> u64 {
+    let mut q: EventQueue<u64> = EventQueue::with_capacity(1024);
+    let mut acc = 0u64;
+    for (i, &t) in times.iter().enumerate() {
+        q.schedule(t, i as u64);
+        if i % 4 == 3 {
+            for _ in 0..3 {
+                acc = acc.wrapping_add(q.pop().expect("non-empty").1);
+            }
+        }
+    }
+    while let Some((_, v)) = q.pop() {
+        acc = acc.wrapping_add(v);
+    }
+    acc
+}
+
+fn churn_baseline(times: &[SimTime]) -> u64 {
+    let mut q: BaselineEventQueue<u64> = BaselineEventQueue::new();
+    let mut acc = 0u64;
+    for (i, &t) in times.iter().enumerate() {
+        q.schedule(t, i as u64);
+        if i % 4 == 3 {
+            for _ in 0..3 {
+                acc = acc.wrapping_add(q.pop().expect("non-empty").1);
+            }
+        }
+    }
+    while let Some((_, v)) = q.pop() {
+        acc = acc.wrapping_add(v);
+    }
+    acc
+}
+
+fn queue_section() -> Value {
+    let times = queue_workload();
+    let opt = harness::run("queue_optimized/4-ary", || black_box(churn_optimized(&times)));
+    let base = harness::run("queue_baseline/binary-heap", || {
+        black_box(churn_baseline(&times))
+    });
+    let opt_eps = opt.per_second() * QUEUE_EVENTS as f64;
+    let base_eps = base.per_second() * QUEUE_EVENTS as f64;
+    let speedup = opt_eps / base_eps;
+    println!(
+        "  -> queue: optimized {opt_eps:.0} events/s vs seed baseline {base_eps:.0} events/s \
+         (speedup {speedup:.2}x)"
+    );
+    Value::Object(vec![
+        ("events_per_iter".into(), Value::UInt(QUEUE_EVENTS as u64)),
+        ("seed_baseline_events_per_sec".into(), Value::Float(base_eps)),
+        ("optimized_events_per_sec".into(), Value::Float(opt_eps)),
+        ("speedup".into(), Value::Float(speedup)),
+    ])
+}
+
+fn engine_clients(n: usize, batches: u32) -> Vec<ClientSpec> {
+    vec![ClientSpec::new(models::mini::small(4), batches); n]
+}
+
+fn engine_entry(
+    name: &str,
+    events_per_run: u64,
+    m: &harness::Measurement,
+) -> ((String, Value), f64) {
+    let eps = m.per_second() * events_per_run as f64;
+    println!("  -> {name}: {eps:.0} events/s ({events_per_run} events per run)");
+    (
+        (
+            name.to_string(),
+            Value::Object(vec![
+                ("events_per_run".into(), Value::UInt(events_per_run)),
+                ("runs_per_sec".into(), Value::Float(m.per_second())),
+                ("events_per_sec".into(), Value::Float(eps)),
+            ]),
+        ),
+        eps,
+    )
+}
+
+/// Returns the section plus the measured (fifo, olympian) events/second for
+/// the seed-reference comparison.
+fn engine_section() -> (Value, f64, f64) {
+    let cfg = EngineConfig::default();
+    let fifo_probe = run_experiment(&cfg, engine_clients(4, 2), &mut FifoScheduler::new());
+    let fifo = harness::run("engine_fifo/clients=4", || {
+        black_box(run_experiment(
+            &cfg,
+            engine_clients(4, 2),
+            &mut FifoScheduler::new(),
+        ))
+    });
+
+    let model = models::mini::small(4);
+    let mut store = ProfileStore::new();
+    store.insert(Profiler::new(&cfg).profile(&model));
+    let store = Arc::new(store);
+    let olympian_sched = || {
+        OlympianScheduler::new(
+            Arc::clone(&store),
+            Box::new(RoundRobin::new()),
+            SimDuration::from_micros(200),
+        )
+    };
+    let oly_probe = run_experiment(&cfg, engine_clients(4, 2), &mut olympian_sched());
+    let oly = harness::run("engine_olympian/clients=4", || {
+        black_box(run_experiment(
+            &cfg,
+            engine_clients(4, 2),
+            &mut olympian_sched(),
+        ))
+    });
+    let (fifo_entry, fifo_eps) = engine_entry("fifo", fifo_probe.event_count, &fifo);
+    let (oly_entry, oly_eps) = engine_entry("olympian", oly_probe.event_count, &oly);
+    (Value::Object(vec![fifo_entry, oly_entry]), fifo_eps, oly_eps)
+}
+
+/// Returns the section plus the measured wall clock (0 in smoke mode).
+fn suite_section(smoke: bool, jobs: usize) -> (Value, f64) {
+    if smoke {
+        return (
+            Value::Object(vec![
+                ("experiments".into(), Value::UInt(0)),
+                ("wall_clock_secs".into(), Value::Float(0.0)),
+                ("serial_equivalent_secs".into(), Value::Float(0.0)),
+                ("speedup".into(), Value::Float(1.0)),
+            ]),
+            0.0,
+        );
+    }
+    let experiments = bench::figs::registry();
+    let t0 = Instant::now();
+    let durations: Vec<Duration> = simpar::par_map_jobs(jobs, &experiments, |_, &(name, f)| {
+        let t = Instant::now();
+        black_box(f());
+        let dt = t.elapsed();
+        eprintln!("  ({name} done in {dt:.1?})");
+        dt
+    });
+    let elapsed = t0.elapsed();
+    let serial_equivalent: Duration = durations.iter().sum();
+    let speedup = serial_equivalent.as_secs_f64() / elapsed.as_secs_f64().max(1e-9);
+    println!(
+        "  -> suite: {} experiments in {elapsed:.1?} with {jobs} jobs \
+         (serial-equivalent {serial_equivalent:.1?}, speedup {speedup:.2}x)",
+        experiments.len()
+    );
+    (
+        Value::Object(vec![
+            ("experiments".into(), Value::UInt(experiments.len() as u64)),
+            ("wall_clock_secs".into(), Value::Float(elapsed.as_secs_f64())),
+            (
+                "serial_equivalent_secs".into(),
+                Value::Float(serial_equivalent.as_secs_f64()),
+            ),
+            ("speedup".into(), Value::Float(speedup)),
+        ]),
+        elapsed.as_secs_f64(),
+    )
+}
+
+/// The recorded seed-reference numbers plus speedups of this run over them.
+fn seed_reference_section(fifo_eps: f64, oly_eps: f64, suite_secs: f64) -> Value {
+    let fifo_speedup = fifo_eps / SEED_ENGINE_FIFO_EPS;
+    let oly_speedup = oly_eps / SEED_ENGINE_OLYMPIAN_EPS;
+    println!(
+        "  -> vs seed: fifo {fifo_speedup:.2}x, olympian {oly_speedup:.2}x \
+         (seed {SEED_ENGINE_FIFO_EPS:.0} / {SEED_ENGINE_OLYMPIAN_EPS:.0} events/s)"
+    );
+    let mut fields = vec![
+        (
+            "engine_fifo_events_per_sec".into(),
+            Value::Float(SEED_ENGINE_FIFO_EPS),
+        ),
+        (
+            "engine_olympian_events_per_sec".into(),
+            Value::Float(SEED_ENGINE_OLYMPIAN_EPS),
+        ),
+        (
+            "suite_wall_clock_secs".into(),
+            Value::Float(SEED_SUITE_WALL_SECS),
+        ),
+        ("engine_fifo_speedup".into(), Value::Float(fifo_speedup)),
+        ("engine_olympian_speedup".into(), Value::Float(oly_speedup)),
+    ];
+    if suite_secs > 0.0 {
+        fields.push((
+            "suite_speedup".into(),
+            Value::Float(SEED_SUITE_WALL_SECS / suite_secs),
+        ));
+    }
+    Value::Object(fields)
+}
+
+fn workspace_root() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root")
+        .to_path_buf()
+}
+
+fn main() -> ExitCode {
+    let mut smoke = false;
+    let mut jobs = simpar::max_jobs();
+    let mut out: Option<String> = None;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--smoke" => {
+                smoke = true;
+                i += 1;
+            }
+            "--jobs" => {
+                let Some(v) = args.get(i + 1) else {
+                    return usage();
+                };
+                match v.parse::<usize>() {
+                    Ok(n) if n > 0 => jobs = n,
+                    _ => return usage(),
+                }
+                i += 2;
+            }
+            "--out" => {
+                let Some(v) = args.get(i + 1) else {
+                    return usage();
+                };
+                out = Some(v.clone());
+                i += 2;
+            }
+            _ => return usage(),
+        }
+    }
+    std::env::set_var(simpar::JOBS_ENV, jobs.to_string());
+
+    println!("perfsuite ({} mode, {jobs} jobs)", if smoke { "smoke" } else { "full" });
+    let queue = queue_section();
+    let (engine, fifo_eps, oly_eps) = engine_section();
+    let (suite, suite_secs) = suite_section(smoke, jobs);
+    let seed_reference = seed_reference_section(fifo_eps, oly_eps, suite_secs);
+
+    let doc = Value::Object(vec![
+        ("schema".into(), Value::str("BENCH_engine/v1")),
+        ("mode".into(), Value::str(if smoke { "smoke" } else { "full" })),
+        ("jobs".into(), Value::UInt(jobs as u64)),
+        ("queue".into(), queue),
+        ("engine".into(), engine),
+        ("suite".into(), suite),
+        ("seed_reference".into(), seed_reference),
+    ]);
+    let mut text = String::new();
+    doc.write(&mut text);
+    text.push('\n');
+    let path = match out {
+        Some(p) => std::path::PathBuf::from(p),
+        None => workspace_root().join("BENCH_engine.json"),
+    };
+    if let Err(e) = std::fs::write(&path, &text) {
+        eprintln!("error: cannot write {}: {e}", path.display());
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {}", path.display());
+    ExitCode::SUCCESS
+}

@@ -32,6 +32,43 @@ use olympian::{OlympianScheduler, ProfileStore, RoundRobin};
 use simtime::SimDuration;
 use std::sync::Arc;
 
+/// An experiment: a stable name (the `results/<name>.txt` key) and the
+/// function regenerating its report.
+pub type Experiment = (&'static str, fn() -> String);
+
+/// Every experiment of the reproduction, in the paper's presentation order.
+///
+/// This is the registry both `bench::all` and `perfsuite` iterate; entries
+/// are independent deterministic simulations, so the harness may run them in
+/// parallel as long as results are merged in registry order.
+pub fn registry() -> Vec<Experiment> {
+    vec![
+        ("table2", table2::run),
+        ("fig03", fig03::run),
+        ("fig04", fig04::run),
+        ("fig06", fig06::run),
+        ("fig08", fig08::run),
+        ("fig11", fig11::run),
+        ("fig12", fig12::run),
+        ("fig13_14", fig13_14::run),
+        ("fig16", fig16::run),
+        ("fig17", fig17::run),
+        ("fig18", fig18::run),
+        ("fig19", fig19::run),
+        ("fig20", fig20::run),
+        ("fig21", fig21::run),
+        ("utilization", utilization::run),
+        ("scalability", scalability::run),
+        ("stability", stability::run),
+        ("multi_gpu", multi_gpu::run),
+        ("dynamic_workload", dynamic_workload::run),
+        ("ablations", ablations::run),
+        ("timeline", timeline::run),
+        ("motivation", motivation::run),
+        ("robustness", robustness::run),
+    ]
+}
+
 /// A fair-sharing Olympian scheduler over the given profiles and quantum.
 pub(crate) fn fair(store: Arc<ProfileStore>, q: SimDuration) -> OlympianScheduler {
     OlympianScheduler::new(store, Box::new(RoundRobin::new()), q)

@@ -14,17 +14,19 @@ use olympian::Profiler;
 pub const RUNS: usize = 100;
 
 /// Profiles Inception `RUNS` times; returns `(costs, durations_us)`.
+///
+/// Each replication derives its configuration (and hence all randomness)
+/// from its own seed, so the replications run in parallel and `par_map`'s
+/// seed-ordered results are byte-identical to the serial loop.
 pub fn samples() -> (Vec<f64>, Vec<f64>) {
     let model = models::load(ModelKind::InceptionV4, 100).expect("zoo model");
-    let mut costs = Vec::with_capacity(RUNS);
-    let mut durations = Vec::with_capacity(RUNS);
-    for seed in 0..RUNS as u64 {
+    let seeds: Vec<u64> = (0..RUNS as u64).collect();
+    let pairs = simpar::par_map(&seeds, |_, &seed| {
         let cfg = default_config().with_seed(seed * 7919 + 13);
         let p = Profiler::new(&cfg).profile(&model);
-        costs.push(p.total_cost as f64);
-        durations.push(p.gpu_duration.as_micros_f64());
-    }
-    (costs, durations)
+        (p.total_cost as f64, p.gpu_duration.as_micros_f64())
+    });
+    pairs.into_iter().unzip()
 }
 
 /// Runs the experiment and returns the report text.

@@ -7,6 +7,7 @@
 //! workload builders, profile-store construction and result printing.
 
 pub mod figs;
+pub mod harness;
 
 use metrics::table::{render_bars, render_table};
 use metrics::Summary;
@@ -61,13 +62,25 @@ pub fn complex_workload(batches: u32) -> Vec<ClientSpec> {
 }
 
 /// Builds a profile store covering the given models.
+///
+/// Distinct models are profiled in parallel (each profiling pass is an
+/// independent deterministic simulation) and inserted in first-seen order,
+/// so the store is identical to a serial build.
 pub fn build_store(cfg: &EngineConfig, models: &[LoadedModel]) -> Arc<ProfileStore> {
     let profiler = Profiler::new(cfg);
-    let mut store = ProfileStore::new();
+    let mut distinct: Vec<&LoadedModel> = Vec::new();
     for m in models {
-        if store.get(m.name(), m.batch()).is_none() {
-            store.insert(profiler.profile(m));
+        if !distinct
+            .iter()
+            .any(|d| d.name() == m.name() && d.batch() == m.batch())
+        {
+            distinct.push(m);
         }
+    }
+    let profiles = simpar::par_map(&distinct, |_, m| profiler.profile(m));
+    let mut store = ProfileStore::new();
+    for p in profiles {
+        store.insert(p);
     }
     Arc::new(store)
 }
@@ -85,14 +98,18 @@ pub fn choose_q(cfg: &EngineConfig, clients: &[ClientSpec], tolerance: f64) -> S
     let profiler = Profiler::new(cfg).with_pair_batches(3);
     let grid = standard_q_grid();
     let mut seen: Vec<(String, u64)> = Vec::new();
-    let mut curves: Vec<OverheadQCurve> = Vec::new();
+    let mut distinct: Vec<&ClientSpec> = Vec::new();
     for c in clients {
         let key = (c.model.name().to_string(), c.model.batch());
         if !seen.contains(&key) {
             seen.push(key);
-            curves.push(profiler.overhead_q_curve(&c.model, &grid));
+            distinct.push(c);
         }
     }
+    // One curve per distinct model, measured in parallel and collected in
+    // first-seen order (identical to the serial sweep).
+    let curves: Vec<OverheadQCurve> =
+        simpar::par_map(&distinct, |_, c| profiler.overhead_q_curve(&c.model, &grid));
     Profiler::q_for_tolerance(&curves, tolerance)
         .unwrap_or_else(|| *grid.last().expect("non-empty grid"))
 }

@@ -8,7 +8,6 @@
 
 use crate::graph::Graph;
 use crate::node::NodeId;
-use serde::{Deserialize, Serialize};
 
 /// Per-node cost table for one graph, in TensorFlow cost-model units.
 ///
@@ -18,7 +17,7 @@ use serde::{Deserialize, Serialize};
 /// let cm = CostModel::from_costs(vec![10, 0, 25]);
 /// assert_eq!(cm.total(), 35);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CostModel {
     costs: Vec<u64>,
 }

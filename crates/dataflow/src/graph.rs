@@ -1,7 +1,6 @@
 //! The immutable dataflow graph.
 
 use crate::node::{Node, NodeId, OpKind, Placement};
-use serde::{Deserialize, Serialize};
 use simtime::SimDuration;
 use std::fmt;
 
@@ -39,7 +38,7 @@ impl std::error::Error for GraphError {}
 /// Construct one with [`crate::GraphBuilder`]. Node ids are dense indices;
 /// adjacency is stored forward (children) with per-node parent counts, which
 /// is exactly the state the readiness-driven executor needs.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Graph {
     pub(crate) nodes: Vec<Node>,
     pub(crate) children: Vec<Vec<NodeId>>,

@@ -1,0 +1,273 @@
+//! JSON conversions for graphs and cost tables.
+//!
+//! The on-disk formats (servables, profile stores) persist [`Graph`] and
+//! [`CostModel`] values. Conversions live here, next to the private fields
+//! they serialize; loading re-validates every structural invariant rather
+//! than trusting the file.
+
+use crate::cost::CostModel;
+use crate::graph::Graph;
+use crate::node::{Node, NodeId, OpKind, Placement};
+use microjson::{Error, Value};
+use simtime::SimDuration;
+
+fn u64_field(v: &Value, key: &str) -> Result<u64, Error> {
+    v.field(key)?
+        .as_u64()
+        .ok_or_else(|| Error::decode(format!("field {key:?} is not a non-negative integer")))
+}
+
+fn str_field<'a>(v: &'a Value, key: &str) -> Result<&'a str, Error> {
+    v.field(key)?
+        .as_str()
+        .ok_or_else(|| Error::decode(format!("field {key:?} is not a string")))
+}
+
+fn array_field<'a>(v: &'a Value, key: &str) -> Result<&'a [Value], Error> {
+    v.field(key)?
+        .as_array()
+        .ok_or_else(|| Error::decode(format!("field {key:?} is not an array")))
+}
+
+impl OpKind {
+    fn json_name(self) -> &'static str {
+        match self {
+            OpKind::InputDecode => "InputDecode",
+            OpKind::BatchAssemble => "BatchAssemble",
+            OpKind::Conv2d => "Conv2d",
+            OpKind::MatMul => "MatMul",
+            OpKind::BatchNorm => "BatchNorm",
+            OpKind::Activation => "Activation",
+            OpKind::Pool => "Pool",
+            OpKind::Concat => "Concat",
+            OpKind::Add => "Add",
+            OpKind::Lrn => "Lrn",
+            OpKind::Softmax => "Softmax",
+            OpKind::Bookkeeping => "Bookkeeping",
+        }
+    }
+
+    fn from_json_name(name: &str) -> Option<OpKind> {
+        OpKind::ALL.into_iter().find(|op| op.json_name() == name)
+    }
+}
+
+impl Placement {
+    fn json_name(self) -> &'static str {
+        match self {
+            Placement::Cpu => "Cpu",
+            Placement::Gpu => "Gpu",
+        }
+    }
+
+    fn from_json_name(name: &str) -> Option<Placement> {
+        match name {
+            "Cpu" => Some(Placement::Cpu),
+            "Gpu" => Some(Placement::Gpu),
+            _ => None,
+        }
+    }
+}
+
+impl Node {
+    fn to_json(&self) -> Value {
+        Value::Object(vec![
+            ("name".into(), Value::str(&self.name)),
+            ("op".into(), Value::str(self.op.json_name())),
+            ("placement".into(), Value::str(self.placement.json_name())),
+            ("duration".into(), Value::UInt(self.duration.as_nanos())),
+            ("true_cost".into(), Value::UInt(self.true_cost)),
+        ])
+    }
+
+    fn from_json(v: &Value) -> Result<Node, Error> {
+        let op_name = str_field(v, "op")?;
+        let op = OpKind::from_json_name(op_name)
+            .ok_or_else(|| Error::decode(format!("unknown op kind {op_name:?}")))?;
+        let placement_name = str_field(v, "placement")?;
+        let placement = Placement::from_json_name(placement_name)
+            .ok_or_else(|| Error::decode(format!("unknown placement {placement_name:?}")))?;
+        Ok(Node {
+            name: str_field(v, "name")?.to_string(),
+            op,
+            placement,
+            duration: SimDuration::from_nanos(u64_field(v, "duration")?),
+            true_cost: u64_field(v, "true_cost")?,
+        })
+    }
+}
+
+impl Graph {
+    /// Converts the graph to its JSON document form.
+    pub fn to_json(&self) -> Value {
+        let nodes: Vec<Value> = self.nodes.iter().map(Node::to_json).collect();
+        let children: Vec<Value> = self
+            .children
+            .iter()
+            .map(|kids| Value::Array(kids.iter().map(|c| Value::UInt(u64::from(c.0))).collect()))
+            .collect();
+        Value::Object(vec![
+            ("nodes".into(), Value::Array(nodes)),
+            ("children".into(), Value::Array(children)),
+        ])
+    }
+
+    /// Rebuilds a graph from [`Graph::to_json`] output, re-deriving parent
+    /// counts and GPU-node totals and re-checking node-id bounds.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error`] on missing fields, wrong types, out-of-range child
+    /// ids or an empty node list.
+    pub fn from_json(v: &Value) -> Result<Graph, Error> {
+        let nodes: Vec<Node> = array_field(v, "nodes")?
+            .iter()
+            .map(Node::from_json)
+            .collect::<Result<_, _>>()?;
+        if nodes.is_empty() {
+            return Err(Error::decode("graph has no nodes"));
+        }
+        let raw_children = array_field(v, "children")?;
+        if raw_children.len() != nodes.len() {
+            return Err(Error::decode(format!(
+                "children table covers {} nodes but graph has {}",
+                raw_children.len(),
+                nodes.len()
+            )));
+        }
+        let mut children: Vec<Vec<NodeId>> = Vec::with_capacity(nodes.len());
+        let mut parent_count = vec![0u32; nodes.len()];
+        for kids in raw_children {
+            let kids = kids
+                .as_array()
+                .ok_or_else(|| Error::decode("children entry is not an array"))?;
+            let mut ids = Vec::with_capacity(kids.len());
+            for kid in kids {
+                let idx = kid
+                    .as_u64()
+                    .ok_or_else(|| Error::decode("child id is not an integer"))?;
+                if idx >= nodes.len() as u64 {
+                    return Err(Error::decode(format!("child id {idx} out of range")));
+                }
+                parent_count[idx as usize] += 1;
+                ids.push(NodeId(idx as u32));
+            }
+            children.push(ids);
+        }
+        let gpu_nodes = nodes.iter().filter(|n| n.placement == Placement::Gpu).count() as u32;
+        Ok(Graph {
+            nodes,
+            children,
+            parent_count,
+            gpu_nodes,
+        })
+    }
+}
+
+impl CostModel {
+    /// Converts the cost table to a JSON array of per-node costs.
+    pub fn to_json(&self) -> Value {
+        Value::Array(self.iter().map(|(_, c)| Value::UInt(c)).collect())
+    }
+
+    /// Rebuilds a cost table from [`CostModel::to_json`] output.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error`] if the value is not an array of non-negative
+    /// integers.
+    pub fn from_json(v: &Value) -> Result<CostModel, Error> {
+        let costs = v
+            .as_array()
+            .ok_or_else(|| Error::decode("cost table is not an array"))?
+            .iter()
+            .map(|c| {
+                c.as_u64()
+                    .ok_or_else(|| Error::decode("cost is not a non-negative integer"))
+            })
+            .collect::<Result<Vec<u64>, _>>()?;
+        Ok(CostModel::from_costs(costs))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{GraphBuilder, NodeTemplate};
+
+    fn diamond() -> Graph {
+        let mut b = GraphBuilder::new();
+        let a = b.add_node(NodeTemplate::cpu(
+            "in",
+            OpKind::InputDecode,
+            SimDuration::from_micros(5),
+        ));
+        let l = b.add_node(NodeTemplate::gpu(
+            "left",
+            OpKind::Conv2d,
+            SimDuration::from_micros(20),
+            300,
+        ));
+        let r = b.add_node(NodeTemplate::gpu(
+            "right",
+            OpKind::Pool,
+            SimDuration::from_micros(10),
+            150,
+        ));
+        let out = b.add_node(NodeTemplate::gpu(
+            "out",
+            OpKind::Concat,
+            SimDuration::from_micros(2),
+            30,
+        ));
+        b.add_edge(a, l).unwrap();
+        b.add_edge(a, r).unwrap();
+        b.add_edge(l, out).unwrap();
+        b.add_edge(r, out).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn graph_roundtrips() {
+        let g = diamond();
+        let back = Graph::from_json(&g.to_json()).unwrap();
+        assert_eq!(back, g);
+    }
+
+    #[test]
+    fn graph_roundtrips_through_text() {
+        let g = diamond();
+        let text = g.to_json().to_string();
+        let back = Graph::from_json(&Value::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, g);
+    }
+
+    #[test]
+    fn out_of_range_child_rejected() {
+        let g = diamond();
+        let mut v = g.to_json();
+        if let Value::Object(fields) = &mut v {
+            fields[1].1 = Value::Array(vec![
+                Value::Array(vec![Value::UInt(99)]),
+                Value::Array(vec![]),
+                Value::Array(vec![]),
+                Value::Array(vec![]),
+            ]);
+        }
+        assert!(Graph::from_json(&v).is_err());
+    }
+
+    #[test]
+    fn cost_model_roundtrips() {
+        let cm = CostModel::from_costs(vec![0, 17, 4_058_477]);
+        let back = CostModel::from_json(&cm.to_json()).unwrap();
+        assert_eq!(back, cm);
+    }
+
+    #[test]
+    fn every_op_kind_roundtrips() {
+        for op in OpKind::ALL {
+            assert_eq!(OpKind::from_json_name(op.json_name()), Some(op));
+        }
+    }
+}

@@ -34,6 +34,7 @@
 mod builder;
 mod cost;
 mod graph;
+mod json;
 mod node;
 
 pub use builder::{GraphBuilder, NodeTemplate};

@@ -1,12 +1,11 @@
 //! Nodes and operations.
 
-use serde::{Deserialize, Serialize};
 use simtime::SimDuration;
 use std::fmt;
 
 /// Identifier of a node within one [`crate::Graph`] (a dense index).
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash,
 )]
 pub struct NodeId(pub(crate) u32);
 
@@ -37,7 +36,7 @@ impl fmt::Display for NodeId {
 }
 
 /// Where a node executes, mirroring TensorFlow device placement.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Placement {
     /// Runs on a CPU worker thread.
     Cpu,
@@ -62,7 +61,7 @@ impl fmt::Display for Placement {
 /// model (different op implementations report different cost densities,
 /// which is why the paper's `C_j/D_j` rate is model-specific).
 #[non_exhaustive]
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum OpKind {
     /// JPEG/PNG decode and resize of a batch of input images (CPU).
     InputDecode,
@@ -158,7 +157,7 @@ impl fmt::Display for OpKind {
 }
 
 /// A single operation in a dataflow graph.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Node {
     pub(crate) name: String,
     pub(crate) op: OpKind,

@@ -16,7 +16,6 @@
 //! A fixed inter-kernel gap models per-launch driver/hardware setup time;
 //! it is why measured GPU utilization sits below 100% even under saturation.
 
-use serde::{Deserialize, Serialize};
 use simtime::{DetRng, SimDuration, SimTime};
 use std::collections::{HashMap, VecDeque};
 
@@ -25,11 +24,11 @@ use std::collections::{HashMap, VecDeque};
 /// The *scheduling* layer never consults it beyond arbitration (the real
 /// driver cannot tell which DNN a kernel belongs to); the measurement layer
 /// uses it for attribution.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct JobTag(pub u64);
 
 /// A GPU hardware model.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DeviceProfile {
     name: String,
     /// Execution-time multiplier relative to the reference device (GTX 1080

@@ -36,7 +36,7 @@ use std::fmt;
 use std::sync::Arc;
 
 /// The seven DNN models of the paper's evaluation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ModelKind {
     /// Inception-v4 (the paper's default workload).
     InceptionV4,

@@ -9,22 +9,10 @@
 
 use crate::{LoadedModel, ModelKind};
 use dataflow::Graph;
-use serde::{Deserialize, Serialize};
+use microjson::Value;
 use std::fmt;
 use std::io::{Read, Write};
 use std::sync::Arc;
-
-/// Serialized form of a [`LoadedModel`].
-#[derive(Debug, Serialize, Deserialize)]
-struct ServableFile {
-    format_version: u32,
-    name: String,
-    kind: Option<ModelKind>,
-    batch: u64,
-    weights_bytes: u64,
-    activation_bytes: u64,
-    graph: Graph,
-}
 
 /// Current servable format version.
 pub const FORMAT_VERSION: u32 = 1;
@@ -35,7 +23,7 @@ pub enum ServableError {
     /// I/O failure.
     Io(std::io::Error),
     /// Malformed JSON.
-    Format(serde_json::Error),
+    Format(microjson::Error),
     /// The file is from an incompatible format version.
     Version {
         /// Version found in the file.
@@ -73,10 +61,32 @@ impl From<std::io::Error> for ServableError {
     }
 }
 
-impl From<serde_json::Error> for ServableError {
-    fn from(e: serde_json::Error) -> Self {
+impl From<microjson::Error> for ServableError {
+    fn from(e: microjson::Error) -> Self {
         ServableError::Format(e)
     }
+}
+
+fn kind_name(kind: ModelKind) -> &'static str {
+    match kind {
+        ModelKind::InceptionV4 => "InceptionV4",
+        ModelKind::GoogLeNet => "GoogLeNet",
+        ModelKind::AlexNet => "AlexNet",
+        ModelKind::Vgg => "Vgg",
+        ModelKind::ResNet50 => "ResNet50",
+        ModelKind::ResNet101 => "ResNet101",
+        ModelKind::ResNet152 => "ResNet152",
+    }
+}
+
+fn kind_from_name(name: &str) -> Option<ModelKind> {
+    ModelKind::ALL.into_iter().find(|k| kind_name(*k) == name)
+}
+
+fn u64_field(v: &Value, key: &str) -> Result<u64, microjson::Error> {
+    v.field(key)?.as_u64().ok_or_else(|| {
+        microjson::Error::decode(format!("field {key:?} is not a non-negative integer"))
+    })
 }
 
 /// Writes a model as a servable to `writer`.
@@ -84,17 +94,23 @@ impl From<serde_json::Error> for ServableError {
 /// # Errors
 ///
 /// Returns [`ServableError`] on I/O or serialization failure.
-pub fn save<W: Write>(model: &LoadedModel, writer: W) -> Result<(), ServableError> {
-    let file = ServableFile {
-        format_version: FORMAT_VERSION,
-        name: model.name().to_string(),
-        kind: model.kind(),
-        batch: model.batch(),
-        weights_bytes: model.weights_bytes(),
-        activation_bytes: model.activation_bytes(),
-        graph: model.graph().as_ref().clone(),
-    };
-    serde_json::to_writer(writer, &file)?;
+pub fn save<W: Write>(model: &LoadedModel, mut writer: W) -> Result<(), ServableError> {
+    let doc = Value::Object(vec![
+        ("format_version".into(), Value::UInt(u64::from(FORMAT_VERSION))),
+        ("name".into(), Value::str(model.name())),
+        (
+            "kind".into(),
+            match model.kind() {
+                Some(kind) => Value::str(kind_name(kind)),
+                None => Value::Null,
+            },
+        ),
+        ("batch".into(), Value::UInt(model.batch())),
+        ("weights_bytes".into(), Value::UInt(model.weights_bytes())),
+        ("activation_bytes".into(), Value::UInt(model.activation_bytes())),
+        ("graph".into(), model.graph().to_json()),
+    ]);
+    writer.write_all(doc.to_string().as_bytes())?;
     Ok(())
 }
 
@@ -105,20 +121,38 @@ pub fn save<W: Write>(model: &LoadedModel, writer: W) -> Result<(), ServableErro
 /// Returns [`ServableError`] on I/O failure, malformed input or an
 /// unsupported format version.
 pub fn load<R: Read>(reader: R) -> Result<LoadedModel, ServableError> {
-    let file: ServableFile = serde_json::from_reader(reader)?;
-    if file.format_version != FORMAT_VERSION {
+    let doc = Value::from_reader(reader)?;
+    let format_version = u64_field(&doc, "format_version")?;
+    if format_version != u64::from(FORMAT_VERSION) {
         return Err(ServableError::Version {
-            found: file.format_version,
+            found: u32::try_from(format_version).unwrap_or(u32::MAX),
             supported: FORMAT_VERSION,
         });
     }
+    let name = doc
+        .field("name")?
+        .as_str()
+        .ok_or_else(|| microjson::Error::decode("field \"name\" is not a string"))?
+        .to_string();
+    let kind = match doc.field("kind")? {
+        Value::Null => None,
+        v => {
+            let text = v
+                .as_str()
+                .ok_or_else(|| microjson::Error::decode("field \"kind\" is not a string"))?;
+            Some(kind_from_name(text).ok_or_else(|| {
+                microjson::Error::decode(format!("unknown model kind {text:?}"))
+            })?)
+        }
+    };
+    let graph = Graph::from_json(doc.field("graph")?)?;
     Ok(LoadedModel::from_parts(
-        file.name,
-        file.kind,
-        file.batch,
-        Arc::new(file.graph),
-        file.weights_bytes,
-        file.activation_bytes,
+        name,
+        kind,
+        u64_field(&doc, "batch")?,
+        Arc::new(graph),
+        u64_field(&doc, "weights_bytes")?,
+        u64_field(&doc, "activation_bytes")?,
     ))
 }
 

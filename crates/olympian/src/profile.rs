@@ -1,7 +1,7 @@
 //! Offline profiles and their persistent store.
 
 use dataflow::{CostModel, NodeId};
-use serde::{Deserialize, Serialize};
+use microjson::Value;
 use simtime::SimDuration;
 use std::collections::HashMap;
 use std::fmt;
@@ -12,7 +12,7 @@ use std::sync::Arc;
 ///
 /// Contains everything Olympian's online scheduler needs: the per-node cost
 /// table, the total cost `C_j`, and the exclusive-access GPU duration `D_j`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ModelProfile {
     /// Model name (the serving-layer profile key).
     pub model: String,
@@ -57,6 +57,35 @@ impl ModelProfile {
     pub fn node_cost(&self, node: NodeId) -> u64 {
         self.costs.cost(node)
     }
+
+    fn to_json(&self) -> Value {
+        Value::Object(vec![
+            ("model".into(), Value::str(&self.model)),
+            ("batch".into(), Value::UInt(self.batch)),
+            ("costs".into(), self.costs.to_json()),
+            ("total_cost".into(), Value::UInt(self.total_cost)),
+            ("gpu_duration".into(), Value::UInt(self.gpu_duration.as_nanos())),
+        ])
+    }
+
+    fn from_json(v: &Value) -> Result<ModelProfile, microjson::Error> {
+        let u64_field = |key: &str| -> Result<u64, microjson::Error> {
+            v.field(key)?.as_u64().ok_or_else(|| {
+                microjson::Error::decode(format!("field {key:?} is not a non-negative integer"))
+            })
+        };
+        Ok(ModelProfile {
+            model: v
+                .field("model")?
+                .as_str()
+                .ok_or_else(|| microjson::Error::decode("field \"model\" is not a string"))?
+                .to_string(),
+            batch: u64_field("batch")?,
+            costs: CostModel::from_json(v.field("costs")?)?,
+            total_cost: u64_field("total_cost")?,
+            gpu_duration: SimDuration::from_nanos(u64_field("gpu_duration")?),
+        })
+    }
 }
 
 /// Error from loading or saving a profile store.
@@ -65,7 +94,7 @@ pub enum StoreError {
     /// I/O failure.
     Io(std::io::Error),
     /// Malformed serialized store.
-    Format(serde_json::Error),
+    Format(microjson::Error),
 }
 
 impl fmt::Display for StoreError {
@@ -92,8 +121,8 @@ impl From<std::io::Error> for StoreError {
     }
 }
 
-impl From<serde_json::Error> for StoreError {
-    fn from(e: serde_json::Error) -> Self {
+impl From<microjson::Error> for StoreError {
+    fn from(e: microjson::Error) -> Self {
         StoreError::Format(e)
     }
 }
@@ -187,10 +216,11 @@ impl ProfileStore {
     /// # Errors
     ///
     /// Returns [`StoreError`] on I/O or serialization failure.
-    pub fn save<W: Write>(&self, writer: W) -> Result<(), StoreError> {
+    pub fn save<W: Write>(&self, mut writer: W) -> Result<(), StoreError> {
         let mut items: Vec<&ModelProfile> = self.profiles.values().map(|p| p.as_ref()).collect();
         items.sort_by(|a, b| (&a.model, a.batch).cmp(&(&b.model, b.batch)));
-        serde_json::to_writer(writer, &items)?;
+        let doc = Value::Array(items.iter().map(|p| p.to_json()).collect());
+        writer.write_all(doc.to_string().as_bytes())?;
         Ok(())
     }
 
@@ -200,10 +230,13 @@ impl ProfileStore {
     ///
     /// Returns [`StoreError`] on I/O failure or malformed input.
     pub fn load<R: Read>(reader: R) -> Result<ProfileStore, StoreError> {
-        let items: Vec<ModelProfile> = serde_json::from_reader(reader)?;
+        let doc = Value::from_reader(reader)?;
+        let items = doc
+            .as_array()
+            .ok_or_else(|| microjson::Error::decode("profile store is not an array"))?;
         let mut store = ProfileStore::new();
-        for p in items {
-            store.insert(p);
+        for item in items {
+            store.insert(ModelProfile::from_json(item)?);
         }
         Ok(store)
     }

@@ -291,17 +291,17 @@ impl Profiler {
         store.insert(profile);
         let store = Arc::new(store);
 
-        let mut points: Vec<(SimDuration, f64)> = qs
-            .iter()
-            .map(|&q| {
-                let mut sched =
-                    OlympianScheduler::new(Arc::clone(&store), Box::new(RoundRobin::new()), q);
-                let run = run_experiment(&self.cfg, clients(), &mut sched);
-                assert!(run.all_finished(), "olympian race must complete");
-                let overhead = (run.makespan.as_secs_f64() - base_finish) / base_finish;
-                (q, overhead)
-            })
-            .collect();
+        // Each candidate race is an independent deterministic simulation, so
+        // the grid is swept in parallel; `par_map` returns results in grid
+        // order, keeping the curve byte-identical to a serial sweep.
+        let mut points: Vec<(SimDuration, f64)> = simpar::par_map(qs, |_, &q| {
+            let mut sched =
+                OlympianScheduler::new(Arc::clone(&store), Box::new(RoundRobin::new()), q);
+            let run = run_experiment(&self.cfg, clients(), &mut sched);
+            assert!(run.all_finished(), "olympian race must complete");
+            let overhead = (run.makespan.as_secs_f64() - base_finish) / base_finish;
+            (q, overhead)
+        });
         points.sort_by_key(|&(q, _)| q);
         OverheadQCurve {
             model: model.name().to_string(),

@@ -24,9 +24,8 @@
 //! assert!(outcome.switches >= 2);
 //! ```
 
-use parking_lot::{Condvar, Mutex};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 /// Identifier of a gang (one job) in a threaded run.
@@ -162,21 +161,21 @@ impl GangPool {
                         // token (Algorithm 2 line 12).
                         {
                             let (lock, cv) = &*state;
-                            let mut s = lock.lock();
+                            let mut s = lock.lock().unwrap();
                             while s.token != gang_idx {
-                                cv.wait(&mut s);
+                                s = cv.wait(s).unwrap();
                             }
                         }
                         // --- compute(node): occupy the serial device.
                         {
-                            let _gpu = device.lock();
+                            let _gpu = device.lock().unwrap();
                             spin_for(Duration::from_micros(wl.node_cost / 10));
                         }
                         // --- cost accounting + quantum expiry
                         // (Algorithm 2 lines 14-18).
                         {
                             let (lock, cv) = &*state;
-                            let mut s = lock.lock();
+                            let mut s = lock.lock().unwrap();
                             s.cumulated[gang_idx] += wl.node_cost;
                             if s.cumulated[gang_idx] >= quantum && s.token == gang_idx {
                                 s.cumulated[gang_idx] -= quantum;
@@ -193,10 +192,10 @@ impl GangPool {
                         // --- completion bookkeeping
                         let done = done_nodes.fetch_add(1, Ordering::AcqRel) + 1;
                         if done == wl.nodes as usize {
-                            *finish_slot.lock() = start.elapsed();
-                            finish_order.lock().push(GangId(gang_idx));
+                            *finish_slot.lock().unwrap() = start.elapsed();
+                            finish_order.lock().unwrap().push(GangId(gang_idx));
                             let (lock, cv) = &*state;
-                            let mut s = lock.lock();
+                            let mut s = lock.lock().unwrap();
                             s.live[gang_idx] = false;
                             if s.token == gang_idx {
                                 rotate(&mut s, n);
@@ -211,11 +210,12 @@ impl GangPool {
         for h in handles {
             h.join().expect("gang worker panicked");
         }
-        let finish_times = finish_slots.iter().map(|s| *s.lock()).collect();
+        let finish_times = finish_slots.iter().map(|s| *s.lock().unwrap()).collect();
         GangOutcome {
             finish_order: Arc::try_unwrap(finish_order)
                 .expect("all workers joined")
-                .into_inner(),
+                .into_inner()
+                .expect("finish-order lock unpoisoned"),
             finish_times,
             switches: switches.load(Ordering::Relaxed),
         }

@@ -38,6 +38,12 @@ use simtime::{DetRng, EventQueue, SimDuration, SimTime};
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 
+/// Initial event-queue capacity: covers the paper-scale experiments' peak
+/// pending-event count, so the hot loop never reallocates the heap.
+const EVENT_QUEUE_CAPACITY: usize = 4096;
+/// Initial capacity of the per-run quanta log.
+const QUANTA_CAPACITY: usize = 32;
+
 #[derive(Debug)]
 enum Event {
     ClientStart(ClientId),
@@ -93,9 +99,49 @@ impl JobState {
             starving: false,
             gpu_busy: SimDuration::ZERO,
             quantum_acc: SimDuration::ZERO,
-            quanta: Vec::new(),
+            quanta: Vec::with_capacity(QUANTA_CAPACITY),
         }
     }
+
+    /// Re-initialises a recycled slot for a fresh run, reusing the
+    /// `remaining_parents`, `ready` and `quanta` allocations so steady-state
+    /// serving allocates nothing per run.
+    fn reset(&mut self, client: ClientId, graph: Arc<Graph>) {
+        self.remaining_parents.clear();
+        self.remaining_parents
+            .extend(graph.node_ids().map(|id| graph.parent_count(id)));
+        self.ready.clear();
+        // Same contents and order as `graph.roots()`, without the fresh Vec.
+        self.ready
+            .extend(graph.node_ids().filter(|&id| graph.parent_count(id) == 0));
+        self.total_nodes = graph.node_count() as u32;
+        self.client = client;
+        self.graph = graph;
+        self.done_nodes = 0;
+        self.held = 0;
+        self.busy = 0;
+        self.resume_at = SimTime::ZERO;
+        self.resume_scheduled = false;
+        self.starving = false;
+        self.gpu_busy = SimDuration::ZERO;
+        self.quantum_acc = SimDuration::ZERO;
+        self.quanta.clear();
+    }
+}
+
+/// A job handle in the dense `job_refs` table, indexed by `JobId.0`.
+///
+/// Job ids are allocated densely from zero, so a `Vec` index replaces the
+/// `HashMap` probe on the per-node hot path.
+#[derive(Debug, Clone, Copy)]
+enum JobRef {
+    /// Rejected at registration, or completed.
+    Dead,
+    /// Live, holding this job's slot index in `job_slots`.
+    Live(u32),
+    /// Cancelled by a deadline; remembers the device index so stale kernel
+    /// completions still pump the device.
+    Cancelled(u32),
 }
 
 #[derive(Debug)]
@@ -123,20 +169,22 @@ struct Engine<'a> {
     memories: Vec<MemoryPool>,
     scheduler: &'a mut dyn Scheduler,
     clients: Vec<ClientState>,
-    jobs: HashMap<JobId, JobState>,
-    next_job_id: u64,
+    /// Job handles, indexed by `JobId.0` — ids are dense from 0 (one per
+    /// `register` call, including rejected ones).
+    job_refs: Vec<JobRef>,
+    /// Job-state slots; completed slots go on `free_slots` and are `reset`
+    /// for the next run instead of reallocated.
+    job_slots: Vec<JobState>,
+    free_slots: Vec<u32>,
     pool_idle: u32,
     starving: VecDeque<JobId>,
     /// Clients waiting for memory under queued admission, FIFO.
     admission_waiting: VecDeque<ClientId>,
-    /// Jobs cancelled by a deadline (→ their device index); stale events
-    /// for them are swallowed.
-    cancelled_jobs: HashMap<JobId, usize>,
     /// Loaded weights, keyed by (model name, device index).
     weights_loaded: HashMap<(String, u32), Allocation>,
-    /// In-flight kernels: device payload → (job, node).
-    kernels: HashMap<u64, (JobId, NodeId)>,
-    next_kernel_id: u64,
+    /// In-flight kernel slab: the device payload is the slab index.
+    kernels: Vec<Option<(JobId, NodeId)>>,
+    kernel_free: Vec<u32>,
     last_switch: Option<SimTime>,
     trace: Vec<TraceEvent>,
     intervals: Vec<SimDuration>,
@@ -197,24 +245,24 @@ pub fn run_experiment(
         .collect();
     let mut engine = Engine {
         cfg: cfg.clone(),
-        queue: EventQueue::new(),
+        queue: EventQueue::with_capacity(EVENT_QUEUE_CAPACITY),
         now: SimTime::ZERO,
         devices,
         memories,
         scheduler,
         clients: client_states,
-        jobs: HashMap::new(),
-        next_job_id: 0,
+        job_refs: Vec::with_capacity(256),
+        job_slots: Vec::new(),
+        free_slots: Vec::new(),
         pool_idle: cfg.pool_size,
         starving: VecDeque::new(),
         admission_waiting: VecDeque::new(),
-        cancelled_jobs: HashMap::new(),
         weights_loaded: HashMap::new(),
-        kernels: HashMap::new(),
-        next_kernel_id: 0,
+        kernels: Vec::with_capacity(64),
+        kernel_free: Vec::with_capacity(64),
         last_switch: None,
-        trace: Vec::new(),
-        intervals: Vec::new(),
+        trace: Vec::with_capacity(if cfg.record_trace { 1024 } else { 0 }),
+        intervals: Vec::with_capacity(256),
         switch_count: 0,
         timer_gen: 0,
         event_count: 0,
@@ -228,6 +276,17 @@ pub fn run_experiment(
 }
 
 impl Engine<'_> {
+    /// The slot index of `id` if it is live. Returns a copied index (not a
+    /// reference) so callers can split borrows between `job_slots` and the
+    /// engine's other fields.
+    #[inline]
+    fn live_slot(&self, id: JobId) -> Option<usize> {
+        match self.job_refs.get(id.0 as usize) {
+            Some(&JobRef::Live(s)) => Some(s as usize),
+            _ => None,
+        }
+    }
+
     fn run(&mut self) {
         while let Some((t, event)) = self.queue.pop() {
             debug_assert!(t >= self.now, "time went backwards");
@@ -245,13 +304,13 @@ impl Engine<'_> {
                 Event::SubmitKernel { job, node } => self.submit_kernel(job, node),
                 Event::NodeDone { job, node, gpu } => self.node_done(job, node, gpu),
                 Event::RunDeadline(job) => {
-                    if self.jobs.contains_key(&job) {
+                    if self.live_slot(job).is_some() {
                         self.cancel_job(job);
                     }
                 }
                 Event::ResumeJob(job) => {
-                    if let Some(j) = self.jobs.get_mut(&job) {
-                        j.resume_scheduled = false;
+                    if let Some(slot) = self.live_slot(job) {
+                        self.job_slots[slot].resume_scheduled = false;
                     }
                     self.dispatch(job);
                 }
@@ -379,8 +438,7 @@ impl Engine<'_> {
     }
 
     fn start_run(&mut self, c: ClientId) {
-        let job_id = JobId(self.next_job_id);
-        self.next_job_id += 1;
+        let job_id = JobId(self.job_refs.len() as u64);
         let client = &self.clients[c.0 as usize];
         let graph = Arc::clone(client.spec.model.graph());
         let ctx = JobCtx {
@@ -395,7 +453,17 @@ impl Engine<'_> {
         match self.scheduler.register(job_id, &ctx) {
             Ok(verdict) => {
                 self.record(TraceKind::RunRegistered { job: job_id, client: c });
-                self.jobs.insert(job_id, JobState::new(c, graph));
+                let slot = match self.free_slots.pop() {
+                    Some(s) => {
+                        self.job_slots[s as usize].reset(c, graph);
+                        s
+                    }
+                    None => {
+                        self.job_slots.push(JobState::new(c, graph));
+                        (self.job_slots.len() - 1) as u32
+                    }
+                };
+                self.job_refs.push(JobRef::Live(slot));
                 self.clients[c.0 as usize].current_job = Some(job_id);
                 if let Some(deadline) = self.clients[c.0 as usize].spec.run_deadline {
                     self.queue
@@ -406,6 +474,9 @@ impl Engine<'_> {
                 self.dispatch(job_id);
             }
             Err(e) => {
+                // The id was consumed by the `register` call; keep the
+                // table dense.
+                self.job_refs.push(JobRef::Dead);
                 let client = &mut self.clients[c.0 as usize];
                 client.outcome = Some(ClientOutcome::RejectedByScheduler(e.to_string()));
                 let dev = client.device as usize;
@@ -418,27 +489,35 @@ impl Engine<'_> {
     }
 
     fn complete_run(&mut self, job_id: JobId) {
-        let mut job = self.jobs.remove(&job_id).expect("completing a live job");
-        debug_assert_eq!(job.busy, 0, "no in-flight work at completion");
+        let slot = self.live_slot(job_id).expect("completing a live job");
+        self.job_refs[job_id.0 as usize] = JobRef::Dead;
+        let (held, c, gpu_busy) = {
+            let job = &mut self.job_slots[slot];
+            debug_assert_eq!(job.busy, 0, "no in-flight work at completion");
+            if job.quantum_acc > SimDuration::ZERO {
+                let acc = std::mem::take(&mut job.quantum_acc);
+                job.quanta.push((self.now, acc));
+            }
+            (std::mem::take(&mut job.held), job.client, job.gpu_busy)
+        };
         // Return the whole gang to the pool.
-        if job.held > 0 {
-            self.pool_idle += job.held;
-            job.held = 0;
+        if held > 0 {
+            self.pool_idle += held;
             self.wake_starving();
         }
-        if job.quantum_acc > SimDuration::ZERO {
-            job.quanta.push((self.now, job.quantum_acc));
-        }
-        let c = job.client;
         self.record(TraceKind::RunCompleted { job: job_id, client: c });
         {
+            let job = &self.job_slots[slot];
             let client = &mut self.clients[c.0 as usize];
             client.run_finish_times.push(self.now);
-            client.run_gpu_durations.push(job.gpu_busy);
+            client.run_gpu_durations.push(gpu_busy);
             client.quantum_marks.extend(job.quanta.iter().copied());
             client.batches_done += 1;
             client.current_job = None;
         }
+        // Recycle the slot *before* any nested `start_run` below, so the
+        // client's next batch reuses this run's buffers.
+        self.free_slots.push(slot as u32);
         let verdict = self.scheduler.deregister(job_id, self.now);
         self.apply_verdict(verdict);
         self.schedule_timer();
@@ -472,25 +551,37 @@ impl Engine<'_> {
     /// Kernels already *executing* finish on the device (non-preemptive, as
     /// on real hardware) but their completions are swallowed.
     fn cancel_job(&mut self, job_id: JobId) {
-        let job = self.jobs.remove(&job_id).expect("cancelling a live job");
-        let c = job.client;
+        let slot = self.live_slot(job_id).expect("cancelling a live job");
+        let (held, c) = {
+            let job = &self.job_slots[slot];
+            (job.held, job.client)
+        };
         self.record(TraceKind::RunCancelled { job: job_id, client: c });
         let dev = self.clients[c.0 as usize].device as usize;
-        self.cancelled_jobs.insert(job_id, dev);
+        self.job_refs[job_id.0 as usize] = JobRef::Cancelled(dev as u32);
+        self.free_slots.push(slot as u32);
         // Drop this job's not-yet-started kernels from the device queue.
-        let doomed: std::collections::HashSet<u64> = self
+        // Cancellation is rare, so the scratch collections are built only
+        // here, and `doomed` is in ascending slab order so the free list
+        // stays deterministic.
+        let doomed: Vec<u64> = self
             .kernels
             .iter()
-            .filter(|(_, &(j, _))| j == job_id)
-            .map(|(&k, _)| k)
+            .enumerate()
+            .filter(|(_, e)| matches!(e, Some((j, _)) if *j == job_id))
+            .map(|(k, _)| k as u64)
             .collect();
         if !doomed.is_empty() {
-            self.devices[dev].cancel_payloads(&doomed);
-            self.kernels.retain(|k, _| !doomed.contains(k));
+            let doomed_set: std::collections::HashSet<u64> = doomed.iter().copied().collect();
+            self.devices[dev].cancel_payloads(&doomed_set);
+            for &k in &doomed {
+                self.kernels[k as usize] = None;
+                self.kernel_free.push(k as u32);
+            }
         }
         // The gang's threads observe the cancellation and return.
-        if job.held > 0 {
-            self.pool_idle += job.held;
+        if held > 0 {
+            self.pool_idle += held;
             self.wake_starving();
         }
         let verdict = self.scheduler.deregister(job_id, self.now);
@@ -525,7 +616,8 @@ impl Engine<'_> {
         }
         self.last_switch = Some(self.now);
         if let Some(old) = from {
-            if let Some(j) = self.jobs.get_mut(&old) {
+            if let Some(slot) = self.live_slot(old) {
+                let j = &mut self.job_slots[slot];
                 if j.quantum_acc > SimDuration::ZERO {
                     let acc = std::mem::take(&mut j.quantum_acc);
                     j.quanta.push((self.now, acc));
@@ -533,11 +625,13 @@ impl Engine<'_> {
             }
         }
         if let Some(new) = to {
-            if let Some(j) = self.jobs.get_mut(&new) {
+            if let Some(slot) = self.live_slot(new) {
+                let j = &mut self.job_slots[slot];
                 j.resume_at = self.now + self.cfg.switch_latency;
                 if !j.resume_scheduled {
                     j.resume_scheduled = true;
-                    self.queue.schedule(j.resume_at, Event::ResumeJob(new));
+                    let at = j.resume_at;
+                    self.queue.schedule(at, Event::ResumeJob(new));
                 }
             }
         }
@@ -555,8 +649,8 @@ impl Engine<'_> {
             let Some(job) = self.starving.pop_front() else {
                 break;
             };
-            if let Some(j) = self.jobs.get_mut(&job) {
-                j.starving = false;
+            if let Some(slot) = self.live_slot(job) {
+                self.job_slots[slot].starving = false;
                 self.dispatch(job);
             }
         }
@@ -566,7 +660,7 @@ impl Engine<'_> {
 
     fn dispatch(&mut self, job_id: JobId) {
         loop {
-            let Some(job) = self.jobs.get(&job_id) else {
+            let Some(slot) = self.live_slot(job_id) else {
                 return;
             };
             // Algorithm 2 line 12: scheduler.yield() — a suspended gang's
@@ -574,10 +668,11 @@ impl Engine<'_> {
             if !self.scheduler.may_run(job_id) {
                 return;
             }
+            let job = &self.job_slots[slot];
             // Gang wake-up latency after a token hand-off.
             if self.now < job.resume_at {
                 let at = job.resume_at;
-                let job = self.jobs.get_mut(&job_id).expect("job exists");
+                let job = &mut self.job_slots[slot];
                 if !job.resume_scheduled {
                     job.resume_scheduled = true;
                     self.queue.schedule(at, Event::ResumeJob(job_id));
@@ -589,8 +684,7 @@ impl Engine<'_> {
                 // (TF-Serving returns threads as soon as Process() drains).
                 let idle = job.held - job.busy;
                 if idle > 0 {
-                    let job = self.jobs.get_mut(&job_id).expect("job exists");
-                    job.held -= idle;
+                    self.job_slots[slot].held -= idle;
                     self.pool_idle += idle;
                     self.wake_starving();
                 }
@@ -601,18 +695,16 @@ impl Engine<'_> {
             if job.held == job.busy {
                 if job.held < gang_limit && self.pool_idle > 0 {
                     self.pool_idle -= 1;
-                    let job = self.jobs.get_mut(&job_id).expect("job exists");
-                    job.held += 1;
+                    self.job_slots[slot].held += 1;
                 } else {
                     if job.busy == 0 && !job.starving {
-                        let job = self.jobs.get_mut(&job_id).expect("job exists");
-                        job.starving = true;
+                        self.job_slots[slot].starving = true;
                         self.starving.push_back(job_id);
                     }
                     return;
                 }
             }
-            let job = self.jobs.get_mut(&job_id).expect("job exists");
+            let job = &mut self.job_slots[slot];
             job.busy += 1;
             let node = job.ready.pop_front().expect("checked non-empty");
             self.execute_node(job_id, node);
@@ -620,7 +712,8 @@ impl Engine<'_> {
     }
 
     fn execute_node(&mut self, job_id: JobId, node: NodeId) {
-        let job = self.jobs.get(&job_id).expect("executing a live job");
+        let slot = self.live_slot(job_id).expect("executing a live job");
+        let job = &self.job_slots[slot];
         let graph = Arc::clone(&job.graph);
         let client = &mut self.clients[job.client.0 as usize];
         let n = graph.node(node);
@@ -654,10 +747,13 @@ impl Engine<'_> {
     }
 
     fn submit_kernel(&mut self, job_id: JobId, node: NodeId) {
-        if self.cancelled_jobs.contains_key(&job_id) {
-            return; // launch raced with a deadline cancellation
-        }
-        let job = self.jobs.get(&job_id).expect("submitting for a live job");
+        let slot = match self.job_refs[job_id.0 as usize] {
+            JobRef::Live(s) => s as usize,
+            // Launch raced with a deadline cancellation.
+            JobRef::Cancelled(_) => return,
+            JobRef::Dead => unreachable!("submitting for a dead job"),
+        };
+        let job = &self.job_slots[slot];
         let duration = job.graph.node(node).duration();
         let tag = JobTag(job.client.0 as u64);
         let inflation = if self.cfg.online_profiling {
@@ -666,9 +762,16 @@ impl Engine<'_> {
             1.0
         };
         let dev = self.clients[job.client.0 as usize].device as usize;
-        let kernel_id = self.next_kernel_id;
-        self.next_kernel_id += 1;
-        self.kernels.insert(kernel_id, (job_id, node));
+        let kernel_id = match self.kernel_free.pop() {
+            Some(k) => {
+                self.kernels[k as usize] = Some((job_id, node));
+                u64::from(k)
+            }
+            None => {
+                self.kernels.push(Some((job_id, node)));
+                (self.kernels.len() - 1) as u64
+            }
+        };
         self.devices[dev].enqueue(tag, kernel_id, duration, inflation);
         self.pump_device(dev);
     }
@@ -678,10 +781,11 @@ impl Engine<'_> {
     /// the device's pump protocol keeps exactly one completion outstanding.
     fn pump_device(&mut self, dev: usize) {
         if let Some(k) = self.devices[dev].try_start(self.now) {
-            let (job, node) = self
-                .kernels
-                .remove(&k.payload)
+            let idx = k.payload as usize;
+            let (job, node) = self.kernels[idx]
+                .take()
                 .expect("started kernel was enqueued");
+            self.kernel_free.push(idx as u32);
             self.queue.schedule(
                 k.end,
                 Event::NodeDone { job, node, gpu: Some(k.duration) },
@@ -690,23 +794,25 @@ impl Engine<'_> {
     }
 
     fn node_done(&mut self, job_id: JobId, node: NodeId, gpu: Option<SimDuration>) {
-        if let Some(&dev) = self.cancelled_jobs.get(&job_id) {
-            // Overflow completion of a cancelled job: the device is free
-            // again, but nobody is accounting for this job any more.
-            if gpu.is_some() {
-                self.pump_device(dev);
+        let slot = match self.job_refs[job_id.0 as usize] {
+            JobRef::Live(s) => s as usize,
+            JobRef::Cancelled(dev) => {
+                // Overflow completion of a cancelled job: the device is free
+                // again, but nobody is accounting for this job any more.
+                if gpu.is_some() {
+                    self.pump_device(dev as usize);
+                }
+                return;
             }
-            return;
-        }
+            JobRef::Dead => unreachable!("finishing a dead job"),
+        };
         if gpu.is_some() {
             // A kernel just finished: its device is free for the next one.
-            let dev = {
-                let job = self.jobs.get(&job_id).expect("finishing a live job");
-                self.clients[job.client.0 as usize].device as usize
-            };
+            let dev =
+                self.clients[self.job_slots[slot].client.0 as usize].device as usize;
             self.pump_device(dev);
         }
-        let job = self.jobs.get_mut(&job_id).expect("finishing a live job");
+        let job = &mut self.job_slots[slot];
         job.busy -= 1;
         job.done_nodes += 1;
         if let Some(d) = gpu {
@@ -719,7 +825,7 @@ impl Engine<'_> {
             self.apply_verdict(verdict);
             self.schedule_timer();
         }
-        let job = self.jobs.get_mut(&job_id).expect("job exists");
+        let job = &mut self.job_slots[slot];
         let graph = Arc::clone(&job.graph);
         for &child in graph.children(node) {
             let r = &mut job.remaining_parents[child.index()];

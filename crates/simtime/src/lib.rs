@@ -34,7 +34,7 @@ mod queue;
 mod rng;
 mod time;
 
-pub use queue::EventQueue;
+pub use queue::{BaselineEventQueue, EventQueue};
 pub use rng::DetRng;
 pub use time::{SimDuration, SimTime};
 

@@ -2,8 +2,8 @@
 //!
 //! Simulation results must stay bit-identical across dependency upgrades, so
 //! the simulator core uses this fixed SplitMix64-based generator rather than
-//! `rand`'s (version-dependent) algorithms. `rand`/`proptest` are still used
-//! in tests and workload generators where stability matters less.
+//! `rand`'s (version-dependent) algorithms. The randomized test suites draw
+//! their cases from the same generator, keeping the workspace dependency-free.
 
 /// Deterministic pseudo-random number generator (SplitMix64 core).
 ///

@@ -1,6 +1,5 @@
 //! Element types.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Element type of a tensor.
@@ -15,7 +14,7 @@ use std::fmt;
 /// assert!(DType::F16.is_float());
 /// ```
 #[non_exhaustive]
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
 pub enum DType {
     /// 32-bit IEEE float — the default for inference weights and activations.
     #[default]

@@ -32,7 +32,7 @@ pub use shape::{Shape, ShapeError};
 /// let spec = TensorSpec::new(Shape::vector(1000), DType::F16);
 /// assert_eq!(spec.byte_size(), 2000);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct TensorSpec {
     shape: Shape,
     dtype: DType,

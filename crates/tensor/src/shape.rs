@@ -1,7 +1,6 @@
 //! Tensor shapes.
 
 use crate::DType;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Error produced by shape operations.
@@ -40,7 +39,7 @@ impl std::error::Error for ShapeError {}
 /// assert_eq!(s.rank(), 4);
 /// assert_eq!(s.elements(), 10 * 3 * 224 * 224);
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
 pub struct Shape {
     dims: Vec<u64>,
 }
