@@ -10,7 +10,12 @@
 //!                  --policy fair|weighted|priority|drr|lottery|baseline
 //!                  [--quantum-us 1200] [--gpus 1] [--seed 1]
 //!                  [--deadline-ms 500] [--trace 40]
+//! olympctl trace   <experiment> [--out trace.json] [--mode sampled|full]
 //! ```
+//!
+//! `trace` runs a named experiment (see `bench::traced::traced_registry`)
+//! with capture enabled and writes Chrome trace-event JSON loadable in
+//! Perfetto (<https://ui.perfetto.dev>) or `chrome://tracing`.
 
 use olympian::{
     DeficitRoundRobin, Lottery, MultiGpuScheduler, OlympianScheduler, Policy, Priority,
@@ -29,6 +34,7 @@ fn usage() -> ExitCode {
          olympctl run --model <name> --batch <n> --clients <n> [--batches <n>]\n               \
          --policy <fair|weighted|priority|drr|lottery|baseline>\n               \
          [--quantum-us <n>] [--gpus <n>] [--seed <n>]\n  \
+         olympctl trace <experiment> [--out <trace.json>] [--mode sampled|full]\n  \
          any command also accepts --jobs <n> (worker threads for parallel\n  \
          sweeps; default: all cores, or OLYMPIAN_JOBS)"
     );
@@ -190,7 +196,9 @@ fn cmd_run(flags: &HashMap<String, String>) -> Result<(), String> {
 
     let model = models::load(kind, batch).map_err(|e| e.to_string())?;
     let mut cfg = EngineConfig::default().with_device_count(gpus).with_seed(seed);
-    cfg.record_trace = trace_lines > 0;
+    if trace_lines > 0 {
+        cfg.trace = serving::TraceConfig::sampled();
+    }
     let specs: Vec<ClientSpec> = (0..clients)
         .map(|i| {
             let mut spec = ClientSpec::new(model.clone(), batches)
@@ -241,6 +249,54 @@ fn print_trace(report: &serving::RunReport, lines: usize) {
     }
 }
 
+fn cmd_trace(experiment: &str, flags: &HashMap<String, String>) -> Result<(), String> {
+    let tc = match flags.get("mode").map(String::as_str).unwrap_or("sampled") {
+        "sampled" => serving::TraceConfig::sampled(),
+        "full" => serving::TraceConfig::full(),
+        other => return Err(format!("--mode: expected sampled|full, got {other:?}")),
+    };
+    let out = flags.get("out").map(String::as_str).unwrap_or("trace.json");
+    let Some(f) = bench::traced::traced_experiment(experiment) else {
+        let names: Vec<&str> = bench::traced::traced_registry()
+            .iter()
+            .map(|&(n, _)| n)
+            .collect();
+        return Err(format!(
+            "unknown traced experiment {experiment:?}; available: {}",
+            names.join(", ")
+        ));
+    };
+    let report = f(tc);
+    std::fs::write(out, report.chrome_trace_json()).map_err(|e| e.to_string())?;
+    let cfg = EngineConfig::default();
+    let stats =
+        trace::TraceStats::from_trace(&report.trace, cfg.switch_latency + cfg.launch_overhead);
+    println!("experiment     : {experiment}");
+    println!("scheduler      : {}", report.scheduler_name);
+    println!("makespan       : {:.3} s", report.makespan.as_secs_f64());
+    println!(
+        "events         : {} captured, {} dropped",
+        report.trace.len(),
+        report.trace.dropped
+    );
+    println!("token switches : {}", stats.token_switches);
+    if stats.quantum.count > 0 {
+        println!(
+            "quantum (us)   : mean {:.0}, p50 {:.0}, p90 {:.0} over {} quanta",
+            stats.quantum.mean_us, stats.quantum.p50_us, stats.quantum.p90_us, stats.quantum.count
+        );
+    }
+    if let Some(frac) = stats.overhead_fraction() {
+        println!(
+            "sched overhead : {:.0} us = {:.3}% of makespan",
+            stats.scheduler_overhead_us.unwrap_or(0.0),
+            frac * 100.0
+        );
+    }
+    println!("wrote {out} — open it at https://ui.perfetto.dev or chrome://tracing");
+    Ok(())
+}
+
 fn print_run(report: &serving::RunReport, sched: &OlympianScheduler) {
     print_report(report);
     println!("token switches : {}", sched.switches());
@@ -267,7 +323,19 @@ fn main() -> ExitCode {
     let Some(cmd) = args.first() else {
         return usage();
     };
-    let flags = match parse_flags(&args[1..]) {
+    // `trace` takes one positional argument (the experiment) before flags.
+    let (positional, flag_args) = if cmd == "trace" {
+        match args.get(1) {
+            Some(a) if !a.starts_with("--") => (Some(a.clone()), &args[2..]),
+            _ => {
+                eprintln!("error: trace needs an experiment name");
+                return usage();
+            }
+        }
+    } else {
+        (None, &args[1..])
+    };
+    let flags = match parse_flags(flag_args) {
         Ok(f) => f,
         Err(e) => {
             eprintln!("error: {e}");
@@ -292,6 +360,7 @@ fn main() -> ExitCode {
         "profile" => cmd_profile(&flags),
         "curve" => cmd_curve(&flags),
         "run" => cmd_run(&flags),
+        "trace" => cmd_trace(positional.as_deref().expect("positional parsed"), &flags),
         _ => {
             return usage();
         }

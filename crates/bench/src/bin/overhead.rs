@@ -1,0 +1,9 @@
+//! Checks the paper's <2% scheduling-overhead claim. See
+//! `bench::figs::overhead`.
+
+fn main() {
+    let out = bench::figs::overhead::run();
+    print!("{out}");
+    let path = bench::save_result("overhead.txt", &out);
+    eprintln!("(saved to {})", path.display());
+}

@@ -11,7 +11,10 @@
 //! * total wall-clock of the full `bench::all` experiment suite run through
 //!   the parallel harness, with its serial-equivalent time and speedup;
 //! * the recorded seed-reference numbers (pre-optimization engine + queue)
-//!   and this run's speedups over them.
+//!   and this run's speedups over them;
+//! * the tracing guardrail: engine throughput with the trace layer off,
+//!   sampled, and full, with a hard assert that the off-mode rate stays
+//!   within noise of the PR 1 reference (tracing must be free when off).
 //!
 //! ```text
 //! perfsuite [--smoke] [--jobs N] [--out path]
@@ -43,6 +46,18 @@ const QUEUE_EVENTS: usize = 100_000;
 const SEED_ENGINE_FIFO_EPS: f64 = 3_088_458.0;
 const SEED_ENGINE_OLYMPIAN_EPS: f64 = 2_955_628.0;
 const SEED_SUITE_WALL_SECS: f64 = 172.5;
+
+/// PR 1 reference numbers (this suite's own `BENCH_engine.json` before the
+/// trace layer landed) — the baseline the tracing-off guardrail compares
+/// against.
+const PR1_ENGINE_FIFO_EPS: f64 = 3_941_153.0;
+const PR1_ENGINE_OLYMPIAN_EPS: f64 = 4_228_107.0;
+
+/// Guardrail: tracing-off throughput must stay above this fraction of the
+/// PR 1 reference. Generous, to absorb machine and run-to-run noise — the
+/// assert is meant to catch a structural regression (tracing cost leaking
+/// into the off path), not a few-percent wobble.
+const TRACE_OFF_NOISE_FLOOR: f64 = 0.70;
 
 fn usage() -> ExitCode {
     eprintln!("usage: perfsuite [--smoke] [--jobs N] [--out path]");
@@ -176,6 +191,67 @@ fn engine_section() -> (Value, f64, f64) {
     (Value::Object(vec![fifo_entry, oly_entry]), fifo_eps, oly_eps)
 }
 
+/// Measures the Olympian engine config with tracing off / sampled / full and
+/// asserts the off rate is within noise of the PR 1 reference.
+///
+/// # Panics
+///
+/// Panics if tracing-disabled engine throughput falls below
+/// `TRACE_OFF_NOISE_FLOOR` x the PR 1 reference — the trace layer must cost
+/// nothing when off.
+fn tracing_section(off_eps: f64) -> Value {
+    let model = models::mini::small(4);
+    let base = EngineConfig::default();
+    let mut store = ProfileStore::new();
+    store.insert(Profiler::new(&base).profile(&model));
+    let store = Arc::new(store);
+    let measure = |name: &str, tc: serving::TraceConfig| {
+        let cfg = base.with_trace(tc);
+        let sched = || {
+            OlympianScheduler::new(
+                Arc::clone(&store),
+                Box::new(RoundRobin::new()),
+                SimDuration::from_micros(200),
+            )
+        };
+        let probe = run_experiment(&cfg, engine_clients(4, 2), &mut sched());
+        let m = harness::run(name, || {
+            black_box(run_experiment(&cfg, engine_clients(4, 2), &mut sched()))
+        });
+        m.per_second() * probe.event_count as f64
+    };
+    let sampled_eps = measure("engine_olympian/trace=sampled", serving::TraceConfig::sampled());
+    let full_eps = measure("engine_olympian/trace=full", serving::TraceConfig::full());
+    let off_vs_pr1 = off_eps / PR1_ENGINE_OLYMPIAN_EPS;
+    println!(
+        "  -> tracing: off {off_eps:.0} events/s ({:.2}x PR 1 reference), \
+         sampled {sampled_eps:.0}, full {full_eps:.0}",
+        off_vs_pr1
+    );
+    assert!(
+        off_vs_pr1 >= TRACE_OFF_NOISE_FLOOR,
+        "tracing-disabled engine throughput {off_eps:.0} events/s fell below \
+         {TRACE_OFF_NOISE_FLOOR}x the PR 1 reference {PR1_ENGINE_OLYMPIAN_EPS:.0} — \
+         the trace layer is no longer free when off"
+    );
+    Value::Object(vec![
+        (
+            "pr1_reference_events_per_sec".into(),
+            Value::Object(vec![
+                ("fifo".into(), Value::Float(PR1_ENGINE_FIFO_EPS)),
+                ("olympian".into(), Value::Float(PR1_ENGINE_OLYMPIAN_EPS)),
+            ]),
+        ),
+        ("off_events_per_sec".into(), Value::Float(off_eps)),
+        ("sampled_events_per_sec".into(), Value::Float(sampled_eps)),
+        ("full_events_per_sec".into(), Value::Float(full_eps)),
+        ("off_vs_pr1".into(), Value::Float(off_vs_pr1)),
+        ("noise_floor".into(), Value::Float(TRACE_OFF_NOISE_FLOOR)),
+        ("sampled_cost".into(), Value::Float(1.0 - sampled_eps / off_eps.max(1e-9))),
+        ("full_cost".into(), Value::Float(1.0 - full_eps / off_eps.max(1e-9))),
+    ])
+}
+
 /// Returns the section plus the measured wall clock (0 in smoke mode).
 fn suite_section(smoke: bool, jobs: usize) -> (Value, f64) {
     if smoke {
@@ -298,6 +374,7 @@ fn main() -> ExitCode {
     println!("perfsuite ({} mode, {jobs} jobs)", if smoke { "smoke" } else { "full" });
     let queue = queue_section();
     let (engine, fifo_eps, oly_eps) = engine_section();
+    let tracing = tracing_section(oly_eps);
     let (suite, suite_secs) = suite_section(smoke, jobs);
     let seed_reference = seed_reference_section(fifo_eps, oly_eps, suite_secs);
 
@@ -307,6 +384,7 @@ fn main() -> ExitCode {
         ("jobs".into(), Value::UInt(jobs as u64)),
         ("queue".into(), queue),
         ("engine".into(), engine),
+        ("tracing".into(), tracing),
         ("suite".into(), suite),
         ("seed_reference".into(), seed_reference),
     ]);

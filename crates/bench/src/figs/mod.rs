@@ -21,6 +21,7 @@ pub mod fig20;
 pub mod fig21;
 pub mod motivation;
 pub mod multi_gpu;
+pub mod overhead;
 pub mod robustness;
 pub mod scalability;
 pub mod stability;
@@ -64,6 +65,7 @@ pub fn registry() -> Vec<Experiment> {
         ("dynamic_workload", dynamic_workload::run),
         ("ablations", ablations::run),
         ("timeline", timeline::run),
+        ("overhead", overhead::run),
         ("motivation", motivation::run),
         ("robustness", robustness::run),
     ]

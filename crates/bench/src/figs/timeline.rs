@@ -2,17 +2,44 @@
 //! the first few tens of milliseconds of the Figure 11 run — the picture
 //! behind the paper's Figure 9 ("time-slicing simply spreads out the
 //! execution of a DNN").
+//!
+//! Rendered from the structured trace's `QuantumEnd` events rather than the
+//! reports' private `quantum_marks` plumbing, so the gantt shows exactly
+//! what a Perfetto view of the same trace would.
 
+use crate::figs::fair;
 use crate::{banner, build_store_for, default_config, homogeneous_clients, DEFAULT_BATCH,
     DEFAULT_NUM_BATCHES};
-use crate::figs::fair;
 use metrics::table::render_gantt;
 use models::ModelKind;
-use serving::run_experiment;
+use serving::{run_experiment, RunReport, TraceConfig};
 use simtime::SimDuration;
+use trace::TraceKind;
 
 /// Window rendered, in seconds.
 pub const WINDOW_S: f64 = 0.05;
+
+/// Gantt rows — one per client, labelled `client N` — built from the
+/// trace's `QuantumEnd` spans, clipped to `[0, window_s]`.
+pub fn gantt_rows(report: &RunReport, window_s: f64) -> Vec<(String, Vec<(f64, f64)>)> {
+    let mut rows: Vec<(String, Vec<(f64, f64)>)> = report
+        .clients
+        .iter()
+        .map(|c| (format!("client {}", c.client.0), Vec::new()))
+        .collect();
+    for e in &report.trace.events {
+        if let TraceKind::QuantumEnd { client, gpu, .. } = e.kind {
+            let end = e.at.as_secs_f64();
+            let start = (end - gpu.as_secs_f64()).max(0.0);
+            if start < window_s {
+                if let Some((_, spans)) = rows.get_mut(client as usize) {
+                    spans.push((start, end.min(window_s)));
+                }
+            }
+        }
+    }
+    rows
+}
 
 /// Runs the experiment and returns the report text.
 pub fn run() -> String {
@@ -20,28 +47,13 @@ pub fn run() -> String {
         "Timeline",
         "Token ownership over the first 50 ms of fair sharing (5 Inception clients)",
     );
-    let cfg = default_config();
+    let cfg = default_config().with_trace(TraceConfig::sampled());
     let clients = homogeneous_clients(ModelKind::InceptionV4, DEFAULT_BATCH, 5, DEFAULT_NUM_BATCHES);
     let store = build_store_for(&cfg, &clients);
     let mut sched = fair(store, SimDuration::from_micros(1200));
     let report = run_experiment(&cfg, clients, &mut sched);
 
-    let rows: Vec<(String, Vec<(f64, f64)>)> = report
-        .clients
-        .iter()
-        .map(|c| {
-            let spans: Vec<(f64, f64)> = c
-                .quantum_marks
-                .iter()
-                .filter_map(|&(end, dur)| {
-                    let e = end.as_secs_f64();
-                    let s = (e - dur.as_secs_f64()).max(0.0);
-                    (s < WINDOW_S).then_some((s, e.min(WINDOW_S)))
-                })
-                .collect();
-            (format!("client {}", c.client.0), spans)
-        })
-        .collect();
+    let rows = gantt_rows(&report, WINDOW_S);
     out.push_str(&format!("\n0 ms {:>74} ms\n", WINDOW_S * 1e3));
     out.push_str(&render_gantt(&rows, WINDOW_S, 72));
     out.push_str(
@@ -54,6 +66,43 @@ pub fn run() -> String {
 
 #[cfg(test)]
 mod tests {
+    use super::*;
+    use serving::ClientSpec;
+
+    /// Scaled-down tier-1 cover for the trace-driven gantt path: mini
+    /// models, 3 clients, a couple of batches — runs in milliseconds.
+    #[test]
+    fn trace_driven_gantt_covers_every_client_scaled_down() {
+        let cfg = default_config().with_trace(TraceConfig::sampled());
+        let clients = vec![ClientSpec::new(models::mini::small(4), 2); 3];
+        let store = build_store_for(&cfg, &clients);
+        let mut sched = fair(store, SimDuration::from_micros(200));
+        let report = run_experiment(&cfg, clients, &mut sched);
+        assert!(report.all_finished());
+
+        // A window past the makespan keeps every span unclipped, so the
+        // trace-derived rows must agree exactly with the quantum_marks the
+        // reports still carry.
+        let window = report.makespan.as_secs_f64() * 1.01;
+        let rows = gantt_rows(&report, window);
+        assert_eq!(rows.len(), 3);
+        for (c, (label, spans)) in report.clients.iter().zip(&rows) {
+            assert_eq!(label, &format!("client {}", c.client.0));
+            assert_eq!(spans.len(), c.quantum_marks.len());
+            for (&(start, end), &(mark_end, dur)) in spans.iter().zip(&c.quantum_marks) {
+                assert!((end - mark_end.as_secs_f64()).abs() < 1e-12);
+                assert!((start - (mark_end.as_secs_f64() - dur.as_secs_f64()).max(0.0)).abs()
+                    < 1e-12);
+            }
+            assert!(!spans.is_empty(), "every client received quanta");
+        }
+
+        let gantt = render_gantt(&rows, window, 40);
+        for i in 0..3 {
+            assert!(gantt.contains(&format!("client {i}")));
+        }
+    }
+
     #[test]
     #[ignore = "full-scale experiment; run with `cargo test --release -- --ignored`"]
     fn every_client_appears_in_the_window() {

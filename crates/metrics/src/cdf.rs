@@ -130,6 +130,36 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "NaN sample")]
+    fn nan_panics() {
+        let _ = Cdf::of([1.0, f64::NAN]);
+    }
+
+    #[test]
+    fn single_sample_is_degenerate_but_consistent() {
+        let cdf = Cdf::of([7.0]);
+        assert_eq!(cdf.len(), 1);
+        assert!(!cdf.is_empty());
+        for q in [0.0, 0.25, 0.5, 1.0] {
+            assert_eq!(cdf.quantile(q), 7.0);
+        }
+        assert_eq!(cdf.fraction_below(7.0), 0.0, "strictly below");
+        assert_eq!(cdf.fraction_below(7.0 + f64::EPSILON * 8.0), 1.0);
+        // A zero-width range still yields a well-formed, non-decreasing series.
+        let s = cdf.series(2);
+        assert_eq!(s, vec![(7.0, 0.0), (7.0, 1.0)]);
+    }
+
+    #[test]
+    fn ties_count_together() {
+        let cdf = Cdf::of([5.0, 5.0, 5.0, 1.0]);
+        assert_eq!(cdf.fraction_below(5.0), 0.25);
+        assert_eq!(cdf.fraction_below(5.1), 1.0);
+        assert_eq!(cdf.quantile(0.5), 5.0);
+        assert_eq!(cdf.quantile(0.25), 1.0);
+    }
+
+    #[test]
     #[should_panic(expected = "out of range")]
     fn bad_quantile_panics() {
         Cdf::of([1.0]).quantile(1.5);

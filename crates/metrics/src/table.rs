@@ -229,6 +229,36 @@ mod tests {
     }
 
     #[test]
+    fn gantt_with_no_rows_renders_nothing() {
+        assert_eq!(render_gantt(&[], 1.0, 10), "");
+    }
+
+    #[test]
+    fn gantt_row_with_no_spans_is_blank() {
+        let out = render_gantt(&[("idle".into(), vec![])], 1.0, 8);
+        assert_eq!(out, "idle |        |\n");
+    }
+
+    #[test]
+    fn gantt_spans_at_window_edges_stay_inside() {
+        // Spans touching 0.0 and the horizon exactly must render without
+        // panicking and without spilling past the bar.
+        let out = render_gantt(
+            &[("x".into(), vec![(0.0, 0.1), (0.9, 1.0)])],
+            1.0,
+            10,
+        );
+        assert_eq!(out, "x |#        #|\n");
+        // A zero-length span exactly at the horizon marks no cell (there is
+        // no cell to its right) but is still accepted.
+        let edge = render_gantt(&[("y".into(), vec![(1.0, 1.0)])], 1.0, 10);
+        assert_eq!(edge.matches('#').count(), 0);
+        // A full-window span fills every cell.
+        let full = render_gantt(&[("z".into(), vec![(0.0, 1.0)])], 1.0, 10);
+        assert_eq!(full.matches('#').count(), 10);
+    }
+
+    #[test]
     fn series_lines() {
         let out = render_series(&[(1.0, 2.0), (3.0, 4.0)]);
         assert_eq!(out.lines().count(), 2);

@@ -508,8 +508,16 @@ impl Parser<'_> {
         if !matches!(self.peek(), Some(b'0'..=b'9')) {
             return Err(self.err("malformed number"));
         }
-        while matches!(self.peek(), Some(b'0'..=b'9')) {
+        if self.peek() == Some(b'0') {
+            // JSON forbids leading zeros: "0" is fine, "01" is not.
             self.pos += 1;
+            if matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.err("leading zero in number"));
+            }
+        } else {
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
         }
         let mut integral = true;
         if self.peek() == Some(b'.') {
@@ -611,11 +619,68 @@ mod tests {
     #[test]
     fn garbage_is_rejected() {
         for bad in [
-            "", "nul", "{", "[1,", "{\"a\"}", "{\"a\":1,}", "01x", "1 2", "\"", "--1", "+1",
-            "[1]]",
+            "", "nul", "{", "[1,", "{\"a\"}", "{\"a\":1,}", "01x", "01", "-01", "1 2", "\"",
+            "--1", "+1", "[1]]",
         ] {
             assert!(Value::parse(bad).is_err(), "accepted {bad:?}");
         }
+    }
+
+    #[test]
+    fn every_control_char_roundtrips_through_escapes() {
+        let raw: String = (0u32..0x20).map(|c| char::from_u32(c).unwrap()).collect();
+        let v = Value::Str(raw.clone());
+        let text = v.to_string();
+        // The wire form is pure ASCII with nothing unescaped below 0x20.
+        assert!(text.bytes().all(|b| (0x20..0x80).contains(&b)));
+        assert_eq!(Value::parse(&text).unwrap(), v);
+        // The short forms are preferred where JSON defines them.
+        for esc in ["\\b", "\\t", "\\n", "\\f", "\\r", "\\u0000", "\\u001f"] {
+            assert!(text.contains(esc), "missing {esc} in {text}");
+        }
+        // Raw (unescaped) control characters in input are rejected.
+        assert!(Value::parse("\"\u{1}\"").is_err());
+        assert!(Value::parse("\"\n\"").is_err());
+    }
+
+    #[test]
+    fn surrogate_pair_escapes_decode() {
+        assert_eq!(Value::parse(r#""\u0041""#).unwrap(), Value::Str("A".into()));
+        assert_eq!(Value::parse(r#""\u00e9""#).unwrap(), Value::Str("é".into()));
+        assert_eq!(
+            Value::parse(r#""\ud83d\ude00""#).unwrap(),
+            Value::Str("😀".into())
+        );
+        // A high surrogate must be followed by an escaped low half.
+        assert!(Value::parse(r#""\ud83dx""#).is_err());
+        assert!(Value::parse(r#""\ud83dA""#).is_err());
+        assert!(Value::parse(r#""\udc00""#).is_err(), "lone low surrogate");
+    }
+
+    #[test]
+    fn unicode_text_roundtrips_byte_stable() {
+        // Multibyte text is written raw (not \u-escaped); a parse/write
+        // cycle of the wire form must reproduce it byte for byte.
+        let v = Value::Str("héllo ✓ 😀 \u{7f} end".into());
+        let text = v.to_string();
+        let reparsed = Value::parse(&text).unwrap();
+        assert_eq!(reparsed, v);
+        assert_eq!(reparsed.to_string(), text);
+    }
+
+    #[test]
+    fn escaped_and_raw_keys_roundtrip_in_objects() {
+        let v = Value::Object(vec![
+            ("tab\tkey".into(), Value::UInt(1)),
+            ("quote\"key".into(), Value::UInt(2)),
+            ("emoji😀".into(), Value::UInt(3)),
+        ]);
+        let text = v.to_string();
+        let back = Value::parse(&text).unwrap();
+        assert_eq!(back, v);
+        assert_eq!(back.get("tab\tkey").unwrap().as_u64(), Some(1));
+        assert_eq!(back.get("quote\"key").unwrap().as_u64(), Some(2));
+        assert_eq!(back.get("emoji😀").unwrap().as_u64(), Some(3));
     }
 
     #[test]

@@ -160,6 +160,13 @@ impl Scheduler for MultiGpuScheduler {
     fn name(&self) -> &str {
         &self.name
     }
+
+    fn cost_state(&self, job: JobId) -> Option<(u64, u64)> {
+        self.job_device
+            .get(&job)
+            .and_then(|d| self.per_device.get(d))
+            .and_then(|s| s.cost_state(job))
+    }
 }
 
 #[cfg(test)]
@@ -168,7 +175,7 @@ mod tests {
     use crate::policy::RoundRobin;
     use crate::profile::ModelProfile;
     use dataflow::CostModel;
-    use serving::ClientId;
+    use serving::{ClientId, SwitchReason};
 
     fn store() -> Arc<ProfileStore> {
         let mut s = ProfileStore::new();
@@ -219,7 +226,14 @@ mod tests {
         // device 1's holder is untouched.
         s.on_gpu_node_done(JobId(1), NodeId::from_index(0), SimTime::from_nanos(1));
         let v = s.on_gpu_node_done(JobId(1), NodeId::from_index(1), SimTime::from_nanos(2));
-        assert_eq!(v, Verdict::Moved { from: Some(JobId(1)), to: Some(JobId(2)) });
+        assert_eq!(
+            v,
+            Verdict::Moved {
+                from: Some(JobId(1)),
+                to: Some(JobId(2)),
+                reason: SwitchReason::QuantumExpired
+            }
+        );
         assert!(s.may_run(JobId(2)));
         assert!(s.may_run(JobId(3)));
         assert!(!s.may_run(JobId(1)));
@@ -232,7 +246,11 @@ mod tests {
         s.register(JobId(2), &ctx(1)).unwrap();
         assert_eq!(
             s.deregister(JobId(1), SimTime::from_nanos(5)),
-            Verdict::Moved { from: Some(JobId(1)), to: None }
+            Verdict::Moved {
+                from: Some(JobId(1)),
+                to: None,
+                reason: SwitchReason::Deregister
+            }
         );
         assert!(s.may_run(JobId(2)), "other device unaffected");
         assert_eq!(s.deregister(JobId(99), SimTime::ZERO), Verdict::Unchanged);

@@ -7,7 +7,7 @@
 use crate::policy::Policy;
 use crate::profile::{ModelProfile, ProfileStore};
 use dataflow::NodeId;
-use serving::{JobCtx, JobId, RegisterError, Scheduler, Verdict};
+use serving::{JobCtx, JobId, RegisterError, Scheduler, SwitchReason, Verdict};
 use simtime::{SimDuration, SimTime};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -105,7 +105,7 @@ impl OlympianScheduler {
         self.switches
     }
 
-    fn move_token(&mut self, to: Option<JobId>, now: SimTime) -> Verdict {
+    fn move_token(&mut self, to: Option<JobId>, now: SimTime, reason: SwitchReason) -> Verdict {
         if to == self.token {
             return Verdict::Unchanged;
         }
@@ -113,7 +113,7 @@ impl OlympianScheduler {
         self.token = to;
         self.token_since = now;
         self.switches += 1;
-        Verdict::Moved { from, to }
+        Verdict::Moved { from, to, reason }
     }
 }
 
@@ -136,13 +136,13 @@ impl Scheduler for OlympianScheduler {
             },
         );
         let next = self.policy.admit(job, ctx.weight, ctx.priority, self.token);
-        Ok(self.move_token(next, ctx.now))
+        Ok(self.move_token(next, ctx.now, SwitchReason::Register))
     }
 
     fn deregister(&mut self, job: JobId, now: SimTime) -> Verdict {
         self.jobs.remove(&job);
         let next = self.policy.remove(job, self.token);
-        self.move_token(next, now)
+        self.move_token(next, now, SwitchReason::Deregister)
     }
 
     fn may_run(&self, job: JobId) -> bool {
@@ -173,7 +173,7 @@ impl Scheduler for OlympianScheduler {
         // Algorithm 2 lines 16-18.
         account.cumulated -= account.threshold;
         let next = self.policy.quantum_expired(job);
-        self.move_token(next, now)
+        self.move_token(next, now, SwitchReason::QuantumExpired)
     }
 
     fn next_timer(&self, _now: SimTime) -> Option<SimTime> {
@@ -198,11 +198,15 @@ impl Scheduler for OlympianScheduler {
             self.token_since = now;
             return Verdict::Unchanged;
         }
-        self.move_token(next, now)
+        self.move_token(next, now, SwitchReason::WallClockTimer)
     }
 
     fn name(&self) -> &str {
         &self.name
+    }
+
+    fn cost_state(&self, job: JobId) -> Option<(u64, u64)> {
+        self.jobs.get(&job).map(|a| (a.cumulated, a.threshold))
     }
 }
 
@@ -251,7 +255,14 @@ mod tests {
     fn first_registration_grants_token() {
         let mut s = sched(100);
         let v = s.register(JobId(1), &ctx(0)).unwrap();
-        assert_eq!(v, Verdict::Moved { from: None, to: Some(JobId(1)) });
+        assert_eq!(
+            v,
+            Verdict::Moved {
+                from: None,
+                to: Some(JobId(1)),
+                reason: SwitchReason::Register
+            }
+        );
         assert!(s.may_run(JobId(1)));
         assert!(!s.may_run(JobId(2)));
     }
@@ -279,7 +290,11 @@ mod tests {
         // second 50 reaches it: rotate to job 2
         assert_eq!(
             s.on_gpu_node_done(JobId(1), NodeId::from_index(1), SimTime::from_nanos(20)),
-            Verdict::Moved { from: Some(JobId(1)), to: Some(JobId(2)) }
+            Verdict::Moved {
+                from: Some(JobId(1)),
+                to: Some(JobId(2)),
+                reason: SwitchReason::QuantumExpired
+            }
         );
         assert!(s.may_run(JobId(2)));
     }
@@ -307,9 +322,23 @@ mod tests {
         s.register(JobId(1), &ctx(0)).unwrap();
         s.register(JobId(2), &ctx(0)).unwrap();
         let v = s.deregister(JobId(1), SimTime::from_nanos(5));
-        assert_eq!(v, Verdict::Moved { from: Some(JobId(1)), to: Some(JobId(2)) });
+        assert_eq!(
+            v,
+            Verdict::Moved {
+                from: Some(JobId(1)),
+                to: Some(JobId(2)),
+                reason: SwitchReason::Deregister
+            }
+        );
         let v = s.deregister(JobId(2), SimTime::from_nanos(6));
-        assert_eq!(v, Verdict::Moved { from: Some(JobId(2)), to: None });
+        assert_eq!(
+            v,
+            Verdict::Moved {
+                from: Some(JobId(2)),
+                to: None,
+                reason: SwitchReason::Deregister
+            }
+        );
         assert_eq!(s.token_holder(), None);
     }
 
@@ -329,7 +358,14 @@ mod tests {
         // The timer does:
         assert_eq!(s.next_timer(SimTime::ZERO), Some(SimTime::from_nanos(100)));
         let v = s.on_timer(SimTime::from_nanos(100));
-        assert_eq!(v, Verdict::Moved { from: Some(JobId(1)), to: Some(JobId(2)) });
+        assert_eq!(
+            v,
+            Verdict::Moved {
+                from: Some(JobId(1)),
+                to: Some(JobId(2)),
+                reason: SwitchReason::WallClockTimer
+            }
+        );
     }
 
     #[test]

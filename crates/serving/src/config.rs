@@ -60,10 +60,10 @@ pub struct EngineConfig {
     /// fits is admitted immediately — with FIFO retry among waiters as
     /// memory frees.
     pub queue_admission: bool,
-    /// Record a structured execution trace (see [`crate::trace`]) in the
-    /// run report. Off by default: traces of full-scale experiments hold
-    /// hundreds of thousands of events.
-    pub record_trace: bool,
+    /// Structured-trace capture (see [`crate::trace`]). Off by default:
+    /// traces of full-scale experiments hold millions of events, and the
+    /// off mode keeps the hot path branch-cheap.
+    pub trace: trace::TraceConfig,
     /// Hard cap on simulated events — a watchdog against scheduling bugs.
     pub max_events: u64,
 }
@@ -85,7 +85,7 @@ impl Default for EngineConfig {
             online_profiling: false,
             profiling_inflation: 0.25,
             queue_admission: false,
-            record_trace: false,
+            trace: trace::TraceConfig::off(),
             max_events: 500_000_000,
         }
     }
@@ -133,6 +133,11 @@ impl EngineConfig {
     /// Total number of simulated GPUs.
     pub fn device_count(&self) -> usize {
         1 + self.extra_devices.len()
+    }
+
+    /// A copy with trace capture configured (see [`crate::trace`]).
+    pub fn with_trace(&self, trace: trace::TraceConfig) -> EngineConfig {
+        EngineConfig { trace, ..self.clone() }
     }
 
     /// A copy with the online cost profiler enabled (Figure 6's condition).

@@ -31,7 +31,7 @@ use crate::client::ClientSpec;
 use crate::config::EngineConfig;
 use crate::report::{ClientOutcome, ClientReport, RunReport};
 use crate::scheduler::{ClientId, JobCtx, JobId, Scheduler, Verdict};
-use crate::trace::{TraceEvent, TraceKind};
+use crate::trace::{TraceBuffer, TraceKind};
 use dataflow::{Graph, NodeId, Placement};
 use gpusim::{Allocation, GpuDevice, JobTag, MemoryPool};
 use simtime::{DetRng, EventQueue, SimDuration, SimTime};
@@ -73,6 +73,9 @@ struct JobState {
     resume_at: SimTime,
     resume_scheduled: bool,
     starving: bool,
+    /// Whether a YieldBlock trace event is outstanding for this gang (only
+    /// maintained while tracing is on).
+    yield_blocked: bool,
     gpu_busy: SimDuration,
     quantum_acc: SimDuration,
     /// Completed quanta as `(end time, GPU duration received)`.
@@ -97,6 +100,7 @@ impl JobState {
             resume_at: SimTime::ZERO,
             resume_scheduled: false,
             starving: false,
+            yield_blocked: false,
             gpu_busy: SimDuration::ZERO,
             quantum_acc: SimDuration::ZERO,
             quanta: Vec::with_capacity(QUANTA_CAPACITY),
@@ -123,6 +127,7 @@ impl JobState {
         self.resume_at = SimTime::ZERO;
         self.resume_scheduled = false;
         self.starving = false;
+        self.yield_blocked = false;
         self.gpu_busy = SimDuration::ZERO;
         self.quantum_acc = SimDuration::ZERO;
         self.quanta.clear();
@@ -186,7 +191,7 @@ struct Engine<'a> {
     kernels: Vec<Option<(JobId, NodeId)>>,
     kernel_free: Vec<u32>,
     last_switch: Option<SimTime>,
-    trace: Vec<TraceEvent>,
+    trace: TraceBuffer,
     intervals: Vec<SimDuration>,
     switch_count: u64,
     timer_gen: u64,
@@ -261,7 +266,7 @@ pub fn run_experiment(
         kernels: Vec::with_capacity(64),
         kernel_free: Vec::with_capacity(64),
         last_switch: None,
-        trace: Vec::with_capacity(if cfg.record_trace { 1024 } else { 0 }),
+        trace: TraceBuffer::new(&cfg.trace),
         intervals: Vec::with_capacity(256),
         switch_count: 0,
         timer_gen: 0,
@@ -365,7 +370,7 @@ impl Engine<'_> {
             self.devices[dev as usize].set_bias(JobTag(c.0 as u64), b);
         }
         if self.try_admit(c, dev, model_name, weights_bytes, activation_bytes) {
-            self.record(TraceKind::ClientAdmitted(c));
+            self.record(TraceKind::ClientAdmitted { client: c.0 });
             self.start_run(c);
         }
     }
@@ -415,7 +420,11 @@ impl Engine<'_> {
                 requested: e.requested,
                 available: e.available,
             });
-            self.record(TraceKind::ClientRejected(c));
+            self.record(TraceKind::ClientRejectedOom {
+                client: c.0,
+                requested: e.requested,
+                available: e.available,
+            });
         }
     }
 
@@ -452,7 +461,7 @@ impl Engine<'_> {
         };
         match self.scheduler.register(job_id, &ctx) {
             Ok(verdict) => {
-                self.record(TraceKind::RunRegistered { job: job_id, client: c });
+                self.record(TraceKind::RunRegistered { job: job_id.0, client: c.0 });
                 let slot = match self.free_slots.pop() {
                     Some(s) => {
                         self.job_slots[s as usize].reset(c, graph);
@@ -491,21 +500,26 @@ impl Engine<'_> {
     fn complete_run(&mut self, job_id: JobId) {
         let slot = self.live_slot(job_id).expect("completing a live job");
         self.job_refs[job_id.0 as usize] = JobRef::Dead;
-        let (held, c, gpu_busy) = {
+        let (held, c, gpu_busy, final_quantum) = {
             let job = &mut self.job_slots[slot];
             debug_assert_eq!(job.busy, 0, "no in-flight work at completion");
+            let mut flushed = None;
             if job.quantum_acc > SimDuration::ZERO {
                 let acc = std::mem::take(&mut job.quantum_acc);
                 job.quanta.push((self.now, acc));
+                flushed = Some(acc);
             }
-            (std::mem::take(&mut job.held), job.client, job.gpu_busy)
+            (std::mem::take(&mut job.held), job.client, job.gpu_busy, flushed)
         };
         // Return the whole gang to the pool.
         if held > 0 {
             self.pool_idle += held;
             self.wake_starving();
         }
-        self.record(TraceKind::RunCompleted { job: job_id, client: c });
+        if let Some(acc) = final_quantum {
+            self.record(TraceKind::QuantumEnd { job: job_id.0, client: c.0, gpu: acc });
+        }
+        self.record(TraceKind::RunCompleted { job: job_id.0, client: c.0 });
         {
             let job = &self.job_slots[slot];
             let client = &mut self.clients[c.0 as usize];
@@ -538,7 +552,7 @@ impl Engine<'_> {
             // clients (and the peak-memory metric) see the truth.
             let dev = client.device as usize;
             let freed = client.activations.take();
-            self.record(TraceKind::ClientFinished(c));
+            self.record(TraceKind::ClientFinished { client: c.0 });
             if let Some(a) = freed {
                 self.memories[dev].free(a);
                 self.pump_admission();
@@ -556,7 +570,7 @@ impl Engine<'_> {
             let job = &self.job_slots[slot];
             (job.held, job.client)
         };
-        self.record(TraceKind::RunCancelled { job: job_id, client: c });
+        self.record(TraceKind::DeadlineCancelled { job: job_id.0, client: c.0 });
         let dev = self.clients[c.0 as usize].device as usize;
         self.job_refs[job_id.0 as usize] = JobRef::Cancelled(dev as u32);
         self.free_slots.push(slot as u32);
@@ -599,17 +613,15 @@ impl Engine<'_> {
 
     // ---- scheduling plumbing ---------------------------------------------
 
+    #[inline]
     fn record(&mut self, kind: TraceKind) {
-        if self.cfg.record_trace {
-            self.trace.push(TraceEvent { at: self.now, kind });
-        }
+        self.trace.record(self.now, kind);
     }
 
     fn apply_verdict(&mut self, verdict: Verdict) {
-        let Verdict::Moved { from, to } = verdict else {
+        let Verdict::Moved { from, to, reason } = verdict else {
             return;
         };
-        self.record(TraceKind::TokenMoved { from, to });
         self.switch_count += 1;
         if let Some(last) = self.last_switch {
             self.intervals.push(self.now - last);
@@ -617,21 +629,47 @@ impl Engine<'_> {
         self.last_switch = Some(self.now);
         if let Some(old) = from {
             if let Some(slot) = self.live_slot(old) {
-                let j = &mut self.job_slots[slot];
-                if j.quantum_acc > SimDuration::ZERO {
-                    let acc = std::mem::take(&mut j.quantum_acc);
-                    j.quanta.push((self.now, acc));
+                let (flushed, client) = {
+                    let j = &mut self.job_slots[slot];
+                    if j.quantum_acc > SimDuration::ZERO {
+                        let acc = std::mem::take(&mut j.quantum_acc);
+                        j.quanta.push((self.now, acc));
+                        (Some(acc), j.client.0)
+                    } else {
+                        (None, j.client.0)
+                    }
+                };
+                if let Some(acc) = flushed {
+                    self.record(TraceKind::QuantumEnd { job: old.0, client, gpu: acc });
                 }
+            }
+        }
+        if self.trace.is_on() {
+            // A revoked/granted job may already be deregistered (its slot is
+            // freed before the verdict reaches us), hence the Option client.
+            if let Some(old) = from {
+                let client = self.live_slot(old).map(|s| self.job_slots[s].client.0);
+                self.record(TraceKind::TokenRevoke { job: old.0, client, reason });
+            }
+            if let Some(new) = to {
+                let client = self.live_slot(new).map(|s| self.job_slots[s].client.0);
+                self.record(TraceKind::TokenGrant { job: new.0, client, reason });
             }
         }
         if let Some(new) = to {
             if let Some(slot) = self.live_slot(new) {
-                let j = &mut self.job_slots[slot];
-                j.resume_at = self.now + self.cfg.switch_latency;
-                if !j.resume_scheduled {
-                    j.resume_scheduled = true;
-                    let at = j.resume_at;
-                    self.queue.schedule(at, Event::ResumeJob(new));
+                let (unblocked, client) = {
+                    let j = &mut self.job_slots[slot];
+                    j.resume_at = self.now + self.cfg.switch_latency;
+                    if !j.resume_scheduled {
+                        j.resume_scheduled = true;
+                        let at = j.resume_at;
+                        self.queue.schedule(at, Event::ResumeJob(new));
+                    }
+                    (std::mem::take(&mut j.yield_blocked), j.client.0)
+                };
+                if unblocked {
+                    self.record(TraceKind::YieldUnblock { job: new.0, client });
                 }
             }
         }
@@ -666,6 +704,11 @@ impl Engine<'_> {
             // Algorithm 2 line 12: scheduler.yield() — a suspended gang's
             // threads park here, keeping their pool slots.
             if !self.scheduler.may_run(job_id) {
+                if self.trace.is_on() && !self.job_slots[slot].yield_blocked {
+                    self.job_slots[slot].yield_blocked = true;
+                    let client = self.job_slots[slot].client.0;
+                    self.record(TraceKind::YieldBlock { job: job_id.0, client });
+                }
                 return;
             }
             let job = &self.job_slots[slot];
@@ -772,6 +815,15 @@ impl Engine<'_> {
                 (self.kernels.len() - 1) as u64
             }
         };
+        if self.trace.records_kernels() {
+            let client = self.job_slots[slot].client.0;
+            self.record(TraceKind::KernelEnqueue {
+                job: job_id.0,
+                client,
+                device: dev as u32,
+                node: node.index() as u32,
+            });
+        }
         self.devices[dev].enqueue(tag, kernel_id, duration, inflation);
         self.pump_device(dev);
     }
@@ -786,6 +838,22 @@ impl Engine<'_> {
                 .take()
                 .expect("started kernel was enqueued");
             self.kernel_free.push(idx as u32);
+            if self.trace.records_kernels() {
+                // A started kernel's job is still live: queued kernels of
+                // cancelled jobs are dropped, and a job with in-flight work
+                // cannot complete.
+                if let Some(s) = self.live_slot(job) {
+                    let client = self.job_slots[s].client.0;
+                    self.record(TraceKind::KernelLaunch {
+                        job: job.0,
+                        client,
+                        device: dev as u32,
+                        node: node.index() as u32,
+                        start: k.start,
+                        end: k.end,
+                    });
+                }
+            }
             self.queue.schedule(
                 k.end,
                 Event::NodeDone { job, node, gpu: Some(k.duration) },
@@ -821,7 +889,49 @@ impl Engine<'_> {
             // (the overflow rule, Figures 10/15).
             job.gpu_busy += d;
             job.quantum_acc += d;
+            let client = job.client.0;
+            // Off-mode tracing costs one branch here; the threshold probes
+            // and overflow check run only while capturing.
+            let pre_cost = if self.trace.is_on() {
+                if self.trace.records_kernels() {
+                    let device = self.clients[client as usize].device;
+                    self.record(TraceKind::KernelComplete {
+                        job: job_id.0,
+                        client,
+                        device,
+                        node: node.index() as u32,
+                        gpu: d,
+                    });
+                }
+                if !self.scheduler.may_run(job_id) {
+                    let device = self.clients[client as usize].device;
+                    self.record(TraceKind::OverflowCharge {
+                        job: job_id.0,
+                        client,
+                        device,
+                        gpu: d,
+                    });
+                }
+                self.scheduler.cost_state(job_id)
+            } else {
+                None
+            };
             let verdict = self.scheduler.on_gpu_node_done(job_id, node, self.now);
+            if let Some((pre_c, threshold)) = pre_cost {
+                if let Some((post_c, _)) = self.scheduler.cost_state(job_id) {
+                    // A holder whose counter reset just crossed; reconstruct
+                    // the pre-reset value for the trace.
+                    let crossing = if post_c < pre_c { post_c + threshold } else { post_c };
+                    if pre_c < threshold && crossing >= threshold {
+                        self.record(TraceKind::CostThreshold {
+                            job: job_id.0,
+                            client,
+                            cumulated: crossing,
+                            threshold,
+                        });
+                    }
+                }
+            }
             self.apply_verdict(verdict);
             self.schedule_timer();
         }
@@ -884,7 +994,7 @@ impl Engine<'_> {
             scheduler_name: self.scheduler.name().to_string(),
             peak_memory: self.memories.iter().map(MemoryPool::peak).sum(),
             device_utilizations,
-            trace: self.trace,
+            trace: self.trace.finish(),
         }
     }
 }

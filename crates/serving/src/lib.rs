@@ -46,3 +46,4 @@ pub use report::{ClientOutcome, ClientReport, RunReport};
 pub use scheduler::{
     ClientId, FifoScheduler, JobCtx, JobId, RegisterError, Scheduler, Verdict,
 };
+pub use trace::{SwitchReason, TraceConfig, TraceMode};

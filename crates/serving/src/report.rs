@@ -130,8 +130,8 @@ pub struct RunReport {
     /// Peak GPU memory usage in bytes.
     pub peak_memory: u64,
     /// Structured execution trace; empty unless
-    /// [`EngineConfig::record_trace`](crate::EngineConfig::record_trace) was set.
-    pub trace: Vec<crate::trace::TraceEvent>,
+    /// [`EngineConfig::trace`](crate::EngineConfig::trace) enabled capture.
+    pub trace: crate::trace::Trace,
 }
 
 impl RunReport {
@@ -152,6 +152,25 @@ impl RunReport {
     /// Whether every client finished.
     pub fn all_finished(&self) -> bool {
         self.finished_count() == self.clients.len()
+    }
+
+    /// Track metadata for the Chrome-trace exporter: one track per client
+    /// (labelled `clientN (model)`) plus one per GPU device.
+    pub fn trace_meta(&self) -> crate::trace::TraceMeta {
+        crate::trace::TraceMeta {
+            client_labels: self
+                .clients
+                .iter()
+                .map(|c| format!("{} ({})", c.client, c.model_name))
+                .collect(),
+            device_count: self.device_utilizations.len() as u32,
+        }
+    }
+
+    /// The run's trace as Chrome trace-event JSON, loadable in Perfetto or
+    /// `chrome://tracing`. Meaningful only when the run captured a trace.
+    pub fn chrome_trace_json(&self) -> String {
+        crate::trace::chrome_trace_json(&self.trace, &self.trace_meta())
     }
 
     /// Mean scheduling-interval duration in milliseconds, if any.

@@ -4,6 +4,7 @@
 use dataflow::NodeId;
 use simtime::SimTime;
 use std::fmt;
+use trace::SwitchReason;
 
 /// Identifier of one `Session::Run` invocation (the paper's `srInfo`).
 /// Unique across the whole experiment.
@@ -60,6 +61,8 @@ pub enum Verdict {
         from: Option<JobId>,
         /// New holder, if any (none when the last job deregistered).
         to: Option<JobId>,
+        /// Why the scheduler rotated the token — recorded in traces.
+        reason: SwitchReason,
     },
 }
 
@@ -133,6 +136,15 @@ pub trait Scheduler: fmt::Debug {
     fn on_timer(&mut self, now: SimTime) -> Verdict {
         let _ = now;
         Verdict::Unchanged
+    }
+
+    /// Metering state of a registered job, as `(cumulated, threshold)` cost
+    /// units — the paper's `C_j` against `T_j`. Cost-metering schedulers
+    /// override this so the engine can trace threshold crossings; the
+    /// default (`None`) means the scheduler does not meter.
+    fn cost_state(&self, job: JobId) -> Option<(u64, u64)> {
+        let _ = job;
+        None
     }
 
     /// Human-readable name for reports.

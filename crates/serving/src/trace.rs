@@ -1,132 +1,16 @@
-//! Structured execution traces.
+//! Structured execution traces — a façade over the workspace [`trace`]
+//! crate (re-exported here so downstream code keeps one import path).
 //!
-//! With [`EngineConfig::record_trace`](crate::EngineConfig::record_trace)
-//! set, the engine records every lifecycle and scheduling event with its
-//! virtual timestamp. Traces make scheduler behaviour auditable — which job
-//! held the token when, where a stall began — and feed external timeline
-//! tooling.
+//! With [`EngineConfig::trace`](crate::EngineConfig::trace) set to a
+//! capturing mode, the engine records every lifecycle and scheduling event
+//! (plus per-kernel events in [`TraceMode::Full`]) with its virtual
+//! timestamp and a dense sequence number. Traces make scheduler behaviour
+//! auditable — which job held the token when, where a hand-off bubble
+//! began — and export to Chrome trace-event JSON via
+//! [`RunReport::chrome_trace_json`](crate::RunReport::chrome_trace_json)
+//! or aggregate into a [`TraceStats`] snapshot.
 
-use crate::scheduler::{ClientId, JobId};
-use simtime::SimTime;
-use std::fmt;
-
-/// One traced event.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct TraceEvent {
-    /// When it happened.
-    pub at: SimTime,
-    /// What happened.
-    pub kind: TraceKind,
-}
-
-/// The kinds of events the engine traces.
-#[non_exhaustive]
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum TraceKind {
-    /// A client connected and was admitted (memory reserved).
-    ClientAdmitted(ClientId),
-    /// A client could not be admitted.
-    ClientRejected(ClientId),
-    /// A `Session::Run` registered with the scheduler.
-    RunRegistered {
-        /// The new job.
-        job: JobId,
-        /// Its owner.
-        client: ClientId,
-    },
-    /// The scheduling token moved.
-    TokenMoved {
-        /// Previous holder.
-        from: Option<JobId>,
-        /// New holder.
-        to: Option<JobId>,
-    },
-    /// A `Session::Run` completed.
-    RunCompleted {
-        /// The finished job.
-        job: JobId,
-        /// Its owner.
-        client: ClientId,
-    },
-    /// A run was cancelled by its deadline.
-    RunCancelled {
-        /// The cancelled job.
-        job: JobId,
-        /// Its owner.
-        client: ClientId,
-    },
-    /// A client finished its whole session.
-    ClientFinished(ClientId),
-}
-
-impl fmt::Display for TraceEvent {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "[{}] ", self.at)?;
-        match &self.kind {
-            TraceKind::ClientAdmitted(c) => write!(f, "{c} admitted"),
-            TraceKind::ClientRejected(c) => write!(f, "{c} rejected"),
-            TraceKind::RunRegistered { job, client } => {
-                write!(f, "{job} registered ({client})")
-            }
-            TraceKind::TokenMoved { from, to } => {
-                let fmt_opt = |j: &Option<JobId>| {
-                    j.map_or("-".to_string(), |j| j.to_string())
-                };
-                write!(f, "token {} -> {}", fmt_opt(from), fmt_opt(to))
-            }
-            TraceKind::RunCompleted { job, client } => {
-                write!(f, "{job} completed ({client})")
-            }
-            TraceKind::RunCancelled { job, client } => {
-                write!(f, "{job} cancelled by deadline ({client})")
-            }
-            TraceKind::ClientFinished(c) => write!(f, "{c} finished"),
-        }
-    }
-}
-
-/// Renders a trace as one line per event; `limit` caps the output
-/// (`usize::MAX` for everything).
-pub fn render_trace(trace: &[TraceEvent], limit: usize) -> String {
-    let mut out = String::new();
-    for event in trace.iter().take(limit) {
-        out.push_str(&event.to_string());
-        out.push('\n');
-    }
-    if trace.len() > limit {
-        out.push_str(&format!("... ({} more events)\n", trace.len() - limit));
-    }
-    out
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn events_render_compactly() {
-        let e = TraceEvent {
-            at: SimTime::from_micros(1500),
-            kind: TraceKind::TokenMoved {
-                from: Some(JobId(1)),
-                to: None,
-            },
-        };
-        assert_eq!(e.to_string(), "[0.001500s] token job1 -> -");
-    }
-
-    #[test]
-    fn render_caps_output() {
-        let trace: Vec<TraceEvent> = (0..10)
-            .map(|i| TraceEvent {
-                at: SimTime::from_nanos(i),
-                kind: TraceKind::ClientFinished(ClientId(i as u32)),
-            })
-            .collect();
-        let out = render_trace(&trace, 3);
-        assert_eq!(out.lines().count(), 4);
-        assert!(out.contains("7 more events"));
-        let full = render_trace(&trace, usize::MAX);
-        assert_eq!(full.lines().count(), 10);
-    }
-}
+pub use trace::{
+    chrome_trace, chrome_trace_json, render_trace, SwitchReason, Trace, TraceBuffer, TraceConfig,
+    TraceEvent, TraceKind, TraceMeta, TraceMode, TraceStats,
+};

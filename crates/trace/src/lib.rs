@@ -1,0 +1,636 @@
+#![deny(missing_docs)]
+
+//! Deterministic structured tracing for the serving stack.
+//!
+//! The serving engine records typed [`TraceEvent`]s — token movements with
+//! their reason, quantum boundaries, cost-threshold crossings, cooperative
+//! yields, kernel enqueue/launch/complete, overflow charges and client
+//! lifecycle — into a [`TraceBuffer`]: a pre-allocated arena (optionally a
+//! bounded ring) that allocates nothing in steady state. Every event is
+//! stamped with its virtual [`SimTime`] and a monotonic sequence number, so
+//! a trace of a deterministic run is **byte-identical** however the
+//! surrounding harness is parallelized: the simulation owning the buffer is
+//! single-threaded on a virtual clock, and nothing in here consults wall
+//! clocks, thread ids or iteration order of unordered containers.
+//!
+//! Two exporters turn a finished [`Trace`] into artifacts:
+//!
+//! * [`export::chrome_trace_json`] — Chrome trace-event JSON loadable in
+//!   Perfetto / `chrome://tracing`, one track per client plus one per GPU
+//!   device;
+//! * [`stats::TraceStats`] — a compact counters/histogram snapshot (token
+//!   switches, quantum-length distribution, per-client attributed GPU µs,
+//!   overflow µs, scheduler-overhead µs) behind the `overhead` report.
+
+use simtime::{SimDuration, SimTime};
+use std::fmt;
+
+pub mod export;
+pub mod stats;
+
+pub use export::{chrome_trace, chrome_trace_json, TraceMeta};
+pub use stats::TraceStats;
+
+/// How much the engine records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TraceMode {
+    /// Record nothing. The hot path pays one predictable branch per
+    /// would-be event — the `perfsuite` guardrail holds this to noise.
+    #[default]
+    Off,
+    /// Record the low-frequency scheduling and lifecycle events (token
+    /// movements, quantum ends, threshold crossings, yields, overflow
+    /// charges, admissions) but not the per-kernel firehose. A sampled
+    /// trace of a full-scale experiment stays in the tens of thousands of
+    /// events.
+    Sampled,
+    /// Everything, including one enqueue/launch/complete triple per GPU
+    /// kernel. Needed for device-idle overhead attribution.
+    Full,
+}
+
+/// Tracing configuration carried by the engine config.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TraceConfig {
+    /// Verbosity.
+    pub mode: TraceMode,
+    /// When set, keep only the most recent `n` events (a flight-recorder
+    /// ring); dropped-event count is reported in the finished [`Trace`].
+    /// `None` grows the arena unboundedly.
+    pub ring_capacity: Option<usize>,
+}
+
+impl TraceConfig {
+    /// Tracing disabled (the default).
+    pub fn off() -> TraceConfig {
+        TraceConfig::default()
+    }
+
+    /// Scheduling/lifecycle events only.
+    pub fn sampled() -> TraceConfig {
+        TraceConfig { mode: TraceMode::Sampled, ring_capacity: None }
+    }
+
+    /// Everything including per-kernel events.
+    pub fn full() -> TraceConfig {
+        TraceConfig { mode: TraceMode::Full, ring_capacity: None }
+    }
+
+    /// Bounds the buffer to the most recent `n` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn with_ring(mut self, n: usize) -> TraceConfig {
+        assert!(n > 0, "ring capacity must be positive");
+        self.ring_capacity = Some(n);
+        self
+    }
+
+    /// Whether any events are recorded.
+    pub fn is_on(&self) -> bool {
+        self.mode != TraceMode::Off
+    }
+}
+
+/// Why the token moved (carried on `Verdict::Moved` and on the
+/// grant/revoke trace events).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SwitchReason {
+    /// A job registered and the policy granted it the token.
+    Register,
+    /// The holder deregistered and the token passed on.
+    Deregister,
+    /// The cost-accumulation meter crossed the quantum threshold
+    /// `T_j = Q * C_j / D_j` (the paper's mechanism).
+    QuantumExpired,
+    /// A wall-clock quantum timer fired (the Figure 19 ablation meter).
+    WallClockTimer,
+}
+
+impl SwitchReason {
+    /// Stable kebab-case label used in exported JSON.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SwitchReason::Register => "register",
+            SwitchReason::Deregister => "deregister",
+            SwitchReason::QuantumExpired => "quantum-expired",
+            SwitchReason::WallClockTimer => "wall-clock-timer",
+        }
+    }
+}
+
+impl fmt::Display for SwitchReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// What happened. Ids are raw (`u64` job, `u32` client/device/node) so this
+/// crate sits below the serving layer without a dependency cycle.
+#[non_exhaustive]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceKind {
+    /// A client connected and its memory was reserved.
+    ClientAdmitted {
+        /// The admitted client.
+        client: u32,
+    },
+    /// A client's admission failed on GPU memory.
+    ClientRejectedOom {
+        /// The rejected client.
+        client: u32,
+        /// Bytes the admission attempt needed.
+        requested: u64,
+        /// Bytes that were free.
+        available: u64,
+    },
+    /// A client finished its whole session.
+    ClientFinished {
+        /// The finished client.
+        client: u32,
+    },
+    /// A `Session::Run` registered with the scheduler.
+    RunRegistered {
+        /// The new job.
+        job: u64,
+        /// Its owner.
+        client: u32,
+    },
+    /// A `Session::Run` completed all nodes.
+    RunCompleted {
+        /// The finished job.
+        job: u64,
+        /// Its owner.
+        client: u32,
+    },
+    /// A run blew through its deadline and was cancelled.
+    DeadlineCancelled {
+        /// The cancelled job.
+        job: u64,
+        /// Its owner.
+        client: u32,
+    },
+    /// The token was taken from a job.
+    TokenRevoke {
+        /// The previous holder.
+        job: u64,
+        /// Its owner, when still known (a job revoked *because* it
+        /// deregistered has already left the job table).
+        client: Option<u32>,
+        /// Why the token moved.
+        reason: SwitchReason,
+    },
+    /// The token was granted to a job.
+    TokenGrant {
+        /// The new holder.
+        job: u64,
+        /// Its owner, when known.
+        client: Option<u32>,
+        /// Why the token moved.
+        reason: SwitchReason,
+    },
+    /// A quantum ended: the holder's accumulated GPU time was flushed.
+    /// By convention the quantum span is `[at - gpu, at]`.
+    QuantumEnd {
+        /// The job whose quantum ended.
+        job: u64,
+        /// Its owner.
+        client: u32,
+        /// GPU duration received during the quantum (including overflow
+        /// charges).
+        gpu: SimDuration,
+    },
+    /// A job's cumulated profiled cost crossed its quantum threshold.
+    CostThreshold {
+        /// The crossing job.
+        job: u64,
+        /// Its owner.
+        client: u32,
+        /// Cumulated cost at the crossing (cost units).
+        cumulated: u64,
+        /// The threshold `T_j` it crossed.
+        threshold: u64,
+    },
+    /// A gang thread hit the cooperative yield gate and parked (first
+    /// blocked dispatch per suspension, not one event per parked thread).
+    YieldBlock {
+        /// The suspended job.
+        job: u64,
+        /// Its owner.
+        client: u32,
+    },
+    /// A previously yield-blocked job was granted the token again.
+    YieldUnblock {
+        /// The resumed job.
+        job: u64,
+        /// Its owner.
+        client: u32,
+    },
+    /// A kernel completed for a job that no longer holds the token: its
+    /// cost is still charged to that job (the paper's overflow rule).
+    OverflowCharge {
+        /// The charged job.
+        job: u64,
+        /// Its owner.
+        client: u32,
+        /// Device the kernel ran on.
+        device: u32,
+        /// GPU duration charged.
+        gpu: SimDuration,
+    },
+    /// A kernel was submitted to the device driver queue (Full mode only).
+    KernelEnqueue {
+        /// The launching job.
+        job: u64,
+        /// Its owner.
+        client: u32,
+        /// Target device.
+        device: u32,
+        /// Graph node of the kernel.
+        node: u32,
+    },
+    /// A kernel started executing on the device (Full mode only).
+    KernelLaunch {
+        /// The launching job.
+        job: u64,
+        /// Its owner.
+        client: u32,
+        /// Executing device.
+        device: u32,
+        /// Graph node of the kernel.
+        node: u32,
+        /// Execution start.
+        start: SimTime,
+        /// Execution end.
+        end: SimTime,
+    },
+    /// A kernel's completion was observed by the engine (Full mode only).
+    KernelComplete {
+        /// The launching job.
+        job: u64,
+        /// Its owner.
+        client: u32,
+        /// Executing device.
+        device: u32,
+        /// Graph node of the kernel.
+        node: u32,
+        /// GPU duration of the kernel.
+        gpu: SimDuration,
+    },
+}
+
+impl TraceKind {
+    /// Whether this is one of the per-kernel (Full-mode-only) events.
+    pub fn is_kernel(&self) -> bool {
+        matches!(
+            self,
+            TraceKind::KernelEnqueue { .. }
+                | TraceKind::KernelLaunch { .. }
+                | TraceKind::KernelComplete { .. }
+        )
+    }
+
+    /// The client the event belongs to, when known.
+    pub fn client(&self) -> Option<u32> {
+        match *self {
+            TraceKind::ClientAdmitted { client }
+            | TraceKind::ClientRejectedOom { client, .. }
+            | TraceKind::ClientFinished { client }
+            | TraceKind::RunRegistered { client, .. }
+            | TraceKind::RunCompleted { client, .. }
+            | TraceKind::DeadlineCancelled { client, .. }
+            | TraceKind::QuantumEnd { client, .. }
+            | TraceKind::CostThreshold { client, .. }
+            | TraceKind::YieldBlock { client, .. }
+            | TraceKind::YieldUnblock { client, .. }
+            | TraceKind::OverflowCharge { client, .. }
+            | TraceKind::KernelEnqueue { client, .. }
+            | TraceKind::KernelLaunch { client, .. }
+            | TraceKind::KernelComplete { client, .. } => Some(client),
+            TraceKind::TokenRevoke { client, .. } | TraceKind::TokenGrant { client, .. } => client,
+        }
+    }
+}
+
+/// One recorded event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Monotonic sequence number, dense from 0 per run (dropped ring
+    /// entries leave gaps at the front, never in the middle).
+    pub seq: u64,
+    /// Virtual time of the event.
+    pub at: SimTime,
+    /// What happened.
+    pub kind: TraceKind,
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] ", self.at)?;
+        let opt = |c: Option<u32>| c.map_or("-".to_string(), |c| format!("client{c}"));
+        match self.kind {
+            TraceKind::ClientAdmitted { client } => write!(f, "client{client} admitted"),
+            TraceKind::ClientRejectedOom { client, requested, available } => write!(
+                f,
+                "client{client} rejected (oom: {requested} B requested, {available} B free)"
+            ),
+            TraceKind::ClientFinished { client } => write!(f, "client{client} finished"),
+            TraceKind::RunRegistered { job, client } => {
+                write!(f, "job{job} registered (client{client})")
+            }
+            TraceKind::RunCompleted { job, client } => {
+                write!(f, "job{job} completed (client{client})")
+            }
+            TraceKind::DeadlineCancelled { job, client } => {
+                write!(f, "job{job} cancelled by deadline (client{client})")
+            }
+            TraceKind::TokenRevoke { job, client, reason } => {
+                write!(f, "token revoked from job{job} ({}, {reason})", opt(client))
+            }
+            TraceKind::TokenGrant { job, client, reason } => {
+                write!(f, "token granted to job{job} ({}, {reason})", opt(client))
+            }
+            TraceKind::QuantumEnd { job, client, gpu } => {
+                write!(f, "quantum end job{job} (client{client}, gpu {gpu})")
+            }
+            TraceKind::CostThreshold { job, client, cumulated, threshold } => write!(
+                f,
+                "cost threshold job{job} (client{client}, {cumulated}/{threshold} units)"
+            ),
+            TraceKind::YieldBlock { job, client } => {
+                write!(f, "yield block job{job} (client{client})")
+            }
+            TraceKind::YieldUnblock { job, client } => {
+                write!(f, "yield unblock job{job} (client{client})")
+            }
+            TraceKind::OverflowCharge { job, client, device, gpu } => write!(
+                f,
+                "overflow charge job{job} (client{client}, gpu{device}, {gpu})"
+            ),
+            TraceKind::KernelEnqueue { job, client, device, node } => write!(
+                f,
+                "kernel enqueue job{job} node{node} (client{client}, gpu{device})"
+            ),
+            TraceKind::KernelLaunch { job, client, device, node, start, end } => write!(
+                f,
+                "kernel launch job{job} node{node} (client{client}, gpu{device}, {start}..{end})"
+            ),
+            TraceKind::KernelComplete { job, client, device, node, gpu } => write!(
+                f,
+                "kernel complete job{job} node{node} (client{client}, gpu{device}, {gpu})"
+            ),
+        }
+    }
+}
+
+/// The engine-side recorder: a pre-allocated arena or bounded ring.
+///
+/// All recording goes through [`record`](TraceBuffer::record), which
+/// assigns sequence numbers; when the mode is [`TraceMode::Off`] it is a
+/// single branch and no event is ever constructed into the buffer.
+#[derive(Debug)]
+pub struct TraceBuffer {
+    on: bool,
+    kernels: bool,
+    ring: Option<usize>,
+    /// Next slot to overwrite once the ring is full.
+    write: usize,
+    next_seq: u64,
+    dropped: u64,
+    events: Vec<TraceEvent>,
+}
+
+/// Initial arena capacity when tracing is enabled without a ring bound.
+const ARENA_CAPACITY: usize = 1024;
+
+impl TraceBuffer {
+    /// Creates a buffer for the given configuration. Allocates nothing when
+    /// tracing is off.
+    pub fn new(cfg: &TraceConfig) -> TraceBuffer {
+        let capacity = match (cfg.mode, cfg.ring_capacity) {
+            (TraceMode::Off, _) => 0,
+            (_, Some(n)) => n,
+            (_, None) => ARENA_CAPACITY,
+        };
+        TraceBuffer {
+            on: cfg.mode != TraceMode::Off,
+            kernels: cfg.mode == TraceMode::Full,
+            ring: cfg.ring_capacity,
+            write: 0,
+            next_seq: 0,
+            dropped: 0,
+            events: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Whether any events are recorded. Callers use this to skip building
+    /// event payloads (e.g. client lookups) entirely.
+    #[inline]
+    pub fn is_on(&self) -> bool {
+        self.on
+    }
+
+    /// Whether per-kernel events are recorded (Full mode). The engine's
+    /// kernel hot path checks this single flag.
+    #[inline]
+    pub fn records_kernels(&self) -> bool {
+        self.kernels
+    }
+
+    /// Records one event at `at`, assigning the next sequence number.
+    /// No-op when tracing is off; kernel events are dropped outside Full
+    /// mode so call sites may record unconditionally.
+    #[inline]
+    pub fn record(&mut self, at: SimTime, kind: TraceKind) {
+        if !self.on || (!self.kernels && kind.is_kernel()) {
+            return;
+        }
+        let event = TraceEvent { seq: self.next_seq, at, kind };
+        self.next_seq += 1;
+        match self.ring {
+            Some(cap) if self.events.len() == cap => {
+                self.events[self.write] = event;
+                self.write = (self.write + 1) % cap;
+                self.dropped += 1;
+            }
+            _ => self.events.push(event),
+        }
+    }
+
+    /// Finishes recording, rotating ring contents into sequence order.
+    pub fn finish(mut self) -> Trace {
+        if self.write > 0 {
+            // The oldest retained event sits at the write cursor.
+            self.events.rotate_left(self.write);
+        }
+        Trace { events: self.events, dropped: self.dropped }
+    }
+}
+
+/// A finished trace: events in sequence (= time) order.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    /// The retained events, ascending `seq`.
+    pub events: Vec<TraceEvent>,
+    /// Events overwritten by the ring (always the oldest ones).
+    pub dropped: u64,
+}
+
+impl Trace {
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether nothing was retained.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events matching a predicate on their kind.
+    pub fn filter<'a>(
+        &'a self,
+        pred: impl Fn(&TraceKind) -> bool + 'a,
+    ) -> impl Iterator<Item = &'a TraceEvent> + 'a {
+        self.events.iter().filter(move |e| pred(&e.kind))
+    }
+}
+
+/// Renders a trace as one line per event; `limit` caps the output
+/// (`usize::MAX` for everything).
+pub fn render_trace(trace: &Trace, limit: usize) -> String {
+    let mut out = String::new();
+    if trace.dropped > 0 {
+        out.push_str(&format!("... ({} events dropped by the ring)\n", trace.dropped));
+    }
+    for event in trace.events.iter().take(limit) {
+        out.push_str(&event.to_string());
+        out.push('\n');
+    }
+    if trace.len() > limit {
+        out.push_str(&format!("... ({} more events)\n", trace.len() - limit));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(client: u32) -> TraceKind {
+        TraceKind::ClientFinished { client }
+    }
+
+    #[test]
+    fn off_buffer_records_nothing() {
+        let mut b = TraceBuffer::new(&TraceConfig::off());
+        assert!(!b.is_on());
+        b.record(SimTime::ZERO, ev(0));
+        let t = b.finish();
+        assert!(t.is_empty());
+        assert_eq!(t.dropped, 0);
+    }
+
+    #[test]
+    fn sampled_buffer_drops_kernel_events_only() {
+        let mut b = TraceBuffer::new(&TraceConfig::sampled());
+        assert!(b.is_on());
+        assert!(!b.records_kernels());
+        b.record(SimTime::ZERO, ev(0));
+        b.record(
+            SimTime::from_nanos(5),
+            TraceKind::KernelEnqueue { job: 0, client: 0, device: 0, node: 0 },
+        );
+        b.record(SimTime::from_nanos(9), ev(1));
+        let t = b.finish();
+        assert_eq!(t.len(), 2);
+        // Sequence numbers stay dense: the skipped kernel event consumed none.
+        assert_eq!(t.events[0].seq, 0);
+        assert_eq!(t.events[1].seq, 1);
+    }
+
+    #[test]
+    fn full_buffer_keeps_kernel_events() {
+        let mut b = TraceBuffer::new(&TraceConfig::full());
+        assert!(b.records_kernels());
+        b.record(
+            SimTime::ZERO,
+            TraceKind::KernelComplete {
+                job: 1,
+                client: 0,
+                device: 0,
+                node: 3,
+                gpu: SimDuration::from_micros(7),
+            },
+        );
+        assert_eq!(b.finish().len(), 1);
+    }
+
+    #[test]
+    fn ring_keeps_newest_in_seq_order() {
+        let mut b = TraceBuffer::new(&TraceConfig::sampled().with_ring(3));
+        for i in 0..7u32 {
+            b.record(SimTime::from_nanos(u64::from(i)), ev(i));
+        }
+        let t = b.finish();
+        assert_eq!(t.dropped, 4);
+        let seqs: Vec<u64> = t.events.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![4, 5, 6]);
+    }
+
+    #[test]
+    #[should_panic(expected = "ring capacity")]
+    fn zero_ring_rejected() {
+        let _ = TraceConfig::full().with_ring(0);
+    }
+
+    #[test]
+    fn events_render_compactly() {
+        let e = TraceEvent {
+            seq: 3,
+            at: SimTime::from_micros(1500),
+            kind: TraceKind::TokenGrant {
+                job: 1,
+                client: Some(0),
+                reason: SwitchReason::QuantumExpired,
+            },
+        };
+        assert_eq!(
+            e.to_string(),
+            "[0.001500s] token granted to job1 (client0, quantum-expired)"
+        );
+    }
+
+    #[test]
+    fn render_caps_output() {
+        let mut b = TraceBuffer::new(&TraceConfig::sampled());
+        for i in 0..10u32 {
+            b.record(SimTime::from_nanos(u64::from(i)), ev(i));
+        }
+        let t = b.finish();
+        let out = render_trace(&t, 3);
+        assert_eq!(out.lines().count(), 4);
+        assert!(out.contains("7 more events"));
+        let full = render_trace(&t, usize::MAX);
+        assert_eq!(full.lines().count(), 10);
+    }
+
+    #[test]
+    fn kind_client_lookup_covers_every_variant() {
+        assert_eq!(ev(4).client(), Some(4));
+        assert_eq!(
+            TraceKind::TokenRevoke {
+                job: 1,
+                client: None,
+                reason: SwitchReason::Deregister
+            }
+            .client(),
+            None
+        );
+        assert_eq!(
+            TraceKind::QuantumEnd { job: 1, client: 9, gpu: SimDuration::ZERO }.client(),
+            Some(9)
+        );
+    }
+}

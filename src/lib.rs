@@ -16,6 +16,7 @@
 //! * [`serving`] — the TF-Serving-equivalent middleware
 //! * [`olympian`] — the paper's contribution: profiler + scheduler + policies
 //! * [`metrics`] — statistics and table rendering for experiments
+//! * [`trace`] — deterministic structured tracing and Chrome-trace export
 
 pub use dataflow;
 pub use gpusim;
@@ -25,3 +26,4 @@ pub use olympian;
 pub use serving;
 pub use simtime;
 pub use tensor;
+pub use trace;

@@ -254,11 +254,8 @@ fn drift_detector_flags_stale_profiles_end_to_end() {
 
 #[test]
 fn trace_records_the_full_lifecycle() {
-    use serving::trace::{render_trace, TraceKind};
-    let cfg = EngineConfig {
-        record_trace: true,
-        ..EngineConfig::default()
-    };
+    use serving::trace::{render_trace, TraceConfig, TraceKind};
+    let cfg = EngineConfig::default().with_trace(TraceConfig::sampled());
     let model = models::mini::small(2);
     let store = store_for(&cfg, std::slice::from_ref(&model));
     let mut sched = OlympianScheduler::new(
@@ -270,19 +267,26 @@ fn trace_records_the_full_lifecycle() {
     assert!(report.all_finished());
     let trace = &report.trace;
     assert!(!trace.is_empty());
-    // Timestamps never go backwards.
-    assert!(trace.windows(2).all(|w| w[0].at <= w[1].at));
+    assert_eq!(trace.dropped, 0);
+    // Timestamps never go backwards and sequence numbers are dense.
+    assert!(trace.events.windows(2).all(|w| w[0].at <= w[1].at));
+    assert!(trace.events.iter().enumerate().all(|(i, e)| e.seq == i as u64));
     // Every lifecycle stage appears.
-    let count = |pred: &dyn Fn(&TraceKind) -> bool| trace.iter().filter(|e| pred(&e.kind)).count();
-    assert_eq!(count(&|k| matches!(k, TraceKind::ClientAdmitted(_))), 2);
+    let count =
+        |pred: &dyn Fn(&TraceKind) -> bool| trace.events.iter().filter(|e| pred(&e.kind)).count();
+    assert_eq!(count(&|k| matches!(k, TraceKind::ClientAdmitted { .. })), 2);
     assert_eq!(count(&|k| matches!(k, TraceKind::RunRegistered { .. })), 4);
     assert_eq!(count(&|k| matches!(k, TraceKind::RunCompleted { .. })), 4);
-    assert_eq!(count(&|k| matches!(k, TraceKind::ClientFinished(_))), 2);
-    // Token movements traced one-for-one with the switch counter.
-    assert_eq!(
-        count(&|k| matches!(k, TraceKind::TokenMoved { .. })) as u64,
-        report.switch_count
-    );
+    assert_eq!(count(&|k| matches!(k, TraceKind::ClientFinished { .. })), 2);
+    // The token holder walks None -> Some -> ... -> None, so grants and
+    // revokes pair up exactly, and every engine-counted switch left a mark.
+    let grants = count(&|k| matches!(k, TraceKind::TokenGrant { .. })) as u64;
+    let revokes = count(&|k| matches!(k, TraceKind::TokenRevoke { .. })) as u64;
+    assert_eq!(grants, revokes, "every granted token is eventually revoked");
+    assert!(grants >= 1 && grants <= report.switch_count);
+    assert!(grants + revokes >= report.switch_count);
+    // Sampled mode skips per-kernel events.
+    assert_eq!(count(&|k| matches!(k, TraceKind::KernelLaunch { .. })), 0);
     let rendered = render_trace(trace, 10);
     assert!(rendered.lines().count() >= 10);
 }
