@@ -11,11 +11,19 @@
 //!                  [--quantum-us 1200] [--gpus 1] [--seed 1]
 //!                  [--deadline-ms 500] [--trace 40]
 //! olympctl trace   <experiment> [--out trace.json] [--mode sampled|full]
+//! olympctl metrics <experiment> [--interval-us N] [--out telemetry.jsonl]
+//!                  [--prom metrics.prom]
 //! ```
 //!
 //! `trace` runs a named experiment (see `bench::traced::traced_registry`)
 //! with capture enabled and writes Chrome trace-event JSON loadable in
 //! Perfetto (<https://ui.perfetto.dev>) or `chrome://tracing`.
+//!
+//! `metrics` runs a named experiment (see
+//! `bench::telemetered::telemetered_registry`) with live telemetry enabled
+//! at the given virtual-time snapshot cadence and writes the JSON-lines
+//! time series; `--prom` additionally writes the final registry state as
+//! Prometheus text exposition.
 
 use olympian::{
     DeficitRoundRobin, Lottery, MultiGpuScheduler, OlympianScheduler, Policy, Priority,
@@ -35,6 +43,8 @@ fn usage() -> ExitCode {
          --policy <fair|weighted|priority|drr|lottery|baseline>\n               \
          [--quantum-us <n>] [--gpus <n>] [--seed <n>]\n  \
          olympctl trace <experiment> [--out <trace.json>] [--mode sampled|full]\n  \
+         olympctl metrics <experiment> [--interval-us <n>] [--out <telemetry.jsonl>]\n                   \
+         [--prom <metrics.prom>]\n  \
          any command also accepts --jobs <n> (worker threads for parallel\n  \
          sweeps; default: all cores, or OLYMPIAN_JOBS)"
     );
@@ -297,6 +307,57 @@ fn cmd_trace(experiment: &str, flags: &HashMap<String, String>) -> Result<(), St
     Ok(())
 }
 
+fn cmd_metrics(experiment: &str, flags: &HashMap<String, String>) -> Result<(), String> {
+    let interval_us: u64 = get_num(flags, "interval-us", 100)?;
+    if interval_us == 0 {
+        return Err("--interval-us: must be positive".into());
+    }
+    let out = flags.get("out").map(String::as_str).unwrap_or("telemetry.jsonl");
+    let Some(f) = bench::telemetered::telemetered_experiment(experiment) else {
+        let names: Vec<&str> = bench::telemetered::telemetered_registry()
+            .iter()
+            .map(|&(n, _)| n)
+            .collect();
+        return Err(format!(
+            "unknown telemetered experiment {experiment:?}; available: {}",
+            names.join(", ")
+        ));
+    };
+    let report = f(SimDuration::from_micros(interval_us));
+    std::fs::write(out, report.telemetry_jsonl()).map_err(|e| e.to_string())?;
+    if let Some(prom) = flags.get("prom") {
+        std::fs::write(prom, report.prometheus_text()).map_err(|e| e.to_string())?;
+    }
+    let t = &report.telemetry;
+    println!("experiment     : {experiment}");
+    println!("scheduler      : {}", report.scheduler_name);
+    println!("makespan       : {:.3} s", report.makespan.as_secs_f64());
+    println!(
+        "snapshots      : {} (every {}, virtual time)",
+        t.snapshots.len(),
+        t.interval
+    );
+    for name in ["runs_completed", "token_switches", "slo_breaches"] {
+        if let Some(v) = t.counter(name) {
+            println!("{name:<15}: {v}");
+        }
+    }
+    if let Some(q) = t.hist("quantum_us") {
+        println!(
+            "quantum (us)   : p50 {:.0}, p99 {:.0} over {} quanta",
+            q.p50, q.p99, q.count
+        );
+    }
+    let drift = t.alerts.iter().filter(|a| a.kind() == "drift").count();
+    let burn = t.alerts.len() - drift;
+    println!("alerts         : {} ({drift} drift, {burn} slo-burn)", t.alerts.len());
+    println!("wrote {out}");
+    if let Some(prom) = flags.get("prom") {
+        println!("wrote {prom}");
+    }
+    Ok(())
+}
+
 fn print_run(report: &serving::RunReport, sched: &OlympianScheduler) {
     print_report(report);
     println!("token switches : {}", sched.switches());
@@ -323,12 +384,13 @@ fn main() -> ExitCode {
     let Some(cmd) = args.first() else {
         return usage();
     };
-    // `trace` takes one positional argument (the experiment) before flags.
-    let (positional, flag_args) = if cmd == "trace" {
+    // `trace` and `metrics` take one positional argument (the experiment)
+    // before flags.
+    let (positional, flag_args) = if cmd == "trace" || cmd == "metrics" {
         match args.get(1) {
             Some(a) if !a.starts_with("--") => (Some(a.clone()), &args[2..]),
             _ => {
-                eprintln!("error: trace needs an experiment name");
+                eprintln!("error: {cmd} needs an experiment name");
                 return usage();
             }
         }
@@ -361,6 +423,7 @@ fn main() -> ExitCode {
         "curve" => cmd_curve(&flags),
         "run" => cmd_run(&flags),
         "trace" => cmd_trace(positional.as_deref().expect("positional parsed"), &flags),
+        "metrics" => cmd_metrics(positional.as_deref().expect("positional parsed"), &flags),
         _ => {
             return usage();
         }

@@ -14,7 +14,11 @@
 //!   and this run's speedups over them;
 //! * the tracing guardrail: engine throughput with the trace layer off,
 //!   sampled, and full, with a hard assert that the off-mode rate stays
-//!   within noise of the PR 1 reference (tracing must be free when off).
+//!   within noise of the PR 1 reference (tracing must be free when off);
+//! * the telemetry guardrail: engine throughput with live telemetry off
+//!   and on, with a hard assert that the off-mode rate stays within noise
+//!   of the PR 2 reference (telemetry must cost one predicted branch per
+//!   event when off).
 //!
 //! ```text
 //! perfsuite [--smoke] [--jobs N] [--out path]
@@ -52,6 +56,12 @@ const SEED_SUITE_WALL_SECS: f64 = 172.5;
 /// against.
 const PR1_ENGINE_FIFO_EPS: f64 = 3_941_153.0;
 const PR1_ENGINE_OLYMPIAN_EPS: f64 = 4_228_107.0;
+
+/// PR 2 reference numbers (this suite's own `BENCH_engine.json` before the
+/// telemetry layer landed) — the baseline the telemetry-off guardrail
+/// compares against.
+const PR2_ENGINE_FIFO_EPS: f64 = 4_945_747.0;
+const PR2_ENGINE_OLYMPIAN_EPS: f64 = 4_670_088.0;
 
 /// Guardrail: tracing-off throughput must stay above this fraction of the
 /// PR 1 reference. Generous, to absorb machine and run-to-run noise — the
@@ -252,6 +262,68 @@ fn tracing_section(off_eps: f64) -> Value {
     ])
 }
 
+/// Measures the Olympian engine config with live telemetry on and asserts
+/// the off rate (measured by `engine_section`, since telemetry defaults to
+/// off) is within noise of the PR 2 reference.
+///
+/// # Panics
+///
+/// Panics if telemetry-disabled engine throughput falls below
+/// `TRACE_OFF_NOISE_FLOOR` x the PR 2 reference — telemetry must cost one
+/// predicted branch per event when off.
+fn telemetry_section(off_eps: f64) -> Value {
+    let model = models::mini::small(4);
+    let base = EngineConfig::default();
+    let mut store = ProfileStore::new();
+    store.insert(Profiler::new(&base).profile(&model));
+    let store = Arc::new(store);
+    let tc = telemetry::TelemetryConfig::enabled(SimDuration::from_micros(100))
+        .with_slo(telemetry::SloSpec::new(
+            model.name(),
+            SimDuration::from_millis(1),
+            0.05,
+        ))
+        .with_drift(telemetry::DriftConfig::new(SimDuration::from_micros(200), 0.25));
+    let cfg = base.with_telemetry(tc);
+    let sched = || {
+        OlympianScheduler::new(
+            Arc::clone(&store),
+            Box::new(RoundRobin::new()),
+            SimDuration::from_micros(200),
+        )
+    };
+    let probe = run_experiment(&cfg, engine_clients(4, 2), &mut sched());
+    let m = harness::run("engine_olympian/telemetry=on", || {
+        black_box(run_experiment(&cfg, engine_clients(4, 2), &mut sched()))
+    });
+    let on_eps = m.per_second() * probe.event_count as f64;
+    let off_vs_pr2 = off_eps / PR2_ENGINE_OLYMPIAN_EPS;
+    println!(
+        "  -> telemetry: off {off_eps:.0} events/s ({off_vs_pr2:.2}x PR 2 reference), \
+         on {on_eps:.0}"
+    );
+    assert!(
+        off_vs_pr2 >= TRACE_OFF_NOISE_FLOOR,
+        "telemetry-disabled engine throughput {off_eps:.0} events/s fell below \
+         {TRACE_OFF_NOISE_FLOOR}x the PR 2 reference {PR2_ENGINE_OLYMPIAN_EPS:.0} — \
+         the telemetry layer is no longer free when off"
+    );
+    Value::Object(vec![
+        (
+            "pr2_reference_events_per_sec".into(),
+            Value::Object(vec![
+                ("fifo".into(), Value::Float(PR2_ENGINE_FIFO_EPS)),
+                ("olympian".into(), Value::Float(PR2_ENGINE_OLYMPIAN_EPS)),
+            ]),
+        ),
+        ("off_events_per_sec".into(), Value::Float(off_eps)),
+        ("on_events_per_sec".into(), Value::Float(on_eps)),
+        ("off_vs_pr2".into(), Value::Float(off_vs_pr2)),
+        ("noise_floor".into(), Value::Float(TRACE_OFF_NOISE_FLOOR)),
+        ("on_cost".into(), Value::Float(1.0 - on_eps / off_eps.max(1e-9))),
+    ])
+}
+
 /// Returns the section plus the measured wall clock (0 in smoke mode).
 fn suite_section(smoke: bool, jobs: usize) -> (Value, f64) {
     if smoke {
@@ -375,6 +447,7 @@ fn main() -> ExitCode {
     let queue = queue_section();
     let (engine, fifo_eps, oly_eps) = engine_section();
     let tracing = tracing_section(oly_eps);
+    let telemetry = telemetry_section(oly_eps);
     let (suite, suite_secs) = suite_section(smoke, jobs);
     let seed_reference = seed_reference_section(fifo_eps, oly_eps, suite_secs);
 
@@ -385,6 +458,7 @@ fn main() -> ExitCode {
         ("queue".into(), queue),
         ("engine".into(), engine),
         ("tracing".into(), tracing),
+        ("telemetry".into(), telemetry),
         ("suite".into(), suite),
         ("seed_reference".into(), seed_reference),
     ]);

@@ -1,0 +1,8 @@
+//! Renders the live-telemetry incident report. See `bench::figs::telemetry`.
+
+fn main() {
+    let out = bench::figs::telemetry::run();
+    print!("{out}");
+    let path = bench::save_result("telemetry.txt", &out);
+    eprintln!("(saved to {})", path.display());
+}

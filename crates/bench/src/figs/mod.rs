@@ -26,6 +26,7 @@ pub mod robustness;
 pub mod scalability;
 pub mod stability;
 pub mod table2;
+pub mod telemetry;
 pub mod timeline;
 pub mod utilization;
 
@@ -65,6 +66,7 @@ pub fn registry() -> Vec<Experiment> {
         ("dynamic_workload", dynamic_workload::run),
         ("ablations", ablations::run),
         ("timeline", timeline::run),
+        ("telemetry", telemetry::run),
         ("overhead", overhead::run),
         ("motivation", motivation::run),
         ("robustness", robustness::run),

@@ -8,6 +8,7 @@
 
 pub mod figs;
 pub mod harness;
+pub mod telemetered;
 pub mod traced;
 
 use metrics::table::{render_bars, render_table};

@@ -12,4 +12,6 @@ mod stats;
 pub mod table;
 
 pub use cdf::Cdf;
-pub use stats::{jain_fairness, linear_fit, max_min_ratio, Summary};
+pub use stats::{
+    jain_fairness, linear_fit, max_min_ratio, try_jain_fairness, try_max_min_ratio, Summary,
+};

@@ -33,9 +33,36 @@ impl Summary {
     where
         I: IntoIterator<Item = f64>,
     {
-        let mut v: Vec<f64> = values.into_iter().collect();
+        let v: Vec<f64> = values.into_iter().collect();
         assert!(!v.is_empty(), "summary of empty sample");
         assert!(v.iter().all(|x| !x.is_nan()), "summary of NaN sample");
+        Summary::of_clean(v)
+    }
+
+    /// Non-panicking [`of`](Summary::of): `None` when the sample is empty
+    /// or contains NaN. Online paths (telemetry snapshots over possibly
+    /// idle windows) use this instead of the asserting constructor.
+    ///
+    /// ```
+    /// use metrics::Summary;
+    ///
+    /// assert!(Summary::try_of([]).is_none());
+    /// assert!(Summary::try_of([f64::NAN]).is_none());
+    /// assert_eq!(Summary::try_of([3.0]).unwrap().mean(), 3.0);
+    /// ```
+    pub fn try_of<I>(values: I) -> Option<Summary>
+    where
+        I: IntoIterator<Item = f64>,
+    {
+        let v: Vec<f64> = values.into_iter().collect();
+        if v.is_empty() || v.iter().any(|x| x.is_nan()) {
+            return None;
+        }
+        Some(Summary::of_clean(v))
+    }
+
+    /// Shared implementation: `v` is non-empty and NaN-free.
+    fn of_clean(mut v: Vec<f64>) -> Summary {
         v.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
         let n = v.len();
         let mean = v.iter().sum::<f64>() / n as f64;
@@ -136,6 +163,22 @@ pub fn jain_fairness(xs: &[f64]) -> f64 {
     (sum * sum) / (xs.len() as f64 * sum_sq)
 }
 
+/// Non-panicking [`jain_fairness`]: `None` on an empty or NaN-tainted
+/// sample.
+///
+/// ```
+/// use metrics::try_jain_fairness;
+///
+/// assert!(try_jain_fairness(&[]).is_none());
+/// assert_eq!(try_jain_fairness(&[2.0, 2.0]), Some(1.0));
+/// ```
+pub fn try_jain_fairness(xs: &[f64]) -> Option<f64> {
+    if xs.is_empty() || xs.iter().any(|x| x.is_nan()) {
+        return None;
+    }
+    Some(jain_fairness(xs))
+}
+
 /// Ratio of the largest to the smallest sample — the paper's "finish times
 /// vary by up to 1.7x" style metric.
 ///
@@ -146,6 +189,24 @@ pub fn max_min_ratio(xs: &[f64]) -> f64 {
     let s = Summary::of(xs.iter().copied());
     assert!(s.min() > 0.0, "max/min ratio requires positive samples");
     s.max() / s.min()
+}
+
+/// Non-panicking [`max_min_ratio`]: `None` when the sample is empty,
+/// contains NaN, or its smallest value is not positive.
+///
+/// ```
+/// use metrics::try_max_min_ratio;
+///
+/// assert!(try_max_min_ratio(&[]).is_none());
+/// assert!(try_max_min_ratio(&[0.0, 1.0]).is_none());
+/// assert_eq!(try_max_min_ratio(&[2.0, 4.0]), Some(2.0));
+/// ```
+pub fn try_max_min_ratio(xs: &[f64]) -> Option<f64> {
+    let s = Summary::try_of(xs.iter().copied())?;
+    if s.min() <= 0.0 {
+        return None;
+    }
+    Some(s.max() / s.min())
 }
 
 /// Ordinary least-squares fit `y = intercept + slope * x`.
@@ -229,6 +290,32 @@ mod tests {
     #[test]
     fn max_min_ratio_works() {
         assert!((max_min_ratio(&[2.0, 3.4]) - 1.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn try_of_mirrors_of_without_panicking() {
+        assert_eq!(Summary::try_of([]), None);
+        assert_eq!(Summary::try_of([1.0, f64::NAN]), None);
+        let a = Summary::try_of([1.0, 2.0, 3.0, 4.0]).unwrap();
+        let b = Summary::of([1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn try_jain_handles_degenerate_samples() {
+        assert_eq!(try_jain_fairness(&[]), None);
+        assert_eq!(try_jain_fairness(&[1.0, f64::NAN]), None);
+        assert_eq!(try_jain_fairness(&[0.0, 0.0]), Some(1.0));
+        let some = try_jain_fairness(&[1.0, 1.0, 1.0]).unwrap();
+        assert!((some - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn try_max_min_ratio_handles_degenerate_samples() {
+        assert_eq!(try_max_min_ratio(&[]), None);
+        assert_eq!(try_max_min_ratio(&[-1.0, 2.0]), None);
+        assert_eq!(try_max_min_ratio(&[1.0, f64::NAN]), None);
+        assert!((try_max_min_ratio(&[2.0, 3.4]).unwrap() - 1.7).abs() < 1e-12);
     }
 
     #[test]

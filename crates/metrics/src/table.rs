@@ -164,6 +164,48 @@ pub fn render_series(series: &[(f64, f64)]) -> String {
     out
 }
 
+/// ASCII level ramp used by [`render_sparkline`], lowest to highest.
+const SPARK_RAMP: &[u8] = b" .:-=+*#@";
+
+/// Renders a one-line ASCII sparkline: one character per value, scaled to
+/// the sample's own `[min, max]` range (a flat series renders as the
+/// middle level).
+///
+/// ```
+/// use metrics::table::render_sparkline;
+///
+/// let line = render_sparkline(&[0.0, 1.0, 2.0, 3.0]);
+/// assert_eq!(line.len(), 4);
+/// assert!(line.ends_with('@'));
+/// ```
+///
+/// # Panics
+///
+/// Panics if any value is not finite.
+pub fn render_sparkline(values: &[f64]) -> String {
+    assert!(
+        values.iter().all(|v| v.is_finite()),
+        "sparkline values must be finite"
+    );
+    let Some(min) = values.iter().copied().reduce(f64::min) else {
+        return String::new();
+    };
+    let max = values.iter().copied().reduce(f64::max).expect("non-empty");
+    let range = max - min;
+    let top = (SPARK_RAMP.len() - 1) as f64;
+    values
+        .iter()
+        .map(|v| {
+            let level = if range == 0.0 {
+                SPARK_RAMP.len() / 2
+            } else {
+                (((v - min) / range) * top).round() as usize
+            };
+            SPARK_RAMP[level] as char
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -256,6 +298,28 @@ mod tests {
         // A full-window span fills every cell.
         let full = render_gantt(&[("z".into(), vec![(0.0, 1.0)])], 1.0, 10);
         assert_eq!(full.matches('#').count(), 10);
+    }
+
+    #[test]
+    fn sparkline_scales_to_range() {
+        let line = render_sparkline(&[0.0, 4.0, 8.0]);
+        assert_eq!(line.len(), 3);
+        assert!(line.starts_with(' '));
+        assert!(line.ends_with('@'));
+    }
+
+    #[test]
+    fn sparkline_flat_and_empty() {
+        assert_eq!(render_sparkline(&[]), "");
+        let flat = render_sparkline(&[5.0; 4]);
+        assert_eq!(flat.len(), 4);
+        assert!(flat.chars().all(|c| c == flat.chars().next().unwrap()));
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn sparkline_rejects_nan() {
+        render_sparkline(&[1.0, f64::NAN]);
     }
 
     #[test]

@@ -7,6 +7,12 @@
 //! the observed per-quantum GPU duration systematically departs from the
 //! configured `Q`. The detector compares observed quanta against `Q` and
 //! flags profiles that need re-measurement.
+//!
+//! The deviation rule itself lives in [`telemetry::drift`], where the
+//! *streaming* detector ([`telemetry::DriftDetector`]) applies it online,
+//! quantum by quantum, and raises mid-run re-profile alerts. This module
+//! is the offline, end-of-run wrapper over the same semantics: same panic
+//! conditions, same strict `deviation > tolerance` staleness rule.
 
 use crate::profile::ModelProfile;
 use serving::ClientReport;
@@ -31,6 +37,11 @@ pub struct DriftReport {
 
 /// Checks one client's observed quanta against the configured quantum.
 ///
+/// A thin wrapper over [`telemetry::drift::assess`]: validation panics
+/// fire before the quanta-count gate, and a session with fewer than
+/// `min_quanta.max(3)` quanta is inconclusive (the trimmed mean needs at
+/// least one inner quantum).
+///
 /// Returns `None` when the session produced too few quanta to judge
 /// (fewer than `min_quanta`).
 ///
@@ -44,21 +55,19 @@ pub fn detect_drift(
     tolerance: f64,
     min_quanta: usize,
 ) -> Option<DriftReport> {
-    assert!(tolerance > 0.0, "tolerance must be positive");
-    assert!(quantum > SimDuration::ZERO, "quantum must be positive");
+    telemetry::drift::validate(quantum, tolerance);
     if report.quantum_marks.len() < min_quanta.max(3) {
         return None;
     }
     let observed = report.mean_quantum_us()?;
-    let expected = quantum.as_micros_f64();
-    let deviation = (observed - expected).abs() / expected;
+    let (deviation, stale) = telemetry::drift::assess(quantum, observed, tolerance);
     Some(DriftReport {
         model: profile.model.clone(),
         batch: profile.batch,
-        expected_quantum_us: expected,
+        expected_quantum_us: quantum.as_micros_f64(),
         observed_mean_us: observed,
         deviation,
-        stale: deviation > tolerance,
+        stale,
     })
 }
 
@@ -128,5 +137,51 @@ mod tests {
     fn zero_tolerance_panics() {
         let r = report_with_quanta(&[1000; 5]);
         detect_drift(&profile(), SimDuration::from_micros(1000), &r, 0.0, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantum must be positive")]
+    fn zero_quantum_panics() {
+        let r = report_with_quanta(&[1000; 5]);
+        detect_drift(&profile(), SimDuration::ZERO, &r, 0.1, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "tolerance must be positive")]
+    fn panics_fire_even_below_the_quanta_gate() {
+        // Argument validation precedes the min-quanta check: an empty
+        // session with a bad tolerance still panics instead of returning
+        // `None`.
+        let r = report_with_quanta(&[]);
+        detect_drift(&profile(), SimDuration::from_micros(1000), &r, -1.0, 3);
+    }
+
+    #[test]
+    fn min_quanta_floor_is_three() {
+        // `min_quanta` below 3 is clamped up: the trimmed mean needs at
+        // least one inner quantum.
+        let two = report_with_quanta(&[1000, 1000]);
+        assert!(detect_drift(&profile(), SimDuration::from_micros(1000), &two, 0.1, 0).is_none());
+        let three = report_with_quanta(&[1000, 1000, 1000]);
+        assert!(detect_drift(&profile(), SimDuration::from_micros(1000), &three, 0.1, 0).is_some());
+        // A caller-specified floor above 3 is respected as-is.
+        let five = report_with_quanta(&[1000; 5]);
+        assert!(detect_drift(&profile(), SimDuration::from_micros(1000), &five, 0.1, 6).is_none());
+        assert!(detect_drift(&profile(), SimDuration::from_micros(1000), &five, 0.1, 5).is_some());
+    }
+
+    #[test]
+    fn exactly_at_tolerance_is_fresh() {
+        // Staleness is strict: deviation == tolerance does not flag.
+        // Inner quanta are all 1100µs against a 1000µs target → 0.10.
+        let r = report_with_quanta(&[900, 1100, 1100, 1100, 1300]);
+        let d = detect_drift(&profile(), SimDuration::from_micros(1000), &r, 0.10, 3)
+            .expect("enough quanta");
+        assert!((d.deviation - 0.10).abs() < 1e-12, "{d:?}");
+        assert!(!d.stale, "exactly-at-tolerance must stay fresh");
+        // One µs more and it crosses.
+        let r = report_with_quanta(&[900, 1101, 1101, 1101, 1300]);
+        let d = detect_drift(&profile(), SimDuration::from_micros(1000), &r, 0.10, 3).unwrap();
+        assert!(d.stale);
     }
 }

@@ -32,7 +32,7 @@ use crate::policy::Policy;
 use crate::profile::ProfileStore;
 use crate::scheduler::OlympianScheduler;
 use dataflow::NodeId;
-use serving::{JobCtx, JobId, RegisterError, Scheduler, Verdict};
+use serving::{JobCtx, JobId, RegisterError, Scheduler, SchedulerProbe, Verdict};
 use simtime::{SimDuration, SimTime};
 use std::collections::HashMap;
 use std::fmt;
@@ -167,6 +167,20 @@ impl Scheduler for MultiGpuScheduler {
             .and_then(|d| self.per_device.get(d))
             .and_then(|s| s.cost_state(job))
     }
+
+    fn telemetry_probe(&self) -> SchedulerProbe {
+        // Jobs sum across devices; holder progress comes from the
+        // lowest-numbered device with a token holder (deterministic under
+        // HashMap iteration, and "the" holder on single-GPU servers).
+        let mut devices: Vec<&u32> = self.per_device.keys().collect();
+        devices.sort_unstable();
+        SchedulerProbe {
+            active_jobs: self.job_device.len() as u32,
+            holder_cost: devices
+                .into_iter()
+                .find_map(|d| self.per_device[d].telemetry_probe().holder_cost),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -260,5 +274,18 @@ mod tests {
     fn unknown_job_may_not_run() {
         let s = sched();
         assert!(!s.may_run(JobId(42)));
+    }
+
+    #[test]
+    fn telemetry_probe_sums_jobs_across_devices() {
+        let mut s = sched();
+        assert_eq!(s.telemetry_probe(), SchedulerProbe::default());
+        s.register(JobId(1), &ctx(0)).unwrap();
+        s.register(JobId(2), &ctx(1)).unwrap();
+        s.on_gpu_node_done(JobId(1), NodeId::from_index(0), SimTime::from_nanos(1));
+        let p = s.telemetry_probe();
+        assert_eq!(p.active_jobs, 2);
+        // Device 0's holder: one 60-cost node against the 100-unit threshold.
+        assert_eq!(p.holder_cost, Some((60, 100)));
     }
 }

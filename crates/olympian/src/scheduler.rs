@@ -7,7 +7,7 @@
 use crate::policy::Policy;
 use crate::profile::{ModelProfile, ProfileStore};
 use dataflow::NodeId;
-use serving::{JobCtx, JobId, RegisterError, Scheduler, SwitchReason, Verdict};
+use serving::{JobCtx, JobId, RegisterError, Scheduler, SchedulerProbe, SwitchReason, Verdict};
 use simtime::{SimDuration, SimTime};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -208,6 +208,13 @@ impl Scheduler for OlympianScheduler {
     fn cost_state(&self, job: JobId) -> Option<(u64, u64)> {
         self.jobs.get(&job).map(|a| (a.cumulated, a.threshold))
     }
+
+    fn telemetry_probe(&self) -> SchedulerProbe {
+        SchedulerProbe {
+            active_jobs: self.jobs.len() as u32,
+            holder_cost: self.token.and_then(|j| self.cost_state(j)),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -379,6 +386,18 @@ mod tests {
     fn name_reflects_policy_and_meter() {
         assert_eq!(sched(10).name(), "olympian-fair");
         assert_eq!(sched(10).with_wall_clock_meter().name(), "olympian-fair-cpu-timer");
+    }
+
+    #[test]
+    fn telemetry_probe_reports_jobs_and_holder_progress() {
+        let mut s = sched(100);
+        assert_eq!(s.telemetry_probe(), SchedulerProbe::default());
+        s.register(JobId(1), &ctx(0)).unwrap();
+        s.register(JobId(2), &ctx(0)).unwrap();
+        s.on_gpu_node_done(JobId(1), NodeId::from_index(0), SimTime::from_nanos(10));
+        let p = s.telemetry_probe();
+        assert_eq!(p.active_jobs, 2);
+        assert_eq!(p.holder_cost, Some((50, 100)));
     }
 
     #[test]

@@ -64,6 +64,10 @@ pub struct EngineConfig {
     /// traces of full-scale experiments hold millions of events, and the
     /// off mode keeps the hot path branch-cheap.
     pub trace: trace::TraceConfig,
+    /// Live telemetry capture (see [`crate::telemetry`]). Off by default;
+    /// when off the engine pays one predicted branch per event, the same
+    /// discipline as the tracer.
+    pub telemetry: telemetry::TelemetryConfig,
     /// Hard cap on simulated events — a watchdog against scheduling bugs.
     pub max_events: u64,
 }
@@ -86,6 +90,7 @@ impl Default for EngineConfig {
             profiling_inflation: 0.25,
             queue_admission: false,
             trace: trace::TraceConfig::off(),
+            telemetry: telemetry::TelemetryConfig::off(),
             max_events: 500_000_000,
         }
     }
@@ -110,6 +115,7 @@ impl EngineConfig {
         assert!(self.driver_bias_spread >= 0.0, "negative bias spread");
         assert!(self.profiling_inflation >= 0.0, "negative inflation");
         assert!(self.max_events > 0, "event watchdog must be positive");
+        self.telemetry.validate();
     }
 
     /// A copy with a different seed (for multi-run experiments).
@@ -138,6 +144,11 @@ impl EngineConfig {
     /// A copy with trace capture configured (see [`crate::trace`]).
     pub fn with_trace(&self, trace: trace::TraceConfig) -> EngineConfig {
         EngineConfig { trace, ..self.clone() }
+    }
+
+    /// A copy with live telemetry configured (see [`crate::telemetry`]).
+    pub fn with_telemetry(&self, telemetry: telemetry::TelemetryConfig) -> EngineConfig {
+        EngineConfig { telemetry, ..self.clone() }
     }
 
     /// A copy with the online cost profiler enabled (Figure 6's condition).

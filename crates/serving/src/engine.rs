@@ -37,6 +37,7 @@ use gpusim::{Allocation, GpuDevice, JobTag, MemoryPool};
 use simtime::{DetRng, EventQueue, SimDuration, SimTime};
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
+use telemetry::{Alert, EngineGauges, TelemetryHub};
 
 /// Initial event-queue capacity: covers the paper-scale experiments' peak
 /// pending-event count, so the hot loop never reallocates the heap.
@@ -80,6 +81,12 @@ struct JobState {
     quantum_acc: SimDuration,
     /// Completed quanta as `(end time, GPU duration received)`.
     quanta: Vec<(SimTime, SimDuration)>,
+    /// Registration time — the run's latency baseline for telemetry.
+    started_at: SimTime,
+    /// Time of the last token grant whose hand-off latency has not been
+    /// measured yet; `SimTime::MAX` otherwise. Only maintained while
+    /// telemetry is on.
+    granted_at: SimTime,
 }
 
 impl JobState {
@@ -104,6 +111,8 @@ impl JobState {
             gpu_busy: SimDuration::ZERO,
             quantum_acc: SimDuration::ZERO,
             quanta: Vec::with_capacity(QUANTA_CAPACITY),
+            started_at: SimTime::ZERO,
+            granted_at: SimTime::MAX,
         }
     }
 
@@ -131,6 +140,8 @@ impl JobState {
         self.gpu_busy = SimDuration::ZERO;
         self.quantum_acc = SimDuration::ZERO;
         self.quanta.clear();
+        self.started_at = SimTime::ZERO;
+        self.granted_at = SimTime::MAX;
     }
 }
 
@@ -192,6 +203,7 @@ struct Engine<'a> {
     kernel_free: Vec<u32>,
     last_switch: Option<SimTime>,
     trace: TraceBuffer,
+    telemetry: TelemetryHub,
     intervals: Vec<SimDuration>,
     switch_count: u64,
     timer_gen: u64,
@@ -267,6 +279,7 @@ pub fn run_experiment(
         kernel_free: Vec::with_capacity(64),
         last_switch: None,
         trace: TraceBuffer::new(&cfg.trace),
+        telemetry: TelemetryHub::new(&cfg.telemetry),
         intervals: Vec::with_capacity(256),
         switch_count: 0,
         timer_gen: 0,
@@ -303,6 +316,13 @@ impl Engine<'_> {
                 self.event_count,
                 self.now
             );
+            // One predicted branch when telemetry is off (`next_due` is
+            // `SimTime::MAX`); boundaries are emitted lazily, *before* the
+            // first event at or past them, so snapshots capture the state
+            // as of the boundary instant.
+            if t >= self.telemetry.next_due() {
+                self.telemetry_tick();
+            }
             match event {
                 Event::ClientStart(c) => self.client_start(c),
                 Event::NextBatch(c) => self.start_run(c),
@@ -370,6 +390,10 @@ impl Engine<'_> {
             self.devices[dev as usize].set_bias(JobTag(c.0 as u64), b);
         }
         if self.try_admit(c, dev, model_name, weights_bytes, activation_bytes) {
+            if self.telemetry.is_on() {
+                let model = self.clients[c.0 as usize].spec.model.name().to_string();
+                self.telemetry.bind_client(c.0, &model);
+            }
             self.record(TraceKind::ClientAdmitted { client: c.0 });
             self.start_run(c);
         }
@@ -416,6 +440,7 @@ impl Engine<'_> {
                 self.admission_waiting.push_back(c);
             }
         } else {
+            self.telemetry.on_oom_reject();
             self.clients[c.0 as usize].outcome = Some(ClientOutcome::RejectedOom {
                 requested: e.requested,
                 available: e.available,
@@ -461,6 +486,7 @@ impl Engine<'_> {
         };
         match self.scheduler.register(job_id, &ctx) {
             Ok(verdict) => {
+                self.telemetry.on_run_start();
                 self.record(TraceKind::RunRegistered { job: job_id.0, client: c.0 });
                 let slot = match self.free_slots.pop() {
                     Some(s) => {
@@ -472,6 +498,7 @@ impl Engine<'_> {
                         (self.job_slots.len() - 1) as u32
                     }
                 };
+                self.job_slots[slot as usize].started_at = self.now;
                 self.job_refs.push(JobRef::Live(slot));
                 self.clients[c.0 as usize].current_job = Some(job_id);
                 if let Some(deadline) = self.clients[c.0 as usize].spec.run_deadline {
@@ -500,7 +527,7 @@ impl Engine<'_> {
     fn complete_run(&mut self, job_id: JobId) {
         let slot = self.live_slot(job_id).expect("completing a live job");
         self.job_refs[job_id.0 as usize] = JobRef::Dead;
-        let (held, c, gpu_busy, final_quantum) = {
+        let (held, c, gpu_busy, final_quantum, started_at) = {
             let job = &mut self.job_slots[slot];
             debug_assert_eq!(job.busy, 0, "no in-flight work at completion");
             let mut flushed = None;
@@ -509,7 +536,13 @@ impl Engine<'_> {
                 job.quanta.push((self.now, acc));
                 flushed = Some(acc);
             }
-            (std::mem::take(&mut job.held), job.client, job.gpu_busy, flushed)
+            (
+                std::mem::take(&mut job.held),
+                job.client,
+                job.gpu_busy,
+                flushed,
+                job.started_at,
+            )
         };
         // Return the whole gang to the pool.
         if held > 0 {
@@ -518,8 +551,12 @@ impl Engine<'_> {
         }
         if let Some(acc) = final_quantum {
             self.record(TraceKind::QuantumEnd { job: job_id.0, client: c.0, gpu: acc });
+            if let Some(alert) = self.telemetry.on_quantum(c.0, acc, self.now) {
+                self.record_alert(&alert);
+            }
         }
         self.record(TraceKind::RunCompleted { job: job_id.0, client: c.0 });
+        self.telemetry.on_run_complete(c.0, self.now - started_at);
         {
             let job = &self.job_slots[slot];
             let client = &mut self.clients[c.0 as usize];
@@ -571,6 +608,7 @@ impl Engine<'_> {
             (job.held, job.client)
         };
         self.record(TraceKind::DeadlineCancelled { job: job_id.0, client: c.0 });
+        self.telemetry.on_deadline_cancel();
         let dev = self.clients[c.0 as usize].device as usize;
         self.job_refs[job_id.0 as usize] = JobRef::Cancelled(dev as u32);
         self.free_slots.push(slot as u32);
@@ -618,11 +656,56 @@ impl Engine<'_> {
         self.trace.record(self.now, kind);
     }
 
+    /// Samples the gauge set telemetry publishes at snapshot boundaries.
+    fn engine_gauges(&self) -> EngineGauges {
+        let probe = self.scheduler.telemetry_probe();
+        EngineGauges {
+            queue_depth: self.admission_waiting.len() as u64,
+            pool_idle: u64::from(self.pool_idle),
+            starving: self.starving.len() as u64,
+            active_jobs: u64::from(probe.active_jobs),
+            holder_cost: probe.holder_cost,
+        }
+    }
+
+    /// Emits every telemetry snapshot boundary due at `self.now` and lands
+    /// any burn-rate alerts on the trace timeline.
+    fn telemetry_tick(&mut self) {
+        let gauges = self.engine_gauges();
+        let alerts = self.telemetry.tick(self.now, &gauges);
+        for a in &alerts {
+            self.record_alert(a);
+        }
+    }
+
+    /// Mirrors a telemetry alert into the trace ring as a typed event, so
+    /// it shows up on the Perfetto timeline next to the quanta and runs
+    /// that caused it.
+    fn record_alert(&mut self, alert: &Alert) {
+        let kind = match alert {
+            Alert::Drift { client, observed_us, expected_us, deviation, .. } => {
+                TraceKind::DriftAlert {
+                    client: *client,
+                    observed_us: observed_us.round() as u64,
+                    expected_us: expected_us.round() as u64,
+                    deviation_ppm: (deviation * 1e6).round() as u64,
+                }
+            }
+            Alert::SloBurn { slo, short_burn, long_burn, .. } => TraceKind::SloBurnAlert {
+                slo: *slo,
+                short_ppm: (short_burn * 1e6).round() as u64,
+                long_ppm: (long_burn * 1e6).round() as u64,
+            },
+        };
+        self.trace.record(alert.at(), kind);
+    }
+
     fn apply_verdict(&mut self, verdict: Verdict) {
         let Verdict::Moved { from, to, reason } = verdict else {
             return;
         };
         self.switch_count += 1;
+        self.telemetry.on_token_switch();
         if let Some(last) = self.last_switch {
             self.intervals.push(self.now - last);
         }
@@ -641,6 +724,9 @@ impl Engine<'_> {
                 };
                 if let Some(acc) = flushed {
                     self.record(TraceKind::QuantumEnd { job: old.0, client, gpu: acc });
+                    if let Some(alert) = self.telemetry.on_quantum(client, acc, self.now) {
+                        self.record_alert(&alert);
+                    }
                 }
             }
         }
@@ -658,9 +744,15 @@ impl Engine<'_> {
         }
         if let Some(new) = to {
             if let Some(slot) = self.live_slot(new) {
+                let telemetry_on = self.telemetry.is_on();
                 let (unblocked, client) = {
                     let j = &mut self.job_slots[slot];
                     j.resume_at = self.now + self.cfg.switch_latency;
+                    if telemetry_on {
+                        // Hand-off latency runs from here to the holder's
+                        // next kernel submission.
+                        j.granted_at = self.now;
+                    }
                     if !j.resume_scheduled {
                         j.resume_scheduled = true;
                         let at = j.resume_at;
@@ -796,6 +888,13 @@ impl Engine<'_> {
             JobRef::Cancelled(_) => return,
             JobRef::Dead => unreachable!("submitting for a dead job"),
         };
+        if self.telemetry.is_on() {
+            let j = &mut self.job_slots[slot];
+            if j.granted_at != SimTime::MAX {
+                let granted = std::mem::replace(&mut j.granted_at, SimTime::MAX);
+                self.telemetry.on_handoff(self.now - granted);
+            }
+        }
         let job = &self.job_slots[slot];
         let duration = job.graph.node(node).duration();
         let tag = JobTag(job.client.0 as u64);
@@ -956,6 +1055,16 @@ impl Engine<'_> {
 
     fn finalize(mut self) -> RunReport {
         let makespan = self.now;
+        // Flush the telemetry tail (remaining boundaries plus the final
+        // partial snapshot) before the trace ring is sealed, so burn-rate
+        // alerts fired at the end of the run still land on the timeline.
+        if self.telemetry.is_on() {
+            let gauges = self.engine_gauges();
+            let alerts = self.telemetry.finalize(makespan, &gauges);
+            for a in &alerts {
+                self.record_alert(a);
+            }
+        }
         let mut reports = Vec::with_capacity(self.clients.len());
         for (i, client) in self.clients.iter_mut().enumerate() {
             let outcome = client.outcome.take().unwrap_or(ClientOutcome::Stalled);
@@ -995,6 +1104,7 @@ impl Engine<'_> {
             peak_memory: self.memories.iter().map(MemoryPool::peak).sum(),
             device_utilizations,
             trace: self.trace.finish(),
+            telemetry: self.telemetry.into_report(makespan),
         }
     }
 }
@@ -1172,6 +1282,62 @@ mod tests {
         let report = run_experiment(&cfg, tiny_clients(1, 1), &mut FifoScheduler::new());
         assert_eq!(report.device_utilizations.len(), 1);
         assert!((report.device_utilizations[0] - report.utilization).abs() < 1e-12);
+    }
+
+    #[test]
+    fn telemetry_off_report_is_empty() {
+        let cfg = EngineConfig::default();
+        let report = run_experiment(&cfg, tiny_clients(1, 1), &mut FifoScheduler::new());
+        assert!(!report.telemetry.enabled);
+        assert!(report.telemetry.snapshots.is_empty());
+        assert_eq!(report.prometheus_text(), "");
+    }
+
+    #[test]
+    fn telemetry_snapshot_count_matches_interval_arithmetic() {
+        let cfg = EngineConfig::default().with_telemetry(
+            telemetry::TelemetryConfig::enabled(SimDuration::from_micros(50)),
+        );
+        let report = run_experiment(&cfg, tiny_clients(2, 3), &mut FifoScheduler::new());
+        let t = &report.telemetry;
+        assert!(t.enabled);
+        assert_eq!(t.makespan, report.makespan);
+        assert_eq!(t.snapshots.len() as u64, t.expected_snapshots());
+        assert_eq!(t.snapshots.last().unwrap().at, report.makespan);
+        assert_eq!(t.counter("clients_admitted"), Some(2));
+        assert_eq!(t.counter("runs_started"), Some(6));
+        assert_eq!(t.counter("runs_completed"), Some(6));
+        assert_eq!(t.hist("run_latency_us").unwrap().count, 6);
+        // Quanta flush at run completion under the baseline scheduler.
+        assert_eq!(t.hist("quantum_us").unwrap().count, 6);
+        assert_eq!(t.client_models, vec!["mini-tiny".to_string(); 2]);
+    }
+
+    #[test]
+    fn telemetry_is_deterministic() {
+        let cfg = EngineConfig::default().with_telemetry(
+            telemetry::TelemetryConfig::enabled(SimDuration::from_micros(100)),
+        );
+        let a = run_experiment(&cfg, tiny_clients(3, 2), &mut FifoScheduler::new());
+        let b = run_experiment(&cfg, tiny_clients(3, 2), &mut FifoScheduler::new());
+        assert_eq!(a.telemetry_jsonl(), b.telemetry_jsonl());
+        assert_eq!(a.prometheus_text(), b.prometheus_text());
+    }
+
+    #[test]
+    fn telemetry_does_not_perturb_the_simulation() {
+        let cfg = EngineConfig::default();
+        let plain = run_experiment(&cfg, tiny_clients(3, 2), &mut FifoScheduler::new());
+        let telemetered = run_experiment(
+            &cfg.with_telemetry(telemetry::TelemetryConfig::enabled(
+                SimDuration::from_micros(50),
+            )),
+            tiny_clients(3, 2),
+            &mut FifoScheduler::new(),
+        );
+        assert_eq!(plain.makespan, telemetered.makespan);
+        assert_eq!(plain.finish_times_secs(), telemetered.finish_times_secs());
+        assert_eq!(plain.event_count, telemetered.event_count);
     }
 
     #[test]

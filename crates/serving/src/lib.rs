@@ -37,6 +37,7 @@ mod config;
 mod engine;
 mod report;
 mod scheduler;
+pub mod telemetry;
 pub mod trace;
 
 pub use client::ClientSpec;
@@ -44,6 +45,7 @@ pub use config::EngineConfig;
 pub use engine::run_experiment;
 pub use report::{ClientOutcome, ClientReport, RunReport};
 pub use scheduler::{
-    ClientId, FifoScheduler, JobCtx, JobId, RegisterError, Scheduler, Verdict,
+    ClientId, FifoScheduler, JobCtx, JobId, RegisterError, Scheduler, SchedulerProbe, Verdict,
 };
+pub use telemetry::{TelemetryConfig, TelemetryReport};
 pub use trace::{SwitchReason, TraceConfig, TraceMode};

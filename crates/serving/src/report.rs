@@ -132,6 +132,10 @@ pub struct RunReport {
     /// Structured execution trace; empty unless
     /// [`EngineConfig::trace`](crate::EngineConfig::trace) enabled capture.
     pub trace: crate::trace::Trace,
+    /// Live telemetry: snapshots and alerts; empty unless
+    /// [`EngineConfig::telemetry`](crate::EngineConfig::telemetry) enabled
+    /// capture.
+    pub telemetry: crate::telemetry::TelemetryReport,
 }
 
 impl RunReport {
@@ -171,6 +175,18 @@ impl RunReport {
     /// `chrome://tracing`. Meaningful only when the run captured a trace.
     pub fn chrome_trace_json(&self) -> String {
         crate::trace::chrome_trace_json(&self.trace, &self.trace_meta())
+    }
+
+    /// The run's telemetry as a JSON-lines time series (one self-describing
+    /// document per line). Meaningful only when the run captured telemetry.
+    pub fn telemetry_jsonl(&self) -> String {
+        crate::telemetry::json_lines(&self.telemetry)
+    }
+
+    /// The run's final telemetry state as Prometheus text exposition
+    /// (version 0.0.4). Empty when the run captured no telemetry.
+    pub fn prometheus_text(&self) -> String {
+        crate::telemetry::prometheus_text(&self.telemetry)
     }
 
     /// Mean scheduling-interval duration in milliseconds, if any.

@@ -66,6 +66,18 @@ pub enum Verdict {
     },
 }
 
+/// A point-in-time sample of scheduler state, taken by the engine at each
+/// telemetry snapshot boundary.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SchedulerProbe {
+    /// Jobs currently registered with the scheduler.
+    pub active_jobs: u32,
+    /// The token holder's `(cumulated, threshold)` cost units, for metering
+    /// schedulers; `None` when nothing holds the token or the scheduler
+    /// does not meter.
+    pub holder_cost: Option<(u64, u64)>,
+}
+
 /// Registration failure.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum RegisterError {
@@ -145,6 +157,13 @@ pub trait Scheduler: fmt::Debug {
     fn cost_state(&self, job: JobId) -> Option<(u64, u64)> {
         let _ = job;
         None
+    }
+
+    /// Scheduler state sampled at telemetry snapshot boundaries. The
+    /// default reports an empty probe; stateful schedulers override it so
+    /// telemetry can publish active-job and holder-progress gauges.
+    fn telemetry_probe(&self) -> SchedulerProbe {
+        SchedulerProbe::default()
     }
 
     /// Human-readable name for reports.

@@ -1,0 +1,265 @@
+//! Streaming profile-drift detection over observed quantum lengths.
+//!
+//! The paper (§7) assumes offline kernel profiles stay representative; when
+//! the deployment drifts (driver regressions, thermal throttling, datatype
+//! changes) the realized quantum lengths move away from the target `Q` and
+//! the profiles must be re-collected. [`DriftDetector`] watches the stream
+//! of per-client quantum observations *during* the run with two classic
+//! online statistics:
+//!
+//! * an **EWMA** of quantum length — the smoothed level, compared against
+//!   the expected quantum with the same relative-`tolerance` rule the
+//!   offline checker uses;
+//! * a two-sided **CUSUM** on the normalized error — catches small
+//!   sustained shifts well below the EWMA tolerance.
+//!
+//! Either statistic crossing its limit (after a warm-up of
+//! `min_quanta.max(3)` observations, matching the offline floor) raises a
+//! one-shot re-profile signal.
+//!
+//! The offline helpers [`validate`] and [`assess`] carry the exact
+//! semantics `olympian::drift::detect_drift` has always had — strict
+//! `deviation > tolerance` (exactly-at-tolerance is *not* stale) and
+//! panics on non-positive tolerance or quantum — so the post-hoc checker
+//! is now a thin wrapper over this module.
+
+use simtime::SimDuration;
+
+/// Validates drift-check parameters.
+///
+/// # Panics
+///
+/// Panics if `tolerance <= 0` ("tolerance must be positive") or
+/// `expected` is zero ("quantum must be positive").
+pub fn validate(expected: SimDuration, tolerance: f64) {
+    assert!(tolerance > 0.0, "tolerance must be positive");
+    assert!(expected > SimDuration::ZERO, "quantum must be positive");
+}
+
+/// Compares an observed mean quantum (µs) against the expected quantum:
+/// returns `(relative_deviation, stale)` where `stale` uses the strict
+/// `deviation > tolerance` rule (exactly at tolerance is fresh).
+///
+/// # Panics
+///
+/// Same contract as [`validate`].
+pub fn assess(expected: SimDuration, observed_mean_us: f64, tolerance: f64) -> (f64, bool) {
+    validate(expected, tolerance);
+    let expected_us = expected.as_micros_f64();
+    let deviation = (observed_mean_us - expected_us).abs() / expected_us;
+    (deviation, deviation > tolerance)
+}
+
+/// Streaming detector configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DriftConfig {
+    /// The quantum length the scheduler targets (the paper's `Q`).
+    pub expected_quantum: SimDuration,
+    /// Relative deviation of the EWMA that flags the profile stale.
+    pub tolerance: f64,
+    /// Warm-up: observations before the detector may fire. Floored at 3,
+    /// like the offline checker.
+    pub min_quanta: usize,
+    /// EWMA smoothing factor in `(0, 1]`; higher reacts faster.
+    pub ewma_alpha: f64,
+    /// CUSUM slack per observation, in units of relative error. Shifts
+    /// smaller than this are treated as noise.
+    pub cusum_k: f64,
+    /// CUSUM decision limit, in accumulated relative error.
+    pub cusum_h: f64,
+}
+
+impl DriftConfig {
+    /// A detector for the given target quantum and tolerance, with
+    /// conventional defaults for the streaming statistics (slack `= tol/2`,
+    /// limit `= 4 * tol`).
+    ///
+    /// # Panics
+    ///
+    /// Same contract as [`validate`].
+    pub fn new(expected_quantum: SimDuration, tolerance: f64) -> DriftConfig {
+        validate(expected_quantum, tolerance);
+        DriftConfig {
+            expected_quantum,
+            tolerance,
+            min_quanta: 3,
+            ewma_alpha: 0.3,
+            cusum_k: tolerance / 2.0,
+            cusum_h: tolerance * 4.0,
+        }
+    }
+
+    /// Overrides the warm-up observation count.
+    pub fn with_min_quanta(mut self, n: usize) -> DriftConfig {
+        self.min_quanta = n;
+        self
+    }
+}
+
+/// A drift crossing reported by [`DriftDetector::observe`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DriftSignal {
+    /// Smoothed (EWMA) observed quantum length, µs.
+    pub observed_mean_us: f64,
+    /// Expected quantum length, µs.
+    pub expected_us: f64,
+    /// Relative deviation of the EWMA from the expected quantum.
+    pub deviation: f64,
+}
+
+/// Per-client streaming drift detector.
+#[derive(Debug, Clone)]
+pub struct DriftDetector {
+    cfg: DriftConfig,
+    count: u64,
+    ewma_us: f64,
+    cusum_pos: f64,
+    cusum_neg: f64,
+    fired: bool,
+}
+
+impl DriftDetector {
+    /// Creates a detector.
+    ///
+    /// # Panics
+    ///
+    /// Same contract as [`validate`].
+    pub fn new(cfg: DriftConfig) -> DriftDetector {
+        validate(cfg.expected_quantum, cfg.tolerance);
+        assert!(
+            cfg.ewma_alpha > 0.0 && cfg.ewma_alpha <= 1.0,
+            "ewma alpha must be in (0, 1]"
+        );
+        DriftDetector { cfg, count: 0, ewma_us: 0.0, cusum_pos: 0.0, cusum_neg: 0.0, fired: false }
+    }
+
+    /// Feeds one observed quantum. Returns a signal the first time the
+    /// detector decides the profile is stale; later observations return
+    /// `None` (one re-profile alert per client per run).
+    pub fn observe(&mut self, quantum: SimDuration) -> Option<DriftSignal> {
+        let v = quantum.as_micros_f64();
+        let expected = self.cfg.expected_quantum.as_micros_f64();
+        self.count += 1;
+        self.ewma_us = if self.count == 1 {
+            v
+        } else {
+            self.cfg.ewma_alpha * v + (1.0 - self.cfg.ewma_alpha) * self.ewma_us
+        };
+        let err = (v - expected) / expected;
+        self.cusum_pos = (self.cusum_pos + err - self.cfg.cusum_k).max(0.0);
+        self.cusum_neg = (self.cusum_neg - err - self.cfg.cusum_k).max(0.0);
+        if self.fired || self.count < self.cfg.min_quanta.max(3) as u64 {
+            return None;
+        }
+        let deviation = (self.ewma_us - expected).abs() / expected;
+        let stale = deviation > self.cfg.tolerance
+            || self.cusum_pos > self.cfg.cusum_h
+            || self.cusum_neg > self.cfg.cusum_h;
+        if !stale {
+            return None;
+        }
+        self.fired = true;
+        Some(DriftSignal { observed_mean_us: self.ewma_us, expected_us: expected, deviation })
+    }
+
+    /// Observations fed so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Current EWMA of quantum length, µs (0 before any observation).
+    pub fn mean_us(&self) -> f64 {
+        self.ewma_us
+    }
+
+    /// Whether the detector has already fired.
+    pub fn fired(&self) -> bool {
+        self.fired
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn us(v: u64) -> SimDuration {
+        SimDuration::from_micros(v)
+    }
+
+    #[test]
+    fn assess_matches_offline_semantics() {
+        let (dev, stale) = assess(us(200), 260.0, 0.25);
+        assert!((dev - 0.30).abs() < 1e-12);
+        assert!(stale);
+        // Exactly at tolerance is fresh (strict inequality).
+        let (dev, stale) = assess(us(1000), 1100.0, 0.1);
+        assert_eq!(dev, 0.1);
+        assert!(!stale);
+    }
+
+    #[test]
+    #[should_panic(expected = "tolerance must be positive")]
+    fn assess_rejects_zero_tolerance() {
+        assess(us(200), 200.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantum must be positive")]
+    fn assess_rejects_zero_quantum() {
+        assess(SimDuration::ZERO, 200.0, 0.1);
+    }
+
+    #[test]
+    fn on_target_stream_never_fires() {
+        let mut d = DriftDetector::new(DriftConfig::new(us(200), 0.1));
+        for i in 0..100u64 {
+            // ±2% jitter around the target.
+            let v = 196 + (i % 3) * 4;
+            assert_eq!(d.observe(us(v)), None, "false positive at obs {i}");
+        }
+        assert_eq!(d.count(), 100);
+        assert!(!d.fired());
+    }
+
+    #[test]
+    fn large_shift_fires_once_via_ewma() {
+        let mut d = DriftDetector::new(DriftConfig::new(us(200), 0.1));
+        let mut signals = 0;
+        for _ in 0..20 {
+            if let Some(s) = d.observe(us(280)) {
+                signals += 1;
+                assert!(s.deviation > 0.1);
+                assert!(s.observed_mean_us > 200.0);
+                assert_eq!(s.expected_us, 200.0);
+            }
+        }
+        assert_eq!(signals, 1, "alert must latch");
+        assert!(d.fired());
+    }
+
+    #[test]
+    fn small_sustained_shift_fires_via_cusum() {
+        // +8% sustained: inside the 10% EWMA tolerance but the CUSUM
+        // accumulates (0.08 - 0.05) per observation and crosses h = 0.4.
+        let mut d = DriftDetector::new(DriftConfig::new(us(200), 0.1));
+        let mut fired_at = None;
+        for i in 0..60u64 {
+            if d.observe(us(216)).is_some() {
+                fired_at = Some(i);
+                break;
+            }
+        }
+        let at = fired_at.expect("CUSUM must catch a sustained +8% shift");
+        assert!(at >= 10, "fired suspiciously early at {at}");
+    }
+
+    #[test]
+    fn warmup_floor_holds_even_when_asked_for_less() {
+        let mut d =
+            DriftDetector::new(DriftConfig::new(us(200), 0.1).with_min_quanta(0));
+        // Wildly off-target from the start, but the floor of 3 holds.
+        assert_eq!(d.observe(us(500)), None);
+        assert_eq!(d.observe(us(500)), None);
+        assert!(d.observe(us(500)).is_some(), "third observation may fire");
+    }
+}

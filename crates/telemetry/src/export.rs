@@ -1,0 +1,290 @@
+//! Telemetry exporters: Prometheus text exposition and JSON-lines time
+//! series.
+//!
+//! Both render from a finished [`TelemetryReport`] and are byte-
+//! deterministic: iteration follows registration order and every number
+//! derives from the deterministic simulation.
+//!
+//! The JSON-lines stream is one self-describing document per line:
+//!
+//! ```text
+//! {"type":"meta", ...}        // names, cadence, counts — always first
+//! {"type":"snapshot", ...}    // one per boundary, time order
+//! {"type":"alert", ...}       // merged into the stream in time order
+//! ```
+
+use crate::{Alert, Snapshot, TelemetryReport};
+use microjson::Value;
+
+fn f(v: f64) -> Value {
+    Value::Float(v)
+}
+
+fn obj_line(out: &mut String, v: Value) {
+    v.write(out);
+    out.push('\n');
+}
+
+fn alert_value(a: &Alert) -> Value {
+    match a {
+        Alert::Drift { at, client, observed_us, expected_us, deviation } => {
+            Value::Object(vec![
+                ("type".into(), Value::str("alert")),
+                ("kind".into(), Value::str("drift")),
+                ("t_ns".into(), Value::UInt(at.as_nanos())),
+                ("client".into(), Value::UInt(u64::from(*client))),
+                ("observed_us".into(), f(*observed_us)),
+                ("expected_us".into(), f(*expected_us)),
+                ("deviation".into(), f(*deviation)),
+            ])
+        }
+        Alert::SloBurn { at, slo, model, short_burn, long_burn } => Value::Object(vec![
+            ("type".into(), Value::str("alert")),
+            ("kind".into(), Value::str("slo-burn")),
+            ("t_ns".into(), Value::UInt(at.as_nanos())),
+            ("slo".into(), Value::UInt(u64::from(*slo))),
+            ("model".into(), Value::Str(model.clone())),
+            ("short_burn".into(), f(*short_burn)),
+            ("long_burn".into(), f(*long_burn)),
+        ]),
+    }
+}
+
+fn snapshot_value(r: &TelemetryReport, s: &Snapshot) -> Value {
+    let counters = r
+        .counter_names
+        .iter()
+        .zip(&s.counters)
+        .map(|(n, v)| (n.to_string(), Value::UInt(*v)))
+        .collect();
+    let gauges = r
+        .gauge_names
+        .iter()
+        .zip(&s.gauges)
+        .map(|(n, v)| (n.to_string(), f(*v)))
+        .collect();
+    let hists = r
+        .hist_names
+        .iter()
+        .zip(&s.hists)
+        .map(|(n, h)| {
+            (
+                n.to_string(),
+                Value::Object(vec![
+                    ("count".into(), Value::UInt(h.count)),
+                    ("sum".into(), Value::UInt(h.sum)),
+                    ("max".into(), Value::UInt(h.max)),
+                    ("p50".into(), f(h.p50)),
+                    ("p99".into(), f(h.p99)),
+                ]),
+            )
+        })
+        .collect();
+    Value::Object(vec![
+        ("type".into(), Value::str("snapshot")),
+        ("t_ns".into(), Value::UInt(s.at.as_nanos())),
+        ("counters".into(), Value::Object(counters)),
+        ("gauges".into(), Value::Object(gauges)),
+        ("histograms".into(), Value::Object(hists)),
+        (
+            "client_gpu_ns".into(),
+            Value::Array(s.client_gpu_ns.iter().map(|v| Value::UInt(*v)).collect()),
+        ),
+    ])
+}
+
+/// Renders the JSON-lines time series: a `meta` header line, then
+/// snapshots and alerts merged in time order (alerts precede the snapshot
+/// that closes their window).
+pub fn json_lines(r: &TelemetryReport) -> String {
+    let mut out = String::new();
+    let slos = r
+        .slos
+        .iter()
+        .map(|s| {
+            Value::Object(vec![
+                ("model".into(), Value::Str(s.model.clone())),
+                ("objective_us".into(), f(s.objective.as_micros_f64())),
+                ("budget".into(), f(s.budget)),
+            ])
+        })
+        .collect();
+    let names = |ns: &[&'static str]| Value::Array(ns.iter().map(|n| Value::str(*n)).collect());
+    obj_line(
+        &mut out,
+        Value::Object(vec![
+            ("type".into(), Value::str("meta")),
+            ("enabled".into(), Value::Bool(r.enabled)),
+            ("interval_ns".into(), Value::UInt(r.interval.as_nanos())),
+            ("makespan_ns".into(), Value::UInt(r.makespan.as_nanos())),
+            ("snapshots".into(), Value::UInt(r.snapshots.len() as u64)),
+            ("alerts".into(), Value::UInt(r.alerts.len() as u64)),
+            ("counters".into(), names(&r.counter_names)),
+            ("gauges".into(), names(&r.gauge_names)),
+            ("histograms".into(), names(&r.hist_names)),
+            (
+                "clients".into(),
+                Value::Array(r.client_models.iter().map(|m| Value::Str(m.clone())).collect()),
+            ),
+            ("slos".into(), Value::Array(slos)),
+        ]),
+    );
+    // Merge: alerts at time <= a snapshot's boundary stream before it.
+    let mut ai = 0;
+    for s in &r.snapshots {
+        while ai < r.alerts.len() && r.alerts[ai].at() <= s.at {
+            obj_line(&mut out, alert_value(&r.alerts[ai]));
+            ai += 1;
+        }
+        obj_line(&mut out, snapshot_value(r, s));
+    }
+    for a in &r.alerts[ai..] {
+        obj_line(&mut out, alert_value(a));
+    }
+    out
+}
+
+fn push_prom_number(out: &mut String, v: f64) {
+    // Prometheus accepts Go-style floats; plain `{}` formatting is
+    // deterministic and round-trips.
+    out.push_str(&format!("{v}"));
+}
+
+/// Renders the final registry state as Prometheus text exposition
+/// (version 0.0.4): counters, gauges, summary-style histogram quantiles
+/// and per-client GPU attribution.
+pub fn prometheus_text(r: &TelemetryReport) -> String {
+    let mut out = String::new();
+    let Some(last) = r.last() else {
+        return out;
+    };
+    for (name, v) in r.counter_names.iter().zip(&last.counters) {
+        out.push_str(&format!("# TYPE olympian_{name} counter\n"));
+        out.push_str(&format!("olympian_{name} {v}\n"));
+    }
+    for (name, v) in r.gauge_names.iter().zip(&last.gauges) {
+        out.push_str(&format!("# TYPE olympian_{name} gauge\n"));
+        out.push_str(&format!("olympian_{name} "));
+        push_prom_number(&mut out, *v);
+        out.push('\n');
+    }
+    for (name, h) in r.hist_names.iter().zip(&last.hists) {
+        out.push_str(&format!("# TYPE olympian_{name} summary\n"));
+        out.push_str(&format!("olympian_{name}{{quantile=\"0.5\"}} "));
+        push_prom_number(&mut out, h.p50);
+        out.push('\n');
+        out.push_str(&format!("olympian_{name}{{quantile=\"0.99\"}} "));
+        push_prom_number(&mut out, h.p99);
+        out.push('\n');
+        out.push_str(&format!("olympian_{name}_sum {}\n", h.sum));
+        out.push_str(&format!("olympian_{name}_count {}\n", h.count));
+    }
+    out.push_str("# TYPE olympian_client_gpu_ns gauge\n");
+    for (client, gpu) in last.client_gpu_ns.iter().enumerate() {
+        let model = r
+            .client_models
+            .get(client)
+            .map(String::as_str)
+            .unwrap_or("unknown");
+        out.push_str(&format!(
+            "olympian_client_gpu_ns{{client=\"{client}\",model=\"{model}\"}} {gpu}\n"
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{
+        BurnWindows, DriftConfig, EngineGauges, SloSpec, TelemetryConfig, TelemetryHub,
+    };
+    use simtime::{SimDuration, SimTime};
+
+    fn us(v: u64) -> SimDuration {
+        SimDuration::from_micros(v)
+    }
+
+    fn busy_report() -> TelemetryReport {
+        let cfg = TelemetryConfig::enabled(us(100))
+            .with_slo(SloSpec::new("m", us(100), 0.1))
+            .with_burn(BurnWindows { short: 1, long: 2, threshold: 2.0 })
+            .with_drift(DriftConfig::new(us(200), 0.1));
+        let mut h = TelemetryHub::new(&cfg);
+        h.bind_client(0, "m");
+        let g = EngineGauges::default();
+        for i in 0..6u64 {
+            h.on_quantum(0, us(320), SimTime::from_micros(i * 80 + 10));
+            h.on_run_complete(0, us(400));
+            h.tick(SimTime::from_micros((i + 1) * 80), &g);
+        }
+        h.finalize(SimTime::from_micros(480), &g);
+        h.into_report(SimTime::from_micros(480))
+    }
+
+    #[test]
+    fn json_lines_parse_and_order() {
+        let r = busy_report();
+        let text = json_lines(&r);
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines.len() > 2);
+        let meta = Value::parse(lines[0]).unwrap();
+        assert_eq!(meta.get("type").unwrap().as_str(), Some("meta"));
+        assert_eq!(
+            meta.get("snapshots").unwrap().as_u64().unwrap(),
+            r.snapshots.len() as u64
+        );
+        let mut snapshots = 0;
+        let mut alerts = 0;
+        let mut last_t = 0;
+        for line in &lines[1..] {
+            let v = Value::parse(line).expect("every line parses");
+            let t = v.get("t_ns").unwrap().as_u64().unwrap();
+            assert!(t >= last_t, "stream regressed in time");
+            last_t = t;
+            match v.get("type").unwrap().as_str().unwrap() {
+                "snapshot" => snapshots += 1,
+                "alert" => alerts += 1,
+                other => panic!("unexpected line type {other}"),
+            }
+        }
+        assert_eq!(snapshots, r.snapshots.len());
+        assert_eq!(alerts, r.alerts.len());
+        assert!(alerts >= 2, "expected both alert kinds in a drifting run");
+        assert!(text.contains("\"kind\":\"drift\""));
+        assert!(text.contains("\"kind\":\"slo-burn\""));
+    }
+
+    #[test]
+    fn prometheus_exposition_is_wellformed() {
+        let r = busy_report();
+        let text = prometheus_text(&r);
+        assert!(text.contains("# TYPE olympian_runs_completed counter\n"));
+        assert!(text.contains("olympian_runs_completed 6\n"));
+        assert!(text.contains("# TYPE olympian_quantum_us summary\n"));
+        assert!(text.contains("olympian_quantum_us_count 6\n"));
+        assert!(text.contains("olympian_client_gpu_ns{client=\"0\",model=\"m\"}"));
+        // Every non-comment line is `name[{labels}] value`.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let (name, value) = line.rsplit_once(' ').expect("metric line shape");
+            assert!(name.starts_with("olympian_"), "bad metric name {name}");
+            value.parse::<f64>().unwrap_or_else(|_| panic!("bad value {value}"));
+        }
+    }
+
+    #[test]
+    fn exports_are_byte_stable() {
+        let a = busy_report();
+        let b = busy_report();
+        assert_eq!(json_lines(&a), json_lines(&b));
+        assert_eq!(prometheus_text(&a), prometheus_text(&b));
+    }
+
+    #[test]
+    fn empty_report_renders_empty() {
+        let r = TelemetryReport::default();
+        assert_eq!(prometheus_text(&r), "");
+        let text = json_lines(&r);
+        assert_eq!(text.lines().count(), 1, "meta line only");
+    }
+}

@@ -1,0 +1,765 @@
+#![deny(missing_docs)]
+
+//! Live telemetry for the serving stack: a deterministic online metrics
+//! registry, an SLO burn-rate monitor and streaming drift detection.
+//!
+//! The PR 2 trace layer records *what happened* for post-hoc timelines;
+//! this crate watches the run *while it executes*, the way an operator
+//! would: counters, gauges and log-linear histograms
+//! ([`registry::MetricsRegistry`]) are updated from engine hook points and
+//! snapshotted at a fixed **virtual-time** cadence, so two runs of the same
+//! experiment produce byte-identical telemetry however the surrounding
+//! harness is parallelized — the same guarantee the trace ring gives.
+//!
+//! On top of the registry sit two online health monitors:
+//!
+//! * [`slo::SloMonitor`] — per-model latency objectives with multi-window
+//!   burn-rate alerting;
+//! * [`drift::DriftDetector`] — EWMA/CUSUM over the stream of observed
+//!   quantum lengths, raising re-profile alerts mid-run (§7 of the paper).
+//!
+//! Alerts surface twice: as [`Alert`] values in the finished
+//! [`TelemetryReport`] (and hence the JSON-lines export) and — via the
+//! engine — as typed events in the trace ring, so they land on the
+//! Perfetto timeline next to the quanta that caused them.
+//!
+//! Cost discipline matches the tracer: with telemetry off the hub holds no
+//! buffers and every hook reduces to one predicted branch; the engine's
+//! snapshot check is a single `t >= next_due()` compare against
+//! `SimTime::MAX`. A `perfsuite` section holds this to noise.
+
+use simtime::{SimDuration, SimTime};
+
+pub mod drift;
+pub mod export;
+pub mod registry;
+pub mod slo;
+
+pub use drift::{DriftConfig, DriftDetector, DriftSignal};
+pub use export::{json_lines, prometheus_text};
+pub use registry::{CounterId, GaugeId, HistogramId, HistogramSnapshot, MetricsRegistry};
+pub use slo::{BurnSignal, BurnWindows, SloMonitor, SloSpec};
+
+/// Telemetry configuration carried by the engine config.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TelemetryConfig {
+    /// Master switch; everything below is ignored when false.
+    pub enabled: bool,
+    /// Virtual-time snapshot cadence.
+    pub interval: SimDuration,
+    /// Latency objectives, matched to clients by model name.
+    pub slos: Vec<SloSpec>,
+    /// Burn-rate window shape shared by all objectives.
+    pub burn: BurnWindows,
+    /// Streaming drift detection over observed quanta; one detector per
+    /// client is cloned from this template.
+    pub drift: Option<DriftConfig>,
+    /// Pre-run batching-plan observations `(batch_size, oldest_wait)`
+    /// seeded into the registry (see `serving::batching::plan_telemetry`).
+    pub batches: Vec<(u64, SimDuration)>,
+}
+
+impl Default for TelemetryConfig {
+    fn default() -> TelemetryConfig {
+        TelemetryConfig {
+            enabled: false,
+            interval: SimDuration::from_micros(1000),
+            slos: Vec::new(),
+            burn: BurnWindows::default(),
+            drift: None,
+            batches: Vec::new(),
+        }
+    }
+}
+
+impl TelemetryConfig {
+    /// Telemetry disabled (the default).
+    pub fn off() -> TelemetryConfig {
+        TelemetryConfig::default()
+    }
+
+    /// Telemetry enabled at the given snapshot cadence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval` is zero.
+    pub fn enabled(interval: SimDuration) -> TelemetryConfig {
+        assert!(interval > SimDuration::ZERO, "snapshot interval must be positive");
+        TelemetryConfig { enabled: true, interval, ..TelemetryConfig::default() }
+    }
+
+    /// Adds a latency objective.
+    pub fn with_slo(mut self, slo: SloSpec) -> TelemetryConfig {
+        self.slos.push(slo);
+        self
+    }
+
+    /// Overrides the burn-rate window shape.
+    pub fn with_burn(mut self, burn: BurnWindows) -> TelemetryConfig {
+        self.burn = burn;
+        self
+    }
+
+    /// Enables streaming drift detection.
+    pub fn with_drift(mut self, drift: DriftConfig) -> TelemetryConfig {
+        self.drift = Some(drift);
+        self
+    }
+
+    /// Seeds batching-plan observations.
+    pub fn with_batches(mut self, batches: Vec<(u64, SimDuration)>) -> TelemetryConfig {
+        self.batches = batches;
+        self
+    }
+
+    /// Whether anything is recorded.
+    pub fn is_on(&self) -> bool {
+        self.enabled
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if enabled with a zero interval or an invalid window shape.
+    pub fn validate(&self) {
+        if !self.enabled {
+            return;
+        }
+        assert!(self.interval > SimDuration::ZERO, "snapshot interval must be positive");
+        self.burn.validate();
+        if let Some(d) = &self.drift {
+            drift::validate(d.expected_quantum, d.tolerance);
+        }
+    }
+}
+
+/// Gauge values the engine samples at each snapshot boundary.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EngineGauges {
+    /// Clients parked in the admission queue.
+    pub queue_depth: u64,
+    /// Idle threads in the inter-op pool.
+    pub pool_idle: u64,
+    /// Jobs in the starvation queue.
+    pub starving: u64,
+    /// Jobs currently registered with the scheduler.
+    pub active_jobs: u64,
+    /// Token holder's `(cumulated, threshold)` cost units, for metering
+    /// schedulers.
+    pub holder_cost: Option<(u64, u64)>,
+}
+
+/// An alert raised by one of the online monitors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Alert {
+    /// A client's offline profile was flagged stale mid-run.
+    Drift {
+        /// Virtual time of the detection.
+        at: SimTime,
+        /// The drifting client.
+        client: u32,
+        /// Smoothed observed quantum length, µs.
+        observed_us: f64,
+        /// Expected quantum length, µs.
+        expected_us: f64,
+        /// Relative deviation of the smoothed level.
+        deviation: f64,
+    },
+    /// An SLO burn rate crossed its threshold.
+    SloBurn {
+        /// Virtual time of the crossing (a snapshot boundary).
+        at: SimTime,
+        /// Index of the objective in [`TelemetryConfig::slos`].
+        slo: u32,
+        /// Model the objective applies to.
+        model: String,
+        /// Burn rate over the short window.
+        short_burn: f64,
+        /// Burn rate over the long window.
+        long_burn: f64,
+    },
+}
+
+impl Alert {
+    /// Virtual time of the alert.
+    pub fn at(&self) -> SimTime {
+        match self {
+            Alert::Drift { at, .. } | Alert::SloBurn { at, .. } => *at,
+        }
+    }
+
+    /// Stable kebab-case label.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Alert::Drift { .. } => "drift",
+            Alert::SloBurn { .. } => "slo-burn",
+        }
+    }
+}
+
+/// One registry snapshot; value vectors are parallel to the name lists in
+/// [`TelemetryReport`].
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Snapshot {
+    /// Virtual time of the snapshot.
+    pub at: SimTime,
+    /// Counter values (cumulative).
+    pub counters: Vec<u64>,
+    /// Gauge values.
+    pub gauges: Vec<f64>,
+    /// Histogram summaries (cumulative).
+    pub hists: Vec<HistogramSnapshot>,
+    /// Cumulative attributed GPU nanoseconds per client.
+    pub client_gpu_ns: Vec<u64>,
+}
+
+/// The finished telemetry of one run.
+#[derive(Debug, Clone, Default)]
+pub struct TelemetryReport {
+    /// Whether telemetry was enabled (everything below is empty if not).
+    pub enabled: bool,
+    /// Snapshot cadence.
+    pub interval: SimDuration,
+    /// Run makespan (time of the final, possibly partial, snapshot).
+    pub makespan: SimTime,
+    /// Counter names, in registration order.
+    pub counter_names: Vec<&'static str>,
+    /// Gauge names.
+    pub gauge_names: Vec<&'static str>,
+    /// Histogram names.
+    pub hist_names: Vec<&'static str>,
+    /// Model name per client, indexed by client id.
+    pub client_models: Vec<String>,
+    /// The configured latency objectives.
+    pub slos: Vec<SloSpec>,
+    /// Snapshots in time order; the last one holds the final totals.
+    pub snapshots: Vec<Snapshot>,
+    /// Alerts in time order.
+    pub alerts: Vec<Alert>,
+}
+
+impl TelemetryReport {
+    /// The expected snapshot count for a makespan: one per full interval
+    /// plus a final partial one — `max(1, ceil(makespan / interval))`.
+    pub fn expected_snapshots(&self) -> u64 {
+        let m = self.makespan.as_nanos();
+        let i = self.interval.as_nanos();
+        m.div_ceil(i).max(1)
+    }
+
+    /// The final snapshot (totals at end of run), if telemetry ran.
+    pub fn last(&self) -> Option<&Snapshot> {
+        self.snapshots.last()
+    }
+
+    /// Final value of a counter by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        let i = self.counter_names.iter().position(|n| *n == name)?;
+        Some(self.last()?.counters[i])
+    }
+
+    /// Final summary of a histogram by name.
+    pub fn hist(&self, name: &str) -> Option<HistogramSnapshot> {
+        let i = self.hist_names.iter().position(|n| *n == name)?;
+        Some(self.last()?.hists[i])
+    }
+}
+
+/// Metric handles, registered once at hub construction.
+#[derive(Debug, Clone, Copy)]
+struct Ids {
+    c_admitted: CounterId,
+    c_oom: CounterId,
+    c_runs_started: CounterId,
+    c_runs_completed: CounterId,
+    c_deadline: CounterId,
+    c_switches: CounterId,
+    c_slo_breaches: CounterId,
+    c_alerts_drift: CounterId,
+    c_alerts_slo: CounterId,
+    c_batches: CounterId,
+    g_queue: GaugeId,
+    g_pool_idle: GaugeId,
+    g_starving: GaugeId,
+    g_active_jobs: GaugeId,
+    g_holder_ratio: GaugeId,
+    g_fairness: GaugeId,
+    h_quantum: HistogramId,
+    h_handoff: HistogramId,
+    h_latency: HistogramId,
+    h_batch_size: HistogramId,
+    h_batch_wait: HistogramId,
+}
+
+#[derive(Debug, Clone)]
+struct ClientState {
+    model: String,
+    slo: Option<u32>,
+    drift: Option<DriftDetector>,
+    gpu_ns: u64,
+}
+
+/// The engine-side telemetry recorder.
+///
+/// All hooks are no-ops behind a single predicted branch when telemetry is
+/// off; the snapshot cadence is driven by the engine comparing event times
+/// against [`next_due`](TelemetryHub::next_due), which is `SimTime::MAX`
+/// when off so the hot loop pays exactly one compare.
+#[derive(Debug)]
+pub struct TelemetryHub {
+    on: bool,
+    interval: SimDuration,
+    next_due: SimTime,
+    registry: MetricsRegistry,
+    ids: Option<Ids>,
+    drift_template: Option<DriftConfig>,
+    slo_specs: Vec<SloSpec>,
+    monitors: Vec<SloMonitor>,
+    clients: Vec<ClientState>,
+    snapshots: Vec<Snapshot>,
+    alerts: Vec<Alert>,
+}
+
+impl TelemetryHub {
+    /// Creates a hub. Allocates nothing when telemetry is off.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid enabled configuration (see
+    /// [`TelemetryConfig::validate`]).
+    pub fn new(cfg: &TelemetryConfig) -> TelemetryHub {
+        cfg.validate();
+        if !cfg.enabled {
+            return TelemetryHub {
+                on: false,
+                interval: cfg.interval,
+                next_due: SimTime::MAX,
+                registry: MetricsRegistry::new(),
+                ids: None,
+                drift_template: None,
+                slo_specs: Vec::new(),
+                monitors: Vec::new(),
+                clients: Vec::new(),
+                snapshots: Vec::new(),
+                alerts: Vec::new(),
+            };
+        }
+        let mut registry = MetricsRegistry::new();
+        let ids = Ids {
+            c_admitted: registry.counter("clients_admitted"),
+            c_oom: registry.counter("clients_rejected_oom"),
+            c_runs_started: registry.counter("runs_started"),
+            c_runs_completed: registry.counter("runs_completed"),
+            c_deadline: registry.counter("runs_deadline_cancelled"),
+            c_switches: registry.counter("token_switches"),
+            c_slo_breaches: registry.counter("slo_breaches"),
+            c_alerts_drift: registry.counter("alerts_drift"),
+            c_alerts_slo: registry.counter("alerts_slo_burn"),
+            c_batches: registry.counter("batches_planned"),
+            g_queue: registry.gauge("admission_queue_depth"),
+            g_pool_idle: registry.gauge("pool_idle_threads"),
+            g_starving: registry.gauge("starving_jobs"),
+            g_active_jobs: registry.gauge("scheduler_active_jobs"),
+            g_holder_ratio: registry.gauge("holder_cost_ratio"),
+            g_fairness: registry.gauge("gpu_share_fairness"),
+            h_quantum: registry.histogram("quantum_us"),
+            h_handoff: registry.histogram("handoff_us"),
+            h_latency: registry.histogram("run_latency_us"),
+            h_batch_size: registry.histogram("batch_size"),
+            h_batch_wait: registry.histogram("batch_wait_us"),
+        };
+        for &(size, wait) in &cfg.batches {
+            registry.inc(ids.c_batches, 1);
+            registry.observe(ids.h_batch_size, size);
+            registry.observe(ids.h_batch_wait, wait.as_nanos() / 1_000);
+        }
+        let monitors = cfg
+            .slos
+            .iter()
+            .map(|s| SloMonitor::new(cfg.burn, s.budget))
+            .collect();
+        TelemetryHub {
+            on: true,
+            interval: cfg.interval,
+            next_due: SimTime::ZERO + cfg.interval,
+            registry,
+            ids: Some(ids),
+            drift_template: cfg.drift.clone(),
+            slo_specs: cfg.slos.clone(),
+            monitors,
+            clients: Vec::new(),
+            snapshots: Vec::new(),
+            alerts: Vec::new(),
+        }
+    }
+
+    /// Whether anything is recorded. Call sites use this to skip building
+    /// hook payloads entirely.
+    #[inline]
+    pub fn is_on(&self) -> bool {
+        self.on
+    }
+
+    /// Next snapshot boundary (`SimTime::MAX` when off) — the engine's
+    /// one-branch hot-loop check.
+    #[inline]
+    pub fn next_due(&self) -> SimTime {
+        self.next_due
+    }
+
+    fn ids(&self) -> Ids {
+        self.ids.expect("telemetry hooks called while off")
+    }
+
+    /// Registers a client (called at admission). Grows the per-client
+    /// table — the only allocation after construction, and only at
+    /// client-arrival granularity.
+    pub fn bind_client(&mut self, client: u32, model: &str) {
+        if !self.on {
+            return;
+        }
+        let idx = client as usize;
+        if self.clients.len() <= idx {
+            self.clients.resize(
+                idx + 1,
+                ClientState { model: String::new(), slo: None, drift: None, gpu_ns: 0 },
+            );
+        }
+        self.clients[idx] = ClientState {
+            model: model.to_string(),
+            slo: self
+                .slo_specs
+                .iter()
+                .position(|s| s.model == model)
+                .map(|i| i as u32),
+            drift: self.drift_template.clone().map(DriftDetector::new),
+            gpu_ns: 0,
+        };
+        let ids = self.ids();
+        self.registry.inc(ids.c_admitted, 1);
+    }
+
+    /// A client's admission failed on GPU memory.
+    #[inline]
+    pub fn on_oom_reject(&mut self) {
+        if !self.on {
+            return;
+        }
+        let ids = self.ids();
+        self.registry.inc(ids.c_oom, 1);
+    }
+
+    /// A `Session::Run` registered.
+    #[inline]
+    pub fn on_run_start(&mut self) {
+        if !self.on {
+            return;
+        }
+        let ids = self.ids();
+        self.registry.inc(ids.c_runs_started, 1);
+    }
+
+    /// A run was cancelled by its deadline.
+    #[inline]
+    pub fn on_deadline_cancel(&mut self) {
+        if !self.on {
+            return;
+        }
+        let ids = self.ids();
+        self.registry.inc(ids.c_deadline, 1);
+    }
+
+    /// The token moved.
+    #[inline]
+    pub fn on_token_switch(&mut self) {
+        if !self.on {
+            return;
+        }
+        let ids = self.ids();
+        self.registry.inc(ids.c_switches, 1);
+    }
+
+    /// Token hand-off latency: grant to the holder's first kernel
+    /// submission.
+    #[inline]
+    pub fn on_handoff(&mut self, latency: SimDuration) {
+        if !self.on {
+            return;
+        }
+        let ids = self.ids();
+        self.registry.observe(ids.h_handoff, latency.as_nanos() / 1_000);
+    }
+
+    /// A quantum was flushed for `client`: feeds the quantum histogram,
+    /// the per-client GPU share and the streaming drift detector. Returns
+    /// a drift alert the first time that client's detector fires.
+    pub fn on_quantum(&mut self, client: u32, gpu: SimDuration, at: SimTime) -> Option<Alert> {
+        if !self.on {
+            return None;
+        }
+        let ids = self.ids();
+        self.registry.observe(ids.h_quantum, gpu.as_nanos() / 1_000);
+        let state = self.clients.get_mut(client as usize)?;
+        state.gpu_ns += gpu.as_nanos();
+        let signal = state.drift.as_mut()?.observe(gpu)?;
+        self.registry.inc(ids.c_alerts_drift, 1);
+        let alert = Alert::Drift {
+            at,
+            client,
+            observed_us: signal.observed_mean_us,
+            expected_us: signal.expected_us,
+            deviation: signal.deviation,
+        };
+        self.alerts.push(alert.clone());
+        Some(alert)
+    }
+
+    /// A run completed with the given latency: feeds the latency histogram
+    /// and the owning model's SLO window.
+    pub fn on_run_complete(&mut self, client: u32, latency: SimDuration) {
+        if !self.on {
+            return;
+        }
+        let ids = self.ids();
+        self.registry.inc(ids.c_runs_completed, 1);
+        self.registry.observe(ids.h_latency, latency.as_nanos() / 1_000);
+        let Some(state) = self.clients.get(client as usize) else { return };
+        if let Some(slo) = state.slo {
+            let breach = latency > self.slo_specs[slo as usize].objective;
+            if breach {
+                self.registry.inc(ids.c_slo_breaches, 1);
+            }
+            self.monitors[slo as usize].observe(breach);
+        }
+    }
+
+    fn snapshot_at(&mut self, at: SimTime, gauges: &EngineGauges, fired: &mut Vec<Alert>) {
+        let ids = self.ids();
+        self.registry.set_gauge(ids.g_queue, gauges.queue_depth as f64);
+        self.registry.set_gauge(ids.g_pool_idle, gauges.pool_idle as f64);
+        self.registry.set_gauge(ids.g_starving, gauges.starving as f64);
+        self.registry.set_gauge(ids.g_active_jobs, gauges.active_jobs as f64);
+        let ratio = match gauges.holder_cost {
+            Some((c, t)) if t > 0 => c as f64 / t as f64,
+            _ => 0.0,
+        };
+        self.registry.set_gauge(ids.g_holder_ratio, ratio);
+        let shares: Vec<f64> = self.clients.iter().map(|c| c.gpu_ns as f64).collect();
+        // An idle window (no clients yet) must not panic: try_* + neutral 1.0.
+        let fairness = metrics::try_jain_fairness(&shares).unwrap_or(1.0);
+        self.registry.set_gauge(ids.g_fairness, fairness);
+
+        // Rotate the SLO windows; burn alerts are stamped at the boundary
+        // and counted inside this snapshot.
+        for (i, m) in self.monitors.iter_mut().enumerate() {
+            if let Some(sig) = m.rotate() {
+                self.registry.inc(ids.c_alerts_slo, 1);
+                let alert = Alert::SloBurn {
+                    at,
+                    slo: i as u32,
+                    model: self.slo_specs[i].model.clone(),
+                    short_burn: sig.short_burn,
+                    long_burn: sig.long_burn,
+                };
+                self.alerts.push(alert.clone());
+                fired.push(alert);
+            }
+        }
+
+        self.snapshots.push(Snapshot {
+            at,
+            counters: self.registry.counter_values().to_vec(),
+            gauges: self.registry.gauge_values().to_vec(),
+            hists: self.registry.hist_snaps(),
+            client_gpu_ns: self.clients.iter().map(|c| c.gpu_ns).collect(),
+        });
+    }
+
+    /// Emits every snapshot boundary due at or before `now`. The engine
+    /// calls this from the event loop when `t >= next_due()`; any alerts
+    /// fired at the boundaries are returned for recording into the trace.
+    pub fn tick(&mut self, now: SimTime, gauges: &EngineGauges) -> Vec<Alert> {
+        let mut fired = Vec::new();
+        while self.next_due <= now {
+            let at = self.next_due;
+            self.snapshot_at(at, gauges, &mut fired);
+            self.next_due = at + self.interval;
+        }
+        fired
+    }
+
+    /// Flushes the tail at end of run: remaining full boundaries, then one
+    /// final (possibly partial) snapshot at `makespan` so the last window
+    /// is never lost. Total snapshots = `max(1, ceil(makespan/interval))`.
+    pub fn finalize(&mut self, makespan: SimTime, gauges: &EngineGauges) -> Vec<Alert> {
+        if !self.on {
+            return Vec::new();
+        }
+        let mut fired = self.tick(makespan, gauges);
+        let partial = match self.snapshots.last() {
+            Some(s) => s.at < makespan,
+            None => true,
+        };
+        if partial {
+            self.snapshot_at(makespan, gauges, &mut fired);
+        }
+        fired
+    }
+
+    /// Consumes the hub into its report.
+    pub fn into_report(self, makespan: SimTime) -> TelemetryReport {
+        TelemetryReport {
+            enabled: self.on,
+            interval: self.interval,
+            makespan,
+            counter_names: self.registry.counter_names().to_vec(),
+            gauge_names: self.registry.gauge_names().to_vec(),
+            hist_names: self.registry.hist_names().to_vec(),
+            client_models: self.clients.iter().map(|c| c.model.clone()).collect(),
+            slos: self.slo_specs,
+            snapshots: self.snapshots,
+            alerts: self.alerts,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn us(v: u64) -> SimDuration {
+        SimDuration::from_micros(v)
+    }
+
+    fn t(v: u64) -> SimTime {
+        SimTime::from_micros(v)
+    }
+
+    #[test]
+    fn off_hub_is_inert() {
+        let mut h = TelemetryHub::new(&TelemetryConfig::off());
+        assert!(!h.is_on());
+        assert_eq!(h.next_due(), SimTime::MAX);
+        h.bind_client(0, "m");
+        assert_eq!(h.on_quantum(0, us(100), t(10)), None);
+        h.on_run_complete(0, us(50));
+        assert!(h.tick(t(1_000_000), &EngineGauges::default()).is_empty());
+        assert!(h.finalize(t(1_000_000), &EngineGauges::default()).is_empty());
+        let r = h.into_report(t(1_000_000));
+        assert!(!r.enabled);
+        assert!(r.snapshots.is_empty());
+    }
+
+    #[test]
+    fn snapshot_count_matches_interval_arithmetic() {
+        let mut h = TelemetryHub::new(&TelemetryConfig::enabled(us(100)));
+        h.bind_client(0, "m");
+        let g = EngineGauges::default();
+        // Events at 250µs: boundaries 100 and 200 fire.
+        assert!(h.tick(t(250), &g).is_empty());
+        assert_eq!(h.snapshots.len(), 2);
+        // Makespan 530µs: boundaries 300,400,500 plus the partial at 530.
+        h.finalize(t(530), &g);
+        let r = h.into_report(t(530));
+        assert_eq!(r.snapshots.len(), 6);
+        assert_eq!(r.expected_snapshots(), 6);
+        assert_eq!(r.snapshots.last().unwrap().at, t(530));
+        // Timestamps strictly increase.
+        assert!(r.snapshots.windows(2).all(|w| w[0].at < w[1].at));
+    }
+
+    #[test]
+    fn exact_multiple_makespan_has_no_partial_snapshot() {
+        let mut h = TelemetryHub::new(&TelemetryConfig::enabled(us(100)));
+        let g = EngineGauges::default();
+        h.tick(t(300), &g);
+        h.finalize(t(300), &g);
+        let r = h.into_report(t(300));
+        assert_eq!(r.snapshots.len(), 3);
+        assert_eq!(r.expected_snapshots(), 3);
+    }
+
+    #[test]
+    fn zero_makespan_still_emits_one_snapshot() {
+        let mut h = TelemetryHub::new(&TelemetryConfig::enabled(us(100)));
+        h.finalize(SimTime::ZERO, &EngineGauges::default());
+        let r = h.into_report(SimTime::ZERO);
+        assert_eq!(r.snapshots.len(), 1);
+        assert_eq!(r.expected_snapshots(), 1);
+    }
+
+    #[test]
+    fn counters_histograms_and_shares_accumulate() {
+        let cfg = TelemetryConfig::enabled(us(100))
+            .with_slo(SloSpec::new("m", us(500), 0.1));
+        let mut h = TelemetryHub::new(&cfg);
+        h.bind_client(0, "m");
+        h.bind_client(1, "other");
+        h.on_run_start();
+        h.on_token_switch();
+        h.on_handoff(us(80));
+        assert!(h.on_quantum(0, us(200), t(50)).is_none(), "no drift config");
+        h.on_quantum(1, us(100), t(60));
+        h.on_run_complete(0, us(700)); // breach of the 500µs objective
+        h.on_run_complete(1, us(100)); // no SLO bound to "other"
+        h.finalize(t(90), &EngineGauges { queue_depth: 2, ..Default::default() });
+        let r = h.into_report(t(90));
+        assert_eq!(r.counter("clients_admitted"), Some(2));
+        assert_eq!(r.counter("runs_completed"), Some(2));
+        assert_eq!(r.counter("slo_breaches"), Some(1));
+        assert_eq!(r.counter("token_switches"), Some(1));
+        let q = r.hist("quantum_us").unwrap();
+        assert_eq!(q.count, 2);
+        assert_eq!(q.sum, 300);
+        let last = r.last().unwrap();
+        assert_eq!(last.client_gpu_ns, vec![200_000, 100_000]);
+        let qd = r.gauge_names.iter().position(|n| *n == "admission_queue_depth").unwrap();
+        assert_eq!(last.gauges[qd], 2.0);
+        assert_eq!(r.client_models, vec!["m".to_string(), "other".to_string()]);
+    }
+
+    #[test]
+    fn drift_and_slo_alerts_flow_into_the_report() {
+        let cfg = TelemetryConfig::enabled(us(100))
+            .with_slo(SloSpec::new("m", us(100), 0.1))
+            .with_burn(BurnWindows { short: 1, long: 2, threshold: 2.0 })
+            .with_drift(DriftConfig::new(us(200), 0.1));
+        let mut h = TelemetryHub::new(&cfg);
+        h.bind_client(0, "m");
+        let g = EngineGauges::default();
+        let mut drift_alerts = 0;
+        for i in 0..10u64 {
+            // Quanta 50% over target: drift fires once warm.
+            if h.on_quantum(0, us(300), t(i * 50 + 10)).is_some() {
+                drift_alerts += 1;
+            }
+            // Every run breaches the 100µs objective.
+            h.on_run_complete(0, us(400));
+            h.tick(t((i + 1) * 50), &g);
+        }
+        h.finalize(t(500), &g);
+        assert_eq!(drift_alerts, 1);
+        let r = h.into_report(t(500));
+        assert_eq!(r.counter("alerts_drift"), Some(1));
+        assert!(r.counter("alerts_slo_burn").unwrap() >= 1);
+        assert!(r.alerts.iter().any(|a| a.kind() == "drift"));
+        assert!(r.alerts.iter().any(|a| a.kind() == "slo-burn"));
+        // Alerts are stamped in non-decreasing time order.
+        assert!(r.alerts.windows(2).all(|w| w[0].at() <= w[1].at()));
+    }
+
+    #[test]
+    fn batch_plan_seeds_the_registry() {
+        let cfg = TelemetryConfig::enabled(us(100))
+            .with_batches(vec![(4, us(120)), (2, us(30))]);
+        let mut h = TelemetryHub::new(&cfg);
+        h.finalize(t(50), &EngineGauges::default());
+        let r = h.into_report(t(50));
+        assert_eq!(r.counter("batches_planned"), Some(2));
+        let s = r.hist("batch_size").unwrap();
+        assert_eq!(s.count, 2);
+        assert_eq!(s.sum, 6);
+        assert_eq!(r.hist("batch_wait_us").unwrap().sum, 150);
+    }
+}

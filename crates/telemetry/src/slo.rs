@@ -1,0 +1,282 @@
+//! Online SLO monitoring with multi-window burn-rate alerting.
+//!
+//! Each [`SloSpec`] names a model, a per-run latency objective and an error
+//! budget (the tolerated fraction of breaching runs). Run latencies are
+//! bucketed into fixed windows aligned to the telemetry snapshot cadence;
+//! at every snapshot boundary the monitor computes the *burn rate* — the
+//! realized breach fraction divided by the budget — over a short and a long
+//! trailing window (the classic multi-window pattern: the short window
+//! makes the alert fast, the long window makes it stick only for sustained
+//! burns). An alert fires when both windows exceed the threshold, and
+//! re-arms only after the short window recovers, so one sustained burn
+//! raises one alert.
+//!
+//! Everything here is virtual-time driven and pre-allocated: windows are
+//! fixed rings sized at construction, so the monitor adds nothing to the
+//! steady-state allocation profile and is byte-deterministic across
+//! harness parallelism.
+
+use simtime::SimDuration;
+
+/// One latency objective.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloSpec {
+    /// Model name the objective applies to (exact match).
+    pub model: String,
+    /// Per-run latency objective.
+    pub objective: SimDuration,
+    /// Error budget: tolerated fraction of breaching runs, in `(0, 1)`.
+    pub budget: f64,
+}
+
+impl SloSpec {
+    /// Creates an objective.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `objective` is zero or `budget` is outside `(0, 1)`.
+    pub fn new(model: impl Into<String>, objective: SimDuration, budget: f64) -> SloSpec {
+        assert!(objective > SimDuration::ZERO, "objective must be positive");
+        assert!(
+            budget > 0.0 && budget < 1.0,
+            "budget must be a fraction in (0, 1), got {budget}"
+        );
+        SloSpec { model: model.into(), objective, budget }
+    }
+}
+
+/// Burn-rate window configuration, in units of snapshot intervals.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BurnWindows {
+    /// Short (fast) window length, in snapshot intervals.
+    pub short: usize,
+    /// Long (sustain) window length, in snapshot intervals.
+    pub long: usize,
+    /// Burn-rate alerting threshold; 1.0 means "burning budget exactly at
+    /// the allowed rate".
+    pub threshold: f64,
+}
+
+impl Default for BurnWindows {
+    fn default() -> BurnWindows {
+        BurnWindows { short: 3, long: 12, threshold: 2.0 }
+    }
+}
+
+impl BurnWindows {
+    /// Validates the window shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either window is zero, the short window is not shorter
+    /// than or equal to the long one, or the threshold is not positive.
+    pub fn validate(&self) {
+        assert!(self.short > 0 && self.long > 0, "burn windows must be non-empty");
+        assert!(self.short <= self.long, "short window exceeds long window");
+        assert!(
+            self.threshold > 0.0 && self.threshold.is_finite(),
+            "burn threshold must be positive"
+        );
+    }
+}
+
+/// Per-objective monitor state: a ring of closed `(good, breach)` buckets
+/// plus the currently filling one.
+#[derive(Debug, Clone)]
+pub struct SloMonitor {
+    windows: BurnWindows,
+    budget: f64,
+    /// Closed buckets, newest last (ring of length `windows.long`).
+    closed: Vec<(u64, u64)>,
+    head: usize,
+    filled: usize,
+    cur_good: u64,
+    cur_breach: u64,
+    latched: bool,
+}
+
+/// A burn-rate crossing reported by [`SloMonitor::rotate`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BurnSignal {
+    /// Burn rate over the short window.
+    pub short_burn: f64,
+    /// Burn rate over the long window.
+    pub long_burn: f64,
+}
+
+impl SloMonitor {
+    /// Creates a monitor; allocates its rings now.
+    pub fn new(windows: BurnWindows, budget: f64) -> SloMonitor {
+        windows.validate();
+        SloMonitor {
+            windows,
+            budget,
+            closed: vec![(0, 0); windows.long],
+            head: 0,
+            filled: 0,
+            cur_good: 0,
+            cur_breach: 0,
+            latched: false,
+        }
+    }
+
+    /// Records one run outcome into the currently open bucket.
+    #[inline]
+    pub fn observe(&mut self, breach: bool) {
+        if breach {
+            self.cur_breach += 1;
+        } else {
+            self.cur_good += 1;
+        }
+    }
+
+    /// Burn rate over the open bucket plus the `n - 1` newest closed ones.
+    fn burn(&self, n: usize) -> f64 {
+        let (mut good, mut breach) = (self.cur_good, self.cur_breach);
+        let take = (n - 1).min(self.filled);
+        for i in 0..take {
+            let idx = (self.head + self.closed.len() - 1 - i) % self.closed.len();
+            let (g, b) = self.closed[idx];
+            good += g;
+            breach += b;
+        }
+        let total = good + breach;
+        if total == 0 {
+            return 0.0;
+        }
+        (breach as f64 / total as f64) / self.budget
+    }
+
+    /// Closes the current bucket at a snapshot boundary and evaluates the
+    /// alert condition. Returns a signal on the rising edge only.
+    pub fn rotate(&mut self) -> Option<BurnSignal> {
+        let short_burn = self.burn(self.windows.short);
+        let long_burn = self.burn(self.windows.long);
+        let breaching = self.cur_breach > 0
+            || (0..(self.windows.short - 1).min(self.filled)).any(|i| {
+                let idx = (self.head + self.closed.len() - 1 - i) % self.closed.len();
+                self.closed[idx].1 > 0
+            });
+        // Close the bucket.
+        self.closed[self.head] = (self.cur_good, self.cur_breach);
+        self.head = (self.head + 1) % self.closed.len();
+        self.filled = (self.filled + 1).min(self.closed.len());
+        self.cur_good = 0;
+        self.cur_breach = 0;
+
+        let over = short_burn >= self.windows.threshold
+            && long_burn >= self.windows.threshold
+            && breaching;
+        if over && !self.latched {
+            self.latched = true;
+            return Some(BurnSignal { short_burn, long_burn });
+        }
+        if short_burn < self.windows.threshold {
+            self.latched = false;
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> SloSpec {
+        SloSpec::new("m", SimDuration::from_micros(500), 0.1)
+    }
+
+    #[test]
+    fn spec_validates() {
+        let s = spec();
+        assert_eq!(s.model, "m");
+        assert_eq!(s.budget, 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "budget")]
+    fn spec_rejects_whole_budget() {
+        SloSpec::new("m", SimDuration::from_micros(1), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "objective")]
+    fn spec_rejects_zero_objective() {
+        SloSpec::new("m", SimDuration::ZERO, 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "short window")]
+    fn windows_reject_inverted_shape() {
+        BurnWindows { short: 5, long: 3, threshold: 1.0 }.validate();
+    }
+
+    #[test]
+    fn quiet_monitor_never_fires() {
+        let mut m = SloMonitor::new(BurnWindows::default(), 0.1);
+        for _ in 0..50 {
+            m.observe(false);
+            assert_eq!(m.rotate(), None);
+        }
+    }
+
+    #[test]
+    fn sustained_burn_fires_once_then_rearms_after_recovery() {
+        let w = BurnWindows { short: 2, long: 4, threshold: 2.0 };
+        let mut m = SloMonitor::new(w, 0.1);
+        // 50% breaches → burn rate 5.0 over every window: fires on the
+        // first rotation, stays latched afterwards.
+        let mut fired = 0;
+        for _ in 0..6 {
+            m.observe(true);
+            m.observe(false);
+            if m.rotate().is_some() {
+                fired += 1;
+            }
+        }
+        assert_eq!(fired, 1, "latched alert re-fired");
+        // Recovery: enough clean buckets to drop the short window under
+        // threshold re-arms the latch...
+        for _ in 0..4 {
+            for _ in 0..8 {
+                m.observe(false);
+            }
+            assert_eq!(m.rotate(), None);
+        }
+        // ...so a fresh sustained burn alerts again.
+        let mut refired = 0;
+        for _ in 0..6 {
+            m.observe(true);
+            m.observe(false);
+            if m.rotate().is_some() {
+                refired += 1;
+            }
+        }
+        assert_eq!(refired, 1, "alert did not re-arm after recovery");
+    }
+
+    #[test]
+    fn short_blip_without_long_burn_stays_quiet() {
+        let w = BurnWindows { short: 1, long: 8, threshold: 3.0 };
+        let mut m = SloMonitor::new(w, 0.2);
+        // Long run of good traffic dilutes the long window.
+        for _ in 0..8 {
+            for _ in 0..10 {
+                m.observe(false);
+            }
+            assert_eq!(m.rotate(), None);
+        }
+        // One fully-breaching bucket: short burn = 1/0.2 = 5 ≥ 3, but the
+        // long window is ~1/9 breaches → burn ≈ 0.56 < 3. No alert.
+        m.observe(true);
+        assert_eq!(m.rotate(), None);
+    }
+
+    #[test]
+    fn empty_windows_burn_zero() {
+        let mut m = SloMonitor::new(BurnWindows::default(), 0.01);
+        for _ in 0..20 {
+            assert_eq!(m.rotate(), None, "idle windows must not alert");
+        }
+    }
+}

@@ -172,6 +172,24 @@ pub fn chrome_trace(trace: &Trace, meta: &TraceMeta) -> Value {
                 rows.push(row(u64::from(client), e.at.as_nanos(), None,
                     "deadline-cancelled".into(), "lifecycle", job_arg(job)));
             }
+            TraceKind::DriftAlert { client, observed_us, expected_us, deviation_ppm } => {
+                rows.push(row(u64::from(client), e.at.as_nanos(), None,
+                    "drift-alert".into(), "alert",
+                    vec![
+                        ("observed_us".into(), Value::UInt(observed_us)),
+                        ("expected_us".into(), Value::UInt(expected_us)),
+                        ("deviation_ppm".into(), Value::UInt(deviation_ppm)),
+                    ]));
+            }
+            TraceKind::SloBurnAlert { slo, short_ppm, long_ppm } => {
+                rows.push(row(scheduler_tid, e.at.as_nanos(), None,
+                    "slo-burn-alert".into(), "alert",
+                    vec![
+                        ("slo".into(), Value::UInt(u64::from(slo))),
+                        ("short_ppm".into(), Value::UInt(short_ppm)),
+                        ("long_ppm".into(), Value::UInt(long_ppm)),
+                    ]));
+            }
         }
     }
 
@@ -351,6 +369,33 @@ mod tests {
         let rows = tracks(&doc);
         assert_eq!(rows.len(), 1);
         assert_eq!(rows[0].1, 2, "scheduler tid = client count");
+    }
+
+    #[test]
+    fn alert_events_land_on_the_timeline() {
+        let mut b = TraceBuffer::new(&TraceConfig::sampled());
+        b.record(
+            SimTime::from_micros(500),
+            TraceKind::DriftAlert {
+                client: 0,
+                observed_us: 280,
+                expected_us: 200,
+                deviation_ppm: 400_000,
+            },
+        );
+        b.record(
+            SimTime::from_micros(600),
+            TraceKind::SloBurnAlert { slo: 0, short_ppm: 2_500_000, long_ppm: 2_000_000 },
+        );
+        let meta = TraceMeta { client_labels: vec!["c0".into()], device_count: 0 };
+        let text = chrome_trace_json(&b.finish(), &meta);
+        assert!(text.contains("\"drift-alert\""));
+        assert!(text.contains("\"slo-burn-alert\""));
+        let doc = Value::parse(&text).unwrap();
+        let rows = tracks(&doc);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].1, 0, "drift alert on the client track");
+        assert_eq!(rows[1].1, 1, "slo alert on the scheduler track");
     }
 
     #[test]

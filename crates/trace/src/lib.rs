@@ -278,6 +278,31 @@ pub enum TraceKind {
         /// GPU duration of the kernel.
         gpu: SimDuration,
     },
+    /// The streaming drift detector flagged a client's offline profile as
+    /// stale mid-run (telemetry layer). Values are integer-encoded so the
+    /// kind stays `Eq`: µs are rounded, the relative deviation is
+    /// parts-per-million.
+    DriftAlert {
+        /// The drifting client.
+        client: u32,
+        /// Smoothed observed quantum length, µs.
+        observed_us: u64,
+        /// Expected (target) quantum length, µs.
+        expected_us: u64,
+        /// `|observed - expected| / expected`, in parts-per-million.
+        deviation_ppm: u64,
+    },
+    /// The SLO monitor's multi-window burn rate crossed its alerting
+    /// threshold for one latency objective (telemetry layer). Burn rates
+    /// are integer-encoded ×1e6 so the kind stays `Eq`.
+    SloBurnAlert {
+        /// Index of the SLO objective in the telemetry config.
+        slo: u32,
+        /// Short-window burn rate, ×1e6.
+        short_ppm: u64,
+        /// Long-window burn rate, ×1e6.
+        long_ppm: u64,
+    },
 }
 
 impl TraceKind {
@@ -307,8 +332,10 @@ impl TraceKind {
             | TraceKind::OverflowCharge { client, .. }
             | TraceKind::KernelEnqueue { client, .. }
             | TraceKind::KernelLaunch { client, .. }
-            | TraceKind::KernelComplete { client, .. } => Some(client),
+            | TraceKind::KernelComplete { client, .. }
+            | TraceKind::DriftAlert { client, .. } => Some(client),
             TraceKind::TokenRevoke { client, .. } | TraceKind::TokenGrant { client, .. } => client,
+            TraceKind::SloBurnAlert { .. } => None,
         }
     }
 }
@@ -379,6 +406,15 @@ impl fmt::Display for TraceEvent {
             TraceKind::KernelComplete { job, client, device, node, gpu } => write!(
                 f,
                 "kernel complete job{job} node{node} (client{client}, gpu{device}, {gpu})"
+            ),
+            TraceKind::DriftAlert { client, observed_us, expected_us, deviation_ppm } => write!(
+                f,
+                "drift alert client{client} (observed {observed_us}us vs expected \
+                 {expected_us}us, deviation {deviation_ppm}ppm)"
+            ),
+            TraceKind::SloBurnAlert { slo, short_ppm, long_ppm } => write!(
+                f,
+                "slo burn alert objective{slo} (short {short_ppm}ppm, long {long_ppm}ppm)"
             ),
         }
     }
@@ -632,5 +668,45 @@ mod tests {
             TraceKind::QuantumEnd { job: 1, client: 9, gpu: SimDuration::ZERO }.client(),
             Some(9)
         );
+        assert_eq!(
+            TraceKind::DriftAlert {
+                client: 2,
+                observed_us: 260,
+                expected_us: 200,
+                deviation_ppm: 300_000
+            }
+            .client(),
+            Some(2)
+        );
+        assert_eq!(
+            TraceKind::SloBurnAlert { slo: 0, short_ppm: 2_000_000, long_ppm: 1_500_000 }
+                .client(),
+            None
+        );
+    }
+
+    #[test]
+    fn alert_events_render_compactly() {
+        let e = TraceEvent {
+            seq: 0,
+            at: SimTime::from_micros(900),
+            kind: TraceKind::DriftAlert {
+                client: 1,
+                observed_us: 280,
+                expected_us: 200,
+                deviation_ppm: 400_000,
+            },
+        };
+        assert_eq!(
+            e.to_string(),
+            "[0.000900s] drift alert client1 (observed 280us vs expected 200us, \
+             deviation 400000ppm)"
+        );
+        let s = TraceEvent {
+            seq: 1,
+            at: SimTime::from_micros(901),
+            kind: TraceKind::SloBurnAlert { slo: 3, short_ppm: 4_000_000, long_ppm: 2_100_000 },
+        };
+        assert!(s.to_string().contains("slo burn alert objective3"));
     }
 }

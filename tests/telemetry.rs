@@ -1,0 +1,142 @@
+//! End-to-end checks of the telemetry layer: byte-determinism of the
+//! JSON-lines and Prometheus exports across worker counts, and the full
+//! alert path of a drifting deployment — report, JSON-lines stream and
+//! Perfetto timeline.
+
+use olympian::{OlympianScheduler, Profiler, ProfileStore, RoundRobin};
+use serving::{run_experiment, ClientSpec, EngineConfig, RunReport, TraceConfig};
+use simtime::SimDuration;
+use std::sync::Arc;
+use telemetry::{BurnWindows, DriftConfig, SloSpec, TelemetryConfig};
+
+const QUANTUM: SimDuration = SimDuration::from_micros(200);
+const INTERVAL: SimDuration = SimDuration::from_micros(100);
+
+/// Builds the profile store through `simpar::par_map` — the code path
+/// `--jobs N` parallelizes — so the determinism test actually covers the
+/// parallel harness.
+fn store_for(cfg: &EngineConfig) -> Arc<ProfileStore> {
+    let models = [models::mini::small(4), models::mini::branchy(2)];
+    let profiles = simpar::par_map(&models, |_, m| Profiler::new(cfg).profile(m));
+    let mut store = ProfileStore::new();
+    for p in profiles {
+        store.insert(p);
+    }
+    Arc::new(store)
+}
+
+fn clients() -> Vec<ClientSpec> {
+    vec![
+        ClientSpec::new(models::mini::small(4), 8),
+        ClientSpec::new(models::mini::small(4), 8),
+        ClientSpec::new(models::mini::branchy(2), 8),
+    ]
+}
+
+/// A deployment whose device regressed 40% after profiling, with telemetry
+/// and sampled tracing on: the profiles (and the latency objective,
+/// calibrated on the fresh device by a probe run) are stale, so both the
+/// streaming drift detector and the SLO burn-rate monitor fire mid-run.
+fn drifted_run() -> RunReport {
+    let fresh = EngineConfig::default();
+    let store = store_for(&fresh);
+
+    let probe_cfg = fresh.with_telemetry(TelemetryConfig::enabled(INTERVAL));
+    let mut probe_sched =
+        OlympianScheduler::new(Arc::clone(&store), Box::new(RoundRobin::new()), QUANTUM);
+    let probe = run_experiment(&probe_cfg, clients(), &mut probe_sched);
+    let fresh_p50_us = probe
+        .telemetry
+        .hist("run_latency_us")
+        .expect("latency histogram")
+        .p50;
+    let objective = SimDuration::from_micros((fresh_p50_us * 1.15).ceil() as u64);
+
+    let mut cfg = EngineConfig::default();
+    cfg.device = gpusim::DeviceProfile::custom(
+        "regressed",
+        1.4,
+        cfg.device.memory_bytes(),
+        cfg.device.sm_count(),
+        0.0,
+    );
+    let tc = TelemetryConfig::enabled(INTERVAL)
+        .with_slo(SloSpec::new("mini-small", objective, 0.05))
+        .with_burn(BurnWindows { short: 1, long: 2, threshold: 2.0 })
+        .with_drift(DriftConfig::new(QUANTUM, 0.25));
+    let cfg = cfg.with_trace(TraceConfig::sampled()).with_telemetry(tc);
+    let mut sched =
+        OlympianScheduler::new(store, Box::new(RoundRobin::new()), QUANTUM);
+    run_experiment(&cfg, clients(), &mut sched)
+}
+
+#[test]
+fn telemetry_exports_are_byte_identical_across_job_counts() {
+    std::env::remove_var(simpar::JOBS_ENV);
+    let serial = drifted_run();
+    assert!(serial.all_finished());
+    let serial_jsonl = serial.telemetry_jsonl();
+    let serial_prom = serial.prometheus_text();
+
+    std::env::set_var(simpar::JOBS_ENV, "2");
+    let parallel = drifted_run();
+    std::env::remove_var(simpar::JOBS_ENV);
+
+    assert_eq!(
+        serial_jsonl,
+        parallel.telemetry_jsonl(),
+        "JSON-lines export must not depend on the worker count"
+    );
+    assert_eq!(
+        serial_prom,
+        parallel.prometheus_text(),
+        "Prometheus export must not depend on the worker count"
+    );
+}
+
+#[test]
+fn drifting_deployment_alerts_in_report_stream_and_timeline() {
+    let report = drifted_run();
+    let t = &report.telemetry;
+    assert!(t.enabled);
+    assert_eq!(t.snapshots.len() as u64, t.expected_snapshots());
+    assert!(
+        t.alerts.iter().any(|a| a.kind() == "drift"),
+        "regressed device must trip the drift detector: {:?}",
+        t.alerts
+    );
+    assert!(
+        t.alerts.iter().any(|a| a.kind() == "slo-burn"),
+        "stale objective must burn its budget: {:?}",
+        t.alerts
+    );
+
+    // Every JSON-lines line parses; the stream carries both alert kinds
+    // and exactly the advertised snapshot/alert counts in time order.
+    let jsonl = report.telemetry_jsonl();
+    let lines: Vec<&str> = jsonl.lines().collect();
+    let meta = microjson::Value::parse(lines[0]).expect("meta line parses");
+    assert_eq!(meta.get("type").unwrap().as_str(), Some("meta"));
+    let (mut snapshots, mut alerts, mut last_t) = (0u64, 0u64, 0u64);
+    for line in &lines[1..] {
+        let v = microjson::Value::parse(line).expect("every line parses");
+        let at = v.get("t_ns").unwrap().as_u64().unwrap();
+        assert!(at >= last_t, "stream regressed in time");
+        last_t = at;
+        match v.get("type").unwrap().as_str().unwrap() {
+            "snapshot" => snapshots += 1,
+            "alert" => alerts += 1,
+            other => panic!("unexpected line type {other}"),
+        }
+    }
+    assert_eq!(snapshots, meta.get("snapshots").unwrap().as_u64().unwrap());
+    assert_eq!(alerts, meta.get("alerts").unwrap().as_u64().unwrap());
+    assert!(jsonl.contains("\"kind\":\"drift\""));
+    assert!(jsonl.contains("\"kind\":\"slo-burn\""));
+
+    // The same alerts land on the Perfetto timeline as instant events.
+    let trace_json = report.chrome_trace_json();
+    assert!(trace_json.contains("\"drift-alert\""));
+    assert!(trace_json.contains("\"slo-burn-alert\""));
+    microjson::Value::parse(&trace_json).expect("chrome trace parses");
+}
