@@ -1,0 +1,8 @@
+//! Chaos resilience suite. See `bench::figs::chaos`.
+
+fn main() {
+    let out = bench::figs::chaos::run();
+    print!("{out}");
+    let path = bench::save_result("chaos.txt", &out);
+    eprintln!("(saved to {})", path.display());
+}

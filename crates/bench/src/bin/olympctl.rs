@@ -13,6 +13,7 @@
 //! olympctl trace   <experiment> [--out trace.json] [--mode sampled|full]
 //! olympctl metrics <experiment> [--interval-us N] [--out telemetry.jsonl]
 //!                  [--prom metrics.prom]
+//! olympctl chaos   <scenario>   [--scheduler olympian|fifo|both]
 //! ```
 //!
 //! `trace` runs a named experiment (see `bench::traced::traced_registry`)
@@ -24,6 +25,11 @@
 //! at the given virtual-time snapshot cadence and writes the JSON-lines
 //! time series; `--prom` additionally writes the final registry state as
 //! Prometheus text exposition.
+//!
+//! `chaos` runs a named fault-injection scenario (see
+//! `bench::figs::chaos::scenarios`) with the full recovery stack on —
+//! retries with backoff, circuit breaking and the token-hold watchdog —
+//! against its fault-free twin, and prints the resilience comparison.
 
 use olympian::{
     DeficitRoundRobin, Lottery, MultiGpuScheduler, OlympianScheduler, Policy, Priority,
@@ -45,6 +51,7 @@ fn usage() -> ExitCode {
          olympctl trace <experiment> [--out <trace.json>] [--mode sampled|full]\n  \
          olympctl metrics <experiment> [--interval-us <n>] [--out <telemetry.jsonl>]\n                   \
          [--prom <metrics.prom>]\n  \
+         olympctl chaos <scenario> [--scheduler <olympian|fifo|both>]\n  \
          any command also accepts --jobs <n> (worker threads for parallel\n  \
          sweeps; default: all cores, or OLYMPIAN_JOBS)"
     );
@@ -358,6 +365,56 @@ fn cmd_metrics(experiment: &str, flags: &HashMap<String, String>) -> Result<(), 
     Ok(())
 }
 
+fn cmd_chaos(name: &str, flags: &HashMap<String, String>) -> Result<(), String> {
+    let Some(s) = bench::figs::chaos::scenario(name) else {
+        let names: Vec<&str> = bench::figs::chaos::scenarios()
+            .iter()
+            .map(|s| s.name)
+            .collect();
+        return Err(format!(
+            "unknown chaos scenario {name:?}; available: {}",
+            names.join(", ")
+        ));
+    };
+    let which = flags.get("scheduler").map(String::as_str).unwrap_or("olympian");
+    let schedulers: Vec<bool> = match which {
+        "olympian" => vec![true],
+        "fifo" => vec![false],
+        "both" => vec![false, true],
+        other => return Err(format!("--scheduler: expected olympian|fifo|both, got {other:?}")),
+    };
+    println!("scenario       : {name} — {}", s.caption);
+    for olympian in schedulers {
+        let base = bench::figs::chaos::chaos_report(None, olympian);
+        let faulted = bench::figs::chaos::chaos_report(Some(&s.plan), olympian);
+        let b = bench::figs::chaos::outcome(&base);
+        let f = bench::figs::chaos::outcome(&faulted);
+        println!("--- {} ---", faulted.scheduler_name);
+        println!(
+            "fault-free     : Jain {:.4}, p99 {:.0} us, makespan {:.3} s",
+            b.jain, b.p99_us, b.makespan_s
+        );
+        println!(
+            "faulted        : Jain {:.4} (ratio {:.3}), p99 {:.0} us (ratio {:.2}), makespan {:.3} s",
+            f.jain,
+            if b.jain > 0.0 { f.jain / b.jain } else { 0.0 },
+            f.p99_us,
+            if b.p99_us > 0.0 { f.p99_us / b.p99_us } else { 0.0 },
+            f.makespan_s
+        );
+        println!(
+            "recovery       : {} faults, {} retries, {} watchdog revocations, {} shed",
+            f.faults, f.retries, f.watchdog, f.shed
+        );
+        for c in &faulted.clients {
+            if !c.is_finished() {
+                println!("  client {:>3}: {}", c.client.0, c.outcome);
+            }
+        }
+    }
+    Ok(())
+}
+
 fn print_run(report: &serving::RunReport, sched: &OlympianScheduler) {
     print_report(report);
     println!("token switches : {}", sched.switches());
@@ -374,7 +431,7 @@ fn print_report(report: &serving::RunReport) {
                 println!("  client {:>3}: finished {:.3} s (GPU {:.3} s)",
                     c.client.0, t.as_secs_f64(), c.total_gpu.as_secs_f64());
             }
-            other => println!("  client {:>3}: {other:?}", c.client.0),
+            other => println!("  client {:>3}: {other}", c.client.0),
         }
     }
 }
@@ -384,9 +441,9 @@ fn main() -> ExitCode {
     let Some(cmd) = args.first() else {
         return usage();
     };
-    // `trace` and `metrics` take one positional argument (the experiment)
-    // before flags.
-    let (positional, flag_args) = if cmd == "trace" || cmd == "metrics" {
+    // `trace`, `metrics` and `chaos` take one positional argument (the
+    // experiment or scenario) before flags.
+    let (positional, flag_args) = if cmd == "trace" || cmd == "metrics" || cmd == "chaos" {
         match args.get(1) {
             Some(a) if !a.starts_with("--") => (Some(a.clone()), &args[2..]),
             _ => {
@@ -424,6 +481,7 @@ fn main() -> ExitCode {
         "run" => cmd_run(&flags),
         "trace" => cmd_trace(positional.as_deref().expect("positional parsed"), &flags),
         "metrics" => cmd_metrics(positional.as_deref().expect("positional parsed"), &flags),
+        "chaos" => cmd_chaos(positional.as_deref().expect("positional parsed"), &flags),
         _ => {
             return usage();
         }

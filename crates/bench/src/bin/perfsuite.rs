@@ -18,7 +18,11 @@
 //! * the telemetry guardrail: engine throughput with live telemetry off
 //!   and on, with a hard assert that the off-mode rate stays within noise
 //!   of the PR 2 reference (telemetry must cost one predicted branch per
-//!   event when off).
+//!   event when off);
+//! * the fault-injection guardrail: engine throughput with fault injection
+//!   off (`cfg.faults = None`) and with a live chaos plan, with a hard
+//!   assert that the off-mode rate stays within noise of the PR 3
+//!   reference (fault hooks must cost one predicted branch when off).
 //!
 //! ```text
 //! perfsuite [--smoke] [--jobs N] [--out path]
@@ -62,6 +66,12 @@ const PR1_ENGINE_OLYMPIAN_EPS: f64 = 4_228_107.0;
 /// compares against.
 const PR2_ENGINE_FIFO_EPS: f64 = 4_945_747.0;
 const PR2_ENGINE_OLYMPIAN_EPS: f64 = 4_670_088.0;
+
+/// PR 3 reference numbers (this suite's own `BENCH_engine.json` before the
+/// fault-injection layer landed) — the baseline the faults-off guardrail
+/// compares against.
+const PR3_ENGINE_FIFO_EPS: f64 = 4_945_747.0;
+const PR3_ENGINE_OLYMPIAN_EPS: f64 = 4_670_088.0;
 
 /// Guardrail: tracing-off throughput must stay above this fraction of the
 /// PR 1 reference. Generous, to absorb machine and run-to-run noise — the
@@ -324,6 +334,64 @@ fn telemetry_section(off_eps: f64) -> Value {
     ])
 }
 
+/// Measures the Olympian engine config with a live chaos plan and asserts
+/// the off rate (measured by `engine_section`, since `cfg.faults` defaults
+/// to `None`) is within noise of the PR 3 reference.
+///
+/// # Panics
+///
+/// Panics if faults-disabled engine throughput falls below
+/// `TRACE_OFF_NOISE_FLOOR` x the PR 3 reference — the fault hooks must cost
+/// one predicted branch per event when off.
+fn faults_section(off_eps: f64) -> Value {
+    let model = models::mini::small(4);
+    let base = EngineConfig::default();
+    let mut store = ProfileStore::new();
+    store.insert(Profiler::new(&base).profile(&model));
+    let store = Arc::new(store);
+    let plan = serving::faults::FaultPlan::new()
+        .with_kernel_failures(0.02)
+        .with_slowdown(2.0, SimTime::from_millis(1), SimTime::from_millis(2));
+    let cfg = base.with_faults(serving::faults::FaultConfig::new(plan));
+    let sched = || {
+        OlympianScheduler::new(
+            Arc::clone(&store),
+            Box::new(RoundRobin::new()),
+            SimDuration::from_micros(200),
+        )
+    };
+    let probe = run_experiment(&cfg, engine_clients(4, 2), &mut sched());
+    let m = harness::run("engine_olympian/faults=on", || {
+        black_box(run_experiment(&cfg, engine_clients(4, 2), &mut sched()))
+    });
+    let on_eps = m.per_second() * probe.event_count as f64;
+    let off_vs_pr3 = off_eps / PR3_ENGINE_OLYMPIAN_EPS;
+    println!(
+        "  -> faults: off {off_eps:.0} events/s ({off_vs_pr3:.2}x PR 3 reference), \
+         on {on_eps:.0}"
+    );
+    assert!(
+        off_vs_pr3 >= TRACE_OFF_NOISE_FLOOR,
+        "faults-disabled engine throughput {off_eps:.0} events/s fell below \
+         {TRACE_OFF_NOISE_FLOOR}x the PR 3 reference {PR3_ENGINE_OLYMPIAN_EPS:.0} — \
+         the fault-injection layer is no longer free when off"
+    );
+    Value::Object(vec![
+        (
+            "pr3_reference_events_per_sec".into(),
+            Value::Object(vec![
+                ("fifo".into(), Value::Float(PR3_ENGINE_FIFO_EPS)),
+                ("olympian".into(), Value::Float(PR3_ENGINE_OLYMPIAN_EPS)),
+            ]),
+        ),
+        ("off_events_per_sec".into(), Value::Float(off_eps)),
+        ("on_events_per_sec".into(), Value::Float(on_eps)),
+        ("off_vs_pr3".into(), Value::Float(off_vs_pr3)),
+        ("noise_floor".into(), Value::Float(TRACE_OFF_NOISE_FLOOR)),
+        ("on_cost".into(), Value::Float(1.0 - on_eps / off_eps.max(1e-9))),
+    ])
+}
+
 /// Returns the section plus the measured wall clock (0 in smoke mode).
 fn suite_section(smoke: bool, jobs: usize) -> (Value, f64) {
     if smoke {
@@ -448,6 +516,7 @@ fn main() -> ExitCode {
     let (engine, fifo_eps, oly_eps) = engine_section();
     let tracing = tracing_section(oly_eps);
     let telemetry = telemetry_section(oly_eps);
+    let faults = faults_section(oly_eps);
     let (suite, suite_secs) = suite_section(smoke, jobs);
     let seed_reference = seed_reference_section(fifo_eps, oly_eps, suite_secs);
 
@@ -459,6 +528,7 @@ fn main() -> ExitCode {
         ("engine".into(), engine),
         ("tracing".into(), tracing),
         ("telemetry".into(), telemetry),
+        ("faults".into(), faults),
         ("suite".into(), suite),
         ("seed_reference".into(), seed_reference),
     ]);

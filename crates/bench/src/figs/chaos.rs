@@ -1,0 +1,282 @@
+//! Chaos resilience suite: fault-injected runs against their fault-free
+//! twins.
+//!
+//! Each scenario replays the same workload four ways — {fifo, olympian} ×
+//! {fault-free, faulted} — under the engine's deterministic fault
+//! injection (see the `faults` crate) with the full recovery stack on:
+//! kernel retries with exponential backoff, per-client circuit breakers
+//! and Olympian's token-hold watchdog. The report asserts the resilience
+//! band the repo promises: with recovery, Olympian's survivor fairness
+//! (Jain over finish times) stays within [`JAIN_BAND`] of its fault-free
+//! run and survivor p99 run latency within [`P99_BAND`]×, while the
+//! baseline's finish-time spread collapses under the same faults.
+
+use crate::figs::fair;
+use crate::{banner, build_store_for, default_config};
+use metrics::table::render_table;
+use metrics::{max_min_ratio, try_jain_fairness};
+use serving::faults::{FaultConfig, FaultPlan};
+use serving::{run_experiment, ClientOutcome, ClientSpec, FifoScheduler, RunReport, TraceConfig};
+use simtime::{SimDuration, SimTime};
+use telemetry::TelemetryConfig;
+
+/// Survivor Jain fairness under faults must stay within this fraction of
+/// the fault-free run's Jain index.
+pub const JAIN_BAND: f64 = 0.95;
+/// Survivor p99 run latency under faults must stay within this multiple
+/// of the fault-free run's p99.
+pub const P99_BAND: f64 = 2.5;
+
+/// Clients in the chaos workload.
+const CLIENTS: usize = 6;
+/// Batches per client.
+const BATCHES: u32 = 6;
+/// Scheduling quantum.
+const QUANTUM: SimDuration = SimDuration::from_micros(200);
+/// Token-hold watchdog patience, in quanta.
+const WATCHDOG_QUANTA: f64 = 3.0;
+/// Telemetry snapshot cadence.
+const CADENCE: SimDuration = SimDuration::from_micros(500);
+
+/// A named disturbance plan.
+pub struct Scenario {
+    /// Stable name (`olympctl chaos <name>`).
+    pub name: &'static str,
+    /// One-line description for the report.
+    pub caption: &'static str,
+    /// What gets injected.
+    pub plan: FaultPlan,
+}
+
+fn ms(v: u64) -> SimTime {
+    SimTime::from_millis(v)
+}
+
+/// The escalating scenario ladder, mildest first.
+pub fn scenarios() -> Vec<Scenario> {
+    vec![
+        Scenario {
+            name: "kernel-faults",
+            caption: "2% of kernel launches transiently fail",
+            plan: FaultPlan::new().with_kernel_failures(0.02),
+        },
+        Scenario {
+            name: "slowdown",
+            caption: "kernels run 3x slower during [2ms, 6ms)",
+            plan: FaultPlan::new().with_slowdown(3.0, ms(2), ms(6)),
+        },
+        Scenario {
+            name: "stall",
+            caption: "the device starts nothing during [3ms, 5ms)",
+            plan: FaultPlan::new().with_stall(ms(3), ms(5)),
+        },
+        Scenario {
+            name: "mixed",
+            caption: "1% kernel faults + 2x slowdown [2ms, 4ms) + stall [6ms, 7ms)",
+            plan: FaultPlan::new()
+                .with_kernel_failures(0.01)
+                .with_slowdown(2.0, ms(2), ms(4))
+                .with_stall(ms(6), ms(7)),
+        },
+    ]
+}
+
+/// Looks up a scenario by name.
+pub fn scenario(name: &str) -> Option<Scenario> {
+    scenarios().into_iter().find(|s| s.name == name)
+}
+
+fn workload() -> Vec<ClientSpec> {
+    vec![ClientSpec::new(models::mini::small(4), BATCHES); CLIENTS]
+}
+
+/// Runs the chaos workload once. `plan: None` is the fault-free twin;
+/// `olympian` selects Olympian fair sharing (with the token-hold watchdog
+/// armed) over the TF-Serving baseline. Trace capture is sampled and
+/// telemetry is on, so the run is fully observable — and byte-comparable
+/// across worker counts.
+pub fn chaos_report(plan: Option<&FaultPlan>, olympian: bool) -> RunReport {
+    let clients = workload();
+    let mut cfg = default_config()
+        .with_trace(TraceConfig::sampled())
+        .with_telemetry(TelemetryConfig::enabled(CADENCE));
+    // Profiles come from the healthy device: faults are a runtime
+    // disturbance, not a property of the offline profile.
+    let store = build_store_for(&cfg, &clients);
+    if let Some(p) = plan {
+        cfg = cfg.with_faults(FaultConfig::new(p.clone()));
+    }
+    if olympian {
+        let mut sched = fair(store, QUANTUM).with_watchdog(WATCHDOG_QUANTA);
+        run_experiment(&cfg, clients, &mut sched)
+    } else {
+        run_experiment(&cfg, clients, &mut FifoScheduler::new())
+    }
+}
+
+/// Headline numbers of one chaos run.
+#[derive(Debug, Clone, Copy)]
+pub struct Outcome {
+    /// Clients that finished every batch.
+    pub finished: usize,
+    /// Clients shed by the recovery layer (retries exhausted or breaker).
+    pub shed: usize,
+    /// Clients with no terminal outcome (must be zero: no run may wedge).
+    pub wedged: usize,
+    /// Jain fairness index over survivors' finish times.
+    pub jain: f64,
+    /// p99 run latency (µs) across completed runs.
+    pub p99_us: f64,
+    /// max/min survivor finish-time ratio.
+    pub spread: f64,
+    /// Makespan in seconds.
+    pub makespan_s: f64,
+    /// Injected kernel faults observed.
+    pub faults: u64,
+    /// Backoff retries scheduled.
+    pub retries: u64,
+    /// Token-hold watchdog revocations.
+    pub watchdog: u64,
+}
+
+/// Summarises a chaos run.
+pub fn outcome(r: &RunReport) -> Outcome {
+    let finish = r.finish_times_secs();
+    Outcome {
+        finished: r.finished_count(),
+        shed: r
+            .clients
+            .iter()
+            .filter(|c| {
+                matches!(
+                    c.outcome,
+                    ClientOutcome::RetriesExhausted { .. } | ClientOutcome::CircuitOpen { .. }
+                )
+            })
+            .count(),
+        wedged: r
+            .clients
+            .iter()
+            .filter(|c| matches!(c.outcome, ClientOutcome::Stalled))
+            .count(),
+        jain: try_jain_fairness(&finish).unwrap_or(0.0),
+        p99_us: r.telemetry.hist("run_latency_us").map_or(0.0, |h| h.p99),
+        spread: if finish.len() >= 2 { max_min_ratio(&finish) } else { 1.0 },
+        makespan_s: r.makespan.as_secs_f64(),
+        faults: r.telemetry.counter("faults_kernel").unwrap_or(0),
+        retries: r.telemetry.counter("kernel_retries").unwrap_or(0),
+        watchdog: r.telemetry.counter("watchdog_revocations").unwrap_or(0),
+    }
+}
+
+fn row(scenario: &str, sched: &str, o: &Outcome, base: &Outcome) -> Vec<String> {
+    vec![
+        scenario.to_string(),
+        sched.to_string(),
+        format!("{}/{}", o.finished, CLIENTS),
+        format!("{:.4}", o.jain),
+        format!("{:.3}", if base.jain > 0.0 { o.jain / base.jain } else { 0.0 }),
+        format!("{:.0}", o.p99_us),
+        format!("{:.2}", if base.p99_us > 0.0 { o.p99_us / base.p99_us } else { 0.0 }),
+        format!("{:.3}", o.spread),
+        format!("{}", o.faults),
+        format!("{}", o.retries),
+        format!("{}", o.watchdog),
+    ]
+}
+
+/// Runs the whole suite and returns the report text.
+pub fn run() -> String {
+    let mut out = banner(
+        "Chaos",
+        "Resilience under deterministic fault injection (6 mini clients, Q = 200 us)",
+    );
+    let base_fifo = outcome(&chaos_report(None, false));
+    let base_oly = outcome(&chaos_report(None, true));
+    out.push_str(&format!(
+        "fault-free twins: fifo Jain {:.4} p99 {:.0} us; olympian Jain {:.4} p99 {:.0} us\n\n",
+        base_fifo.jain, base_fifo.p99_us, base_oly.jain, base_oly.p99_us
+    ));
+    let mut rows = Vec::new();
+    let mut all_pass = true;
+    let mut summaries = Vec::new();
+    for s in scenarios() {
+        let fifo = outcome(&chaos_report(Some(&s.plan), false));
+        let oly = outcome(&chaos_report(Some(&s.plan), true));
+        rows.push(row(s.name, "fifo", &fifo, &base_fifo));
+        rows.push(row(s.name, "olympian", &oly, &base_oly));
+        let jain_ratio = if base_oly.jain > 0.0 { oly.jain / base_oly.jain } else { 0.0 };
+        let p99_ratio = if base_oly.p99_us > 0.0 { oly.p99_us / base_oly.p99_us } else { 0.0 };
+        let pass = jain_ratio >= JAIN_BAND
+            && p99_ratio <= P99_BAND
+            && oly.wedged == 0
+            && fifo.wedged == 0;
+        all_pass &= pass;
+        summaries.push(format!(
+            "{:<14} {} — {}: olympian Jain ratio {:.3} (>= {JAIN_BAND}), p99 ratio {:.2} \
+             (<= {P99_BAND}), wedged 0; fifo spread {:.3}x vs {:.3}x fault-free",
+            s.name,
+            if pass { "PASS" } else { "FAIL" },
+            s.caption,
+            jain_ratio,
+            p99_ratio,
+            fifo.spread,
+            base_fifo.spread,
+        ));
+    }
+    out.push_str(&render_table(
+        &[
+            "scenario", "sched", "finished", "jain", "jain/base", "p99 (us)", "p99/base",
+            "spread", "faults", "retries", "watchdog",
+        ],
+        &rows,
+    ));
+    out.push('\n');
+    for s in &summaries {
+        out.push_str(s);
+        out.push('\n');
+    }
+    out.push_str(&format!(
+        "\nresilience band: {}. With recovery on, Olympian absorbs every scenario \
+         inside the stated band; the baseline has no watchdog or fairness to \
+         defend, so its finish-time spread widens instead.\n",
+        if all_pass { "PASS" } else { "FAIL" }
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_scenario_is_known_and_valid() {
+        for s in scenarios() {
+            s.plan.validate();
+            assert!(scenario(s.name).is_some());
+        }
+        assert!(scenario("no-such-chaos").is_none());
+    }
+
+    #[test]
+    fn olympian_absorbs_kernel_faults_inside_the_band() {
+        let base = outcome(&chaos_report(None, true));
+        let s = scenario("kernel-faults").expect("known scenario");
+        let faulted = outcome(&chaos_report(Some(&s.plan), true));
+        assert_eq!(faulted.wedged, 0, "no client may wedge");
+        assert!(faulted.faults > 0, "the plan must actually fire");
+        assert_eq!(faulted.retries, faulted.faults);
+        assert!(
+            faulted.jain / base.jain >= JAIN_BAND,
+            "jain {:.4} vs fault-free {:.4}",
+            faulted.jain,
+            base.jain
+        );
+        assert!(
+            faulted.p99_us / base.p99_us <= P99_BAND,
+            "p99 {:.0} vs fault-free {:.0}",
+            faulted.p99_us,
+            base.p99_us
+        );
+    }
+}

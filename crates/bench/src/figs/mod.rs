@@ -5,6 +5,7 @@
 //! text (which the corresponding binary prints and saves under `results/`).
 
 pub mod ablations;
+pub mod chaos;
 pub mod dynamic_workload;
 pub mod fig03;
 pub mod fig04;
@@ -70,6 +71,7 @@ pub fn registry() -> Vec<Experiment> {
         ("overhead", overhead::run),
         ("motivation", motivation::run),
         ("robustness", robustness::run),
+        ("chaos", chaos::run),
     ]
 }
 

@@ -133,6 +133,11 @@ pub fn run() -> String {
                      {long_burn:.1}x long of budget\n"
                 ));
             }
+            Alert::FaultRecovery { at, client, action, detail } => {
+                out.push_str(&format!(
+                    "  {at}  recovery  client {client}: {action} ({detail})\n"
+                ));
+            }
         }
     }
 

@@ -48,6 +48,11 @@ pub struct OlympianScheduler {
     jobs: HashMap<JobId, JobAccount>,
     name: String,
     switches: u64,
+    /// Token-hold watchdog patience (a multiple of `Q`); `None` disables.
+    watchdog: Option<SimDuration>,
+    /// Last time the holder made GPU progress (or was granted the token).
+    last_progress: SimTime,
+    watchdog_revocations: u64,
 }
 
 impl OlympianScheduler {
@@ -73,7 +78,30 @@ impl OlympianScheduler {
             jobs: HashMap::new(),
             name,
             switches: 0,
+            watchdog: None,
+            last_progress: SimTime::ZERO,
+            watchdog_revocations: 0,
         }
+    }
+
+    /// Arms the token-hold watchdog: when the holder makes no GPU progress
+    /// for `multiple × Q`, the token is revoked (the stalled quantum is
+    /// spent — charged to the holder like an overflow kernel) so the other
+    /// gangs keep making progress under faults.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `multiple < 1` — the watchdog must be more patient than a
+    /// healthy quantum, or it would revoke honest holders.
+    pub fn with_watchdog(mut self, multiple: f64) -> Self {
+        assert!(multiple >= 1.0, "watchdog patience must be at least one quantum");
+        self.watchdog = Some(self.quantum.mul_f64(multiple));
+        self
+    }
+
+    /// Times the watchdog has revoked a stalled holder.
+    pub fn watchdog_revocations(&self) -> u64 {
+        self.watchdog_revocations
     }
 
     /// Switches to the wall-clock meter (the Figure 19 ablation). Profiles
@@ -112,6 +140,7 @@ impl OlympianScheduler {
         let from = self.token;
         self.token = to;
         self.token_since = now;
+        self.last_progress = now;
         self.switches += 1;
         Verdict::Moved { from, to, reason }
     }
@@ -158,6 +187,9 @@ impl Scheduler for OlympianScheduler {
         // Overflow rule (Figures 10/15): the cost is charged to the job
         // that launched the kernel even if it no longer holds the token.
         account.cumulated += account.profile.node_cost(node);
+        if self.token == Some(job) {
+            self.last_progress = now;
+        }
         if self.meter != QuantumMeter::CostAccumulation {
             return Verdict::Unchanged;
         }
@@ -177,17 +209,47 @@ impl Scheduler for OlympianScheduler {
     }
 
     fn next_timer(&self, _now: SimTime) -> Option<SimTime> {
-        match (self.meter, self.token) {
-            (QuantumMeter::WallClock, Some(_)) => Some(self.token_since + self.quantum),
-            _ => None,
+        self.token?;
+        let wall = match self.meter {
+            QuantumMeter::WallClock => Some(self.token_since + self.quantum),
+            QuantumMeter::CostAccumulation => None,
+        };
+        let wd = self.watchdog.map(|p| self.last_progress + p);
+        match (wall, wd) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, None) => a,
+            (None, b) => b,
         }
     }
 
     fn on_timer(&mut self, now: SimTime) -> Verdict {
-        debug_assert_eq!(self.meter, QuantumMeter::WallClock);
+        debug_assert!(
+            self.meter == QuantumMeter::WallClock || self.watchdog.is_some(),
+            "timer fired with neither wall-clock meter nor watchdog armed"
+        );
         let Some(holder) = self.token else {
             return Verdict::Unchanged;
         };
+        // The watchdog outranks the wall-clock meter: a holder that made
+        // no GPU progress for the whole patience window has its (stalled)
+        // quantum charged — spent without clearing any accumulated debt,
+        // like an overflow kernel — and loses the token.
+        if let Some(patience) = self.watchdog {
+            if now >= self.last_progress + patience {
+                self.watchdog_revocations += 1;
+                let next = self.policy.quantum_expired(holder);
+                self.last_progress = now;
+                if next == self.token {
+                    // Alone in the ring: re-arm and keep waiting.
+                    self.token_since = now;
+                    return Verdict::Unchanged;
+                }
+                return self.move_token(next, now, SwitchReason::WatchdogStall);
+            }
+        }
+        if self.meter != QuantumMeter::WallClock {
+            return Verdict::Unchanged; // stale watchdog timer
+        }
         if now < self.token_since + self.quantum {
             return Verdict::Unchanged; // stale timer
         }
@@ -405,5 +467,58 @@ mod tests {
     fn cost_event_for_unknown_job_panics() {
         let mut s = sched(100);
         s.on_gpu_node_done(JobId(7), NodeId::from_index(0), SimTime::ZERO);
+    }
+
+    #[test]
+    fn watchdog_revokes_a_stalled_holder() {
+        // Q = 100ns, patience = 2Q.
+        let mut s = sched(100).with_watchdog(2.0);
+        s.register(JobId(1), &ctx(0)).unwrap();
+        s.register(JobId(2), &ctx(0)).unwrap();
+        assert_eq!(s.next_timer(SimTime::ZERO), Some(SimTime::from_nanos(200)));
+        // Before the patience window: a stale timer is ignored.
+        assert_eq!(s.on_timer(SimTime::from_nanos(150)), Verdict::Unchanged);
+        // Past it with no progress: the token rotates.
+        assert_eq!(
+            s.on_timer(SimTime::from_nanos(200)),
+            Verdict::Moved {
+                from: Some(JobId(1)),
+                to: Some(JobId(2)),
+                reason: SwitchReason::WatchdogStall
+            }
+        );
+        assert_eq!(s.watchdog_revocations(), 1);
+        assert!(s.may_run(JobId(2)));
+    }
+
+    #[test]
+    fn holder_progress_rearms_the_watchdog() {
+        let mut s = sched(100).with_watchdog(2.0);
+        s.register(JobId(1), &ctx(0)).unwrap();
+        s.register(JobId(2), &ctx(0)).unwrap();
+        // Progress at t=150 pushes the deadline to 350.
+        s.on_gpu_node_done(JobId(1), NodeId::from_index(0), SimTime::from_nanos(150));
+        assert_eq!(s.next_timer(SimTime::ZERO), Some(SimTime::from_nanos(350)));
+        assert_eq!(s.on_timer(SimTime::from_nanos(200)), Verdict::Unchanged);
+        assert_eq!(s.watchdog_revocations(), 0);
+        // A non-holder's overflow kernel does not feed the holder's watchdog.
+        s.on_gpu_node_done(JobId(2), NodeId::from_index(0), SimTime::from_nanos(300));
+        assert_eq!(s.next_timer(SimTime::ZERO), Some(SimTime::from_nanos(350)));
+    }
+
+    #[test]
+    fn lone_holder_keeps_token_but_watchdog_rearms() {
+        let mut s = sched(100).with_watchdog(1.0);
+        s.register(JobId(1), &ctx(0)).unwrap();
+        assert_eq!(s.on_timer(SimTime::from_nanos(100)), Verdict::Unchanged);
+        assert_eq!(s.watchdog_revocations(), 1);
+        assert_eq!(s.token_holder(), Some(JobId(1)));
+        assert_eq!(s.next_timer(SimTime::ZERO), Some(SimTime::from_nanos(200)));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one quantum")]
+    fn impatient_watchdog_is_rejected() {
+        let _ = sched(100).with_watchdog(0.5);
     }
 }

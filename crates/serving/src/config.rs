@@ -68,6 +68,11 @@ pub struct EngineConfig {
     /// when off the engine pays one predicted branch per event, the same
     /// discipline as the tracer.
     pub telemetry: telemetry::TelemetryConfig,
+    /// Deterministic fault injection and recovery (see [`faults`]). `None`
+    /// by default: the engine's fault hooks collapse to one predicted
+    /// branch each, the same zero-cost-when-off discipline as tracing and
+    /// telemetry.
+    pub faults: Option<faults::FaultConfig>,
     /// Hard cap on simulated events — a watchdog against scheduling bugs.
     pub max_events: u64,
 }
@@ -91,6 +96,7 @@ impl Default for EngineConfig {
             queue_admission: false,
             trace: trace::TraceConfig::off(),
             telemetry: telemetry::TelemetryConfig::off(),
+            faults: None,
             max_events: 500_000_000,
         }
     }
@@ -116,6 +122,9 @@ impl EngineConfig {
         assert!(self.profiling_inflation >= 0.0, "negative inflation");
         assert!(self.max_events > 0, "event watchdog must be positive");
         self.telemetry.validate();
+        if let Some(f) = &self.faults {
+            f.validate();
+        }
     }
 
     /// A copy with a different seed (for multi-run experiments).
@@ -149,6 +158,11 @@ impl EngineConfig {
     /// A copy with live telemetry configured (see [`crate::telemetry`]).
     pub fn with_telemetry(&self, telemetry: telemetry::TelemetryConfig) -> EngineConfig {
         EngineConfig { telemetry, ..self.clone() }
+    }
+
+    /// A copy with fault injection and recovery configured (see [`faults`]).
+    pub fn with_faults(&self, faults: faults::FaultConfig) -> EngineConfig {
+        EngineConfig { faults: Some(faults), ..self.clone() }
     }
 
     /// A copy with the online cost profiler enabled (Figure 6's condition).

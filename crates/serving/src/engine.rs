@@ -31,8 +31,9 @@ use crate::client::ClientSpec;
 use crate::config::EngineConfig;
 use crate::report::{ClientOutcome, ClientReport, RunReport};
 use crate::scheduler::{ClientId, JobCtx, JobId, Scheduler, Verdict};
-use crate::trace::{TraceBuffer, TraceKind};
+use crate::trace::{SwitchReason, TraceBuffer, TraceKind};
 use dataflow::{Graph, NodeId, Placement};
+use faults::{BreakerEvent, BreakerState, CircuitBreaker, FaultInjector, RetryPolicy};
 use gpusim::{Allocation, GpuDevice, JobTag, MemoryPool};
 use simtime::{DetRng, EventQueue, SimDuration, SimTime};
 use std::collections::{HashMap, VecDeque};
@@ -56,6 +57,48 @@ enum Event {
     /// A run's deadline elapsed; cancel it if it is still alive.
     RunDeadline(JobId),
     SchedTimer(u64),
+    /// A faulted kernel's backoff elapsed; submit it again.
+    RetryKernel { job: JobId, node: NodeId },
+    /// A device stall window ended; resume pumping the device.
+    PumpDevice(u32),
+    /// A faulted admission's backoff elapsed; attempt admission again.
+    RetryAdmit(ClientId),
+}
+
+/// Live fault-injection state for one run: the seeded injector plus the
+/// recovery state machines the engine drives around it. Held in an
+/// `Option` so the fault-free hot path pays one predicted branch per hook.
+struct FaultRuntime {
+    injector: FaultInjector,
+    retry: RetryPolicy,
+    /// One breaker per client, indexed by `ClientId.0`.
+    breakers: Vec<CircuitBreaker>,
+    /// Failed submission attempts per (job id, node index); entries are
+    /// created on the first fault and cleared on success or job death.
+    attempts: HashMap<(u64, u32), u32>,
+    /// Consecutive failed admission attempts per client.
+    admit_attempts: Vec<u32>,
+    /// Backoff jitter stream, forked off the fault stream so jitter draws
+    /// never perturb fault verdicts.
+    retry_rng: DetRng,
+    /// Per device: a post-stall pump event is already scheduled.
+    stall_pump: Vec<bool>,
+}
+
+impl FaultRuntime {
+    fn new(cfg: &faults::FaultConfig, seed: u64, clients: usize, devices: usize) -> Self {
+        let mut injector = cfg.injector(seed);
+        let retry_rng = injector.retry_rng();
+        FaultRuntime {
+            injector,
+            retry: cfg.retry,
+            breakers: vec![CircuitBreaker::new(cfg.breaker); clients],
+            attempts: HashMap::new(),
+            admit_attempts: vec![0; clients],
+            retry_rng,
+            stall_pump: vec![false; devices],
+        }
+    }
 }
 
 #[derive(Debug)]
@@ -202,6 +245,7 @@ struct Engine<'a> {
     kernels: Vec<Option<(JobId, NodeId)>>,
     kernel_free: Vec<u32>,
     last_switch: Option<SimTime>,
+    faults: Option<FaultRuntime>,
     trace: TraceBuffer,
     telemetry: TelemetryHub,
     intervals: Vec<SimDuration>,
@@ -260,6 +304,10 @@ pub fn run_experiment(
         .iter()
         .map(|p| MemoryPool::new(p.memory_bytes()))
         .collect();
+    let faults = cfg
+        .faults
+        .as_ref()
+        .map(|f| FaultRuntime::new(f, cfg.seed, client_states.len(), devices.len()));
     let mut engine = Engine {
         cfg: cfg.clone(),
         queue: EventQueue::with_capacity(EVENT_QUEUE_CAPACITY),
@@ -278,6 +326,7 @@ pub fn run_experiment(
         kernels: Vec::with_capacity(64),
         kernel_free: Vec::with_capacity(64),
         last_switch: None,
+        faults,
         trace: TraceBuffer::new(&cfg.trace),
         telemetry: TelemetryHub::new(&cfg.telemetry),
         intervals: Vec::with_capacity(256),
@@ -346,6 +395,22 @@ impl Engine<'_> {
                         self.schedule_timer();
                     }
                 }
+                Event::RetryKernel { job, node } => {
+                    if self.live_slot(job).is_some() {
+                        self.submit_kernel(job, node);
+                    } else if let Some(fr) = self.faults.as_mut() {
+                        // The job died (deadline or shed) while the retry
+                        // was pending; drop its attempt bookkeeping.
+                        fr.attempts.remove(&(job.0, node.index() as u32));
+                    }
+                }
+                Event::PumpDevice(dev) => {
+                    if let Some(fr) = self.faults.as_mut() {
+                        fr.stall_pump[dev as usize] = false;
+                    }
+                    self.pump_device(dev as usize);
+                }
+                Event::RetryAdmit(c) => self.retry_admit(c),
             }
         }
     }
@@ -410,6 +475,10 @@ impl Engine<'_> {
         weights_bytes: u64,
         activation_bytes: u64,
     ) -> bool {
+        if self.faults.is_some() && self.alloc_fault_fired(c) {
+            // A retry (or a terminal shed) is already arranged.
+            return false;
+        }
         let key = (model_name, dev);
         if !self.weights_loaded.contains_key(&key) {
             match self.memories[dev as usize].alloc(weights_bytes) {
@@ -450,6 +519,83 @@ impl Engine<'_> {
                 requested: e.requested,
                 available: e.available,
             });
+        }
+    }
+
+    /// Draws the transient reservation-failure verdict for this admission
+    /// attempt. When it fires, schedules a deterministic backoff
+    /// re-admission — or sheds the client once the retry budget is spent —
+    /// and returns true (the caller must not touch the memory pool).
+    fn alloc_fault_fired(&mut self, c: ClientId) -> bool {
+        let now = self.now;
+        let fr = self.faults.as_mut().expect("fault path entered with faults on");
+        if !fr.injector.alloc_fails(now) {
+            fr.admit_attempts[c.0 as usize] = 0;
+            return false;
+        }
+        let attempt = {
+            let a = &mut fr.admit_attempts[c.0 as usize];
+            *a += 1;
+            *a
+        };
+        let retry_at = fr.retry.next_retry_at(now, attempt - 1, None, &mut fr.retry_rng);
+        self.record(TraceKind::AllocFault { client: c.0, attempt });
+        self.telemetry.on_alloc_fault();
+        match retry_at {
+            Some(at) => {
+                // `job == u64::MAX` / `node == u32::MAX` mark an admission
+                // retry on the trace (there is no job yet).
+                self.record(TraceKind::RetryScheduled {
+                    job: u64::MAX,
+                    client: c.0,
+                    node: u32::MAX,
+                    attempt,
+                    delay: at - now,
+                });
+                self.telemetry.on_retry();
+                self.queue.schedule(at, Event::RetryAdmit(c));
+            }
+            None => {
+                self.record(TraceKind::BreakerTransition { client: c.0, state: "shed" });
+                self.telemetry
+                    .on_client_shed(now, c.0, "retries-exhausted", u64::from(attempt));
+                self.clients[c.0 as usize].outcome =
+                    Some(ClientOutcome::RetriesExhausted { at: now, attempts: attempt });
+            }
+        }
+        true
+    }
+
+    /// Re-attempts a faulted admission after its backoff elapsed. A client
+    /// parked in the queued-admission FIFO retries through the queue so
+    /// head-of-line ordering is preserved.
+    fn retry_admit(&mut self, c: ClientId) {
+        {
+            let client = &self.clients[c.0 as usize];
+            if client.outcome.is_some() || client.activations.is_some() {
+                return;
+            }
+        }
+        if self.admission_waiting.contains(&c) {
+            self.pump_admission();
+            return;
+        }
+        let (dev, model_name, weights, activations) = {
+            let client = &self.clients[c.0 as usize];
+            (
+                client.device,
+                client.spec.model.name().to_string(),
+                client.spec.model.weights_bytes(),
+                client.spec.model.activation_bytes(),
+            )
+        };
+        if self.try_admit(c, dev, model_name, weights, activations) {
+            if self.telemetry.is_on() {
+                let model = self.clients[c.0 as usize].spec.model.name().to_string();
+                self.telemetry.bind_client(c.0, &model);
+            }
+            self.record(TraceKind::ClientAdmitted { client: c.0 });
+            self.start_run(c);
         }
     }
 
@@ -597,18 +743,40 @@ impl Engine<'_> {
         }
     }
 
-    /// Cancels a live job whose deadline elapsed: drops its queued kernels,
-    /// returns its gang to the pool, deregisters it and aborts the session.
-    /// Kernels already *executing* finish on the device (non-preemptive, as
-    /// on real hardware) but their completions are swallowed.
+    /// Cancels a live job whose deadline elapsed.
     fn cancel_job(&mut self, job_id: JobId) {
         let slot = self.live_slot(job_id).expect("cancelling a live job");
-        let (held, c) = {
-            let job = &self.job_slots[slot];
-            (job.held, job.client)
-        };
+        let c = self.job_slots[slot].client;
         self.record(TraceKind::DeadlineCancelled { job: job_id.0, client: c.0 });
         self.telemetry.on_deadline_cancel();
+        self.teardown_job(job_id, c, ClientOutcome::DeadlineExceeded(self.now));
+    }
+
+    /// Terminates a persistently failing client's session: the recovery
+    /// layer gave up (retry budget spent, or the circuit breaker's trip
+    /// budget spent), so its live job is torn down like a deadline
+    /// cancellation and the session ends with `outcome`.
+    fn shed_client(
+        &mut self,
+        c: ClientId,
+        job_id: JobId,
+        outcome: ClientOutcome,
+        action: &'static str,
+        detail: u64,
+    ) {
+        self.record(TraceKind::BreakerTransition { client: c.0, state: "shed" });
+        self.telemetry.on_client_shed(self.now, c.0, action, detail);
+        self.teardown_job(job_id, c, outcome);
+    }
+
+    /// Shared teardown for deadline cancellations and fault-recovery sheds:
+    /// drops the job's queued kernels, returns its gang to the pool,
+    /// deregisters it and aborts the session with `outcome`. Kernels
+    /// already *executing* finish on the device (non-preemptive, as on real
+    /// hardware) but their completions are swallowed.
+    fn teardown_job(&mut self, job_id: JobId, c: ClientId, outcome: ClientOutcome) {
+        let slot = self.live_slot(job_id).expect("tearing down a live job");
+        let held = self.job_slots[slot].held;
         let dev = self.clients[c.0 as usize].device as usize;
         self.job_refs[job_id.0 as usize] = JobRef::Cancelled(dev as u32);
         self.free_slots.push(slot as u32);
@@ -642,7 +810,7 @@ impl Engine<'_> {
         // Abort the whole session and release its memory.
         let client = &mut self.clients[c.0 as usize];
         client.current_job = None;
-        client.outcome = Some(ClientOutcome::DeadlineExceeded(self.now));
+        client.outcome = Some(outcome);
         if let Some(a) = client.activations.take() {
             self.memories[dev].free(a);
             self.pump_admission();
@@ -696,6 +864,11 @@ impl Engine<'_> {
                 short_ppm: (short_burn * 1e6).round() as u64,
                 long_ppm: (long_burn * 1e6).round() as u64,
             },
+            // Fault-recovery alerts already have a typed trace event
+            // recorded at the action site (BreakerTransition,
+            // WatchdogRevoke, RetryScheduled); mirroring them here would
+            // double-count.
+            Alert::FaultRecovery { .. } => return,
         };
         self.trace.record(alert.at(), kind);
     }
@@ -704,6 +877,21 @@ impl Engine<'_> {
         let Verdict::Moved { from, to, reason } = verdict else {
             return;
         };
+        if matches!(reason, SwitchReason::WatchdogStall) {
+            // The token-hold watchdog revoked a stalled holder: surface it
+            // before `last_switch` advances, so the stall length is the
+            // time since the holder was granted the token.
+            if let Some(old) = from {
+                let stalled_us = self
+                    .last_switch
+                    .map_or(0, |t| (self.now - t).as_nanos() / 1_000);
+                if let Some(s) = self.live_slot(old) {
+                    let client = self.job_slots[s].client.0;
+                    self.record(TraceKind::WatchdogRevoke { job: old.0, client, stalled_us });
+                    self.telemetry.on_watchdog_revoke(self.now, client, stalled_us);
+                }
+            }
+        }
         self.switch_count += 1;
         self.telemetry.on_token_switch();
         if let Some(last) = self.last_switch {
@@ -895,6 +1083,11 @@ impl Engine<'_> {
                 self.telemetry.on_handoff(self.now - granted);
             }
         }
+        if self.faults.is_some() && self.kernel_fault_fired(job_id, node, slot) {
+            // The launch failed; a backoff retry is scheduled (or the
+            // client was shed). The gang thread stays blocked either way.
+            return;
+        }
         let job = &self.job_slots[slot];
         let duration = job.graph.node(node).duration();
         let tag = JobTag(job.client.0 as u64);
@@ -923,14 +1116,131 @@ impl Engine<'_> {
                 node: node.index() as u32,
             });
         }
-        self.devices[dev].enqueue(tag, kernel_id, duration, inflation);
+        let mut extra = inflation;
+        if let Some(fr) = self.faults.as_ref() {
+            // A kernel enqueued inside a slowdown window runs `factor`×
+            // slower (the window is sampled at submission).
+            extra *= fr.injector.slowdown_factor(self.now);
+        }
+        self.devices[dev].enqueue(tag, kernel_id, duration, extra);
         self.pump_device(dev);
+    }
+
+    /// Draws the kernel-fault verdict for this submission. When it fires,
+    /// runs the recovery path — count the attempt, drive the client's
+    /// circuit breaker, then either schedule a backoff retry (never past
+    /// the run deadline) or shed the session — and returns true: the
+    /// kernel was not enqueued and the gang thread stays blocked on it.
+    fn kernel_fault_fired(&mut self, job_id: JobId, node: NodeId, slot: usize) -> bool {
+        let now = self.now;
+        let c = self.job_slots[slot].client;
+        let started_at = self.job_slots[slot].started_at;
+        let dev = self.clients[c.0 as usize].device;
+        let deadline = self.clients[c.0 as usize].spec.run_deadline.map(|d| started_at + d);
+        let fr = self.faults.as_mut().expect("fault path entered with faults on");
+        if !fr.injector.kernel_fails(now) {
+            // A clean launch closes a half-open breaker (the probe
+            // succeeded) and resets the failure streak.
+            let b = &mut fr.breakers[c.0 as usize];
+            let reopened = b.state() != BreakerState::Closed;
+            b.record_success();
+            if !fr.attempts.is_empty() {
+                fr.attempts.remove(&(job_id.0, node.index() as u32));
+            }
+            if reopened {
+                self.record(TraceKind::BreakerTransition { client: c.0, state: "closed" });
+            }
+            return false;
+        }
+        let attempt = {
+            let a = fr.attempts.entry((job_id.0, node.index() as u32)).or_insert(0);
+            *a += 1;
+            *a
+        };
+        let breaker_event = fr.breakers[c.0 as usize].record_failure(now);
+        let trips = fr.breakers[c.0 as usize].trips();
+        let mut probe_scheduled = false;
+        let retry_at = match breaker_event {
+            BreakerEvent::Shed => None,
+            _ => fr
+                .retry
+                .next_retry_at(now, attempt - 1, deadline, &mut fr.retry_rng)
+                .map(|at| {
+                    // An open breaker defers the retry to its cooldown
+                    // edge; consulting it makes the retry the probe.
+                    let b = &mut fr.breakers[c.0 as usize];
+                    let was_open = b.state() == BreakerState::Open;
+                    let earliest = b.earliest_attempt(now);
+                    probe_scheduled = was_open;
+                    at.max(earliest)
+                }),
+        };
+        self.record(TraceKind::KernelFault {
+            job: job_id.0,
+            client: c.0,
+            device: dev,
+            node: node.index() as u32,
+            attempt,
+        });
+        self.telemetry.on_kernel_fault();
+        if let BreakerEvent::Opened { .. } = breaker_event {
+            self.record(TraceKind::BreakerTransition { client: c.0, state: "open" });
+            self.telemetry.on_breaker_open(now, c.0);
+        }
+        if probe_scheduled {
+            self.record(TraceKind::BreakerTransition { client: c.0, state: "half-open" });
+        }
+        match retry_at {
+            Some(at) => {
+                self.record(TraceKind::RetryScheduled {
+                    job: job_id.0,
+                    client: c.0,
+                    node: node.index() as u32,
+                    attempt,
+                    delay: at - now,
+                });
+                self.telemetry.on_retry();
+                self.queue.schedule(at, Event::RetryKernel { job: job_id, node });
+            }
+            None => {
+                let (outcome, action, detail) = if breaker_event == BreakerEvent::Shed {
+                    (
+                        ClientOutcome::CircuitOpen { at: now, trips },
+                        "circuit-open",
+                        u64::from(trips),
+                    )
+                } else {
+                    (
+                        ClientOutcome::RetriesExhausted { at: now, attempts: attempt },
+                        "retries-exhausted",
+                        u64::from(attempt),
+                    )
+                };
+                self.shed_client(c, job_id, outcome, action, detail);
+            }
+        }
+        true
     }
 
     /// Starts the next queued kernel if the device is free and schedules its
     /// completion. Called after every enqueue and every kernel completion —
     /// the device's pump protocol keeps exactly one completion outstanding.
     fn pump_device(&mut self, dev: usize) {
+        if let Some(fr) = self.faults.as_mut() {
+            if let Some(until) = fr.injector.stall_until(self.now) {
+                // The device starts no new kernels during a stall window;
+                // one wake-up event per (device, window) resumes pumping.
+                if !fr.stall_pump[dev] {
+                    fr.stall_pump[dev] = true;
+                    self.record(TraceKind::DeviceStall {
+                        device: dev as u32,
+                        until_us: until.as_nanos() / 1_000,
+                    });
+                    self.queue.schedule(until, Event::PumpDevice(dev as u32));
+                }
+                return;
+            }
+        }
         if let Some(k) = self.devices[dev].try_start(self.now) {
             let idx = k.payload as usize;
             let (job, node) = self.kernels[idx]
@@ -1338,6 +1648,116 @@ mod tests {
         assert_eq!(plain.makespan, telemetered.makespan);
         assert_eq!(plain.finish_times_secs(), telemetered.finish_times_secs());
         assert_eq!(plain.event_count, telemetered.event_count);
+    }
+
+    fn chaos_cfg(plan: faults::FaultPlan) -> EngineConfig {
+        EngineConfig::default()
+            .with_faults(faults::FaultConfig::new(plan))
+            .with_telemetry(telemetry::TelemetryConfig::enabled(SimDuration::from_micros(
+                200,
+            )))
+    }
+
+    #[test]
+    fn empty_fault_plan_changes_nothing() {
+        let cfg = EngineConfig::default();
+        let plain = run_experiment(&cfg, tiny_clients(3, 2), &mut FifoScheduler::new());
+        let faulted = run_experiment(
+            &cfg.with_faults(faults::FaultConfig::new(faults::FaultPlan::new())),
+            tiny_clients(3, 2),
+            &mut FifoScheduler::new(),
+        );
+        assert_eq!(plain.makespan, faulted.makespan);
+        assert_eq!(plain.finish_times_secs(), faulted.finish_times_secs());
+        assert_eq!(plain.event_count, faulted.event_count);
+    }
+
+    #[test]
+    fn transient_kernel_faults_retry_to_completion() {
+        let cfg = chaos_cfg(faults::FaultPlan::new().with_kernel_failures(0.05));
+        let report = run_experiment(&cfg, tiny_clients(2, 2), &mut FifoScheduler::new());
+        assert!(report.all_finished(), "moderate fault rate must be survivable");
+        let faults = report.telemetry.counter("faults_kernel").unwrap();
+        let retries = report.telemetry.counter("kernel_retries").unwrap();
+        assert!(faults > 0, "p=0.05 over 64 launches should fire");
+        assert_eq!(retries, faults, "every transient fault earns a retry");
+    }
+
+    #[test]
+    fn persistent_kernel_faults_shed_the_client() {
+        let cfg = chaos_cfg(faults::FaultPlan::new().with_kernel_failures(0.97));
+        let report = run_experiment(&cfg, tiny_clients(1, 1), &mut FifoScheduler::new());
+        let outcome = &report.clients[0].outcome;
+        assert!(
+            matches!(
+                outcome,
+                ClientOutcome::RetriesExhausted { .. } | ClientOutcome::CircuitOpen { .. }
+            ),
+            "expected a shed, got {outcome}"
+        );
+        assert!(report.telemetry.counter("clients_shed").unwrap() >= 1);
+    }
+
+    #[test]
+    fn device_stall_window_delays_but_run_completes() {
+        let base = EngineConfig::default().quiescent();
+        let plain = run_experiment(&base, tiny_clients(1, 1), &mut FifoScheduler::new());
+        let stalled = run_experiment(
+            &base.with_faults(faults::FaultConfig::new(
+                faults::FaultPlan::new()
+                    .with_stall(SimTime::from_micros(50), SimTime::from_micros(250)),
+            )),
+            tiny_clients(1, 1),
+            &mut FifoScheduler::new(),
+        );
+        assert!(stalled.all_finished());
+        assert!(
+            stalled.makespan > plain.makespan,
+            "a mid-run stall must push the makespan out"
+        );
+    }
+
+    #[test]
+    fn slowdown_window_inflates_makespan() {
+        let base = EngineConfig::default().quiescent();
+        let plain = run_experiment(&base, tiny_clients(1, 1), &mut FifoScheduler::new());
+        let slowed = run_experiment(
+            &base.with_faults(faults::FaultConfig::new(
+                faults::FaultPlan::new().with_slowdown(
+                    4.0,
+                    SimTime::ZERO,
+                    SimTime::from_millis(10),
+                ),
+            )),
+            tiny_clients(1, 1),
+            &mut FifoScheduler::new(),
+        );
+        assert!(slowed.all_finished());
+        assert!(slowed.makespan > plain.makespan);
+    }
+
+    #[test]
+    fn transient_alloc_faults_retry_admission() {
+        let cfg = chaos_cfg(faults::FaultPlan::new().with_alloc_failures(0.5));
+        let report = run_experiment(&cfg, tiny_clients(2, 1), &mut FifoScheduler::new());
+        assert!(report.all_finished(), "admission retries must eventually land");
+        assert!(report.telemetry.counter("faults_alloc").unwrap() > 0);
+    }
+
+    #[test]
+    fn faulted_run_is_deterministic() {
+        let cfg = chaos_cfg(
+            faults::FaultPlan::new()
+                .with_kernel_failures(0.1)
+                .with_alloc_failures(0.2)
+                .with_stall(SimTime::from_micros(100), SimTime::from_micros(300)),
+        );
+        let a = run_experiment(&cfg, tiny_clients(3, 2), &mut FifoScheduler::new());
+        let b = run_experiment(&cfg, tiny_clients(3, 2), &mut FifoScheduler::new());
+        assert_eq!(a.makespan, b.makespan);
+        assert_eq!(a.event_count, b.event_count);
+        assert_eq!(a.telemetry_jsonl(), b.telemetry_jsonl());
+        assert_eq!(a.prometheus_text(), b.prometheus_text());
     }
 
     #[test]

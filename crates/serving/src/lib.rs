@@ -35,6 +35,13 @@ pub mod batching;
 mod client;
 mod config;
 mod engine;
+pub mod faults {
+    //! Re-export of the fault-injection crate: plans, retry policies and
+    //! circuit breakers consumed via [`EngineConfig::with_faults`].
+    //!
+    //! [`EngineConfig::with_faults`]: crate::EngineConfig::with_faults
+    pub use ::faults::*;
+}
 mod report;
 mod scheduler;
 pub mod telemetry;

@@ -21,9 +21,47 @@ pub enum ClientOutcome {
     /// A `Session::Run` blew through its deadline; the job was cancelled
     /// and the session aborted at this instant.
     DeadlineExceeded(SimTime),
+    /// Fault recovery gave up: a kernel (or admission) kept failing past
+    /// the retry budget, so the session was shed at this instant.
+    RetriesExhausted {
+        /// When the session was shed.
+        at: SimTime,
+        /// Failed attempts accumulated on the operation that gave up.
+        attempts: u32,
+    },
+    /// The client's circuit breaker spent its trip budget: persistent
+    /// failures shed the session at this instant.
+    CircuitOpen {
+        /// When the session was shed.
+        at: SimTime,
+        /// Breaker trips accumulated before shedding.
+        trips: u32,
+    },
     /// The run ended with this client unable to make progress (typically
     /// worker-thread starvation under gang-holding schedulers, §4.3).
     Stalled,
+}
+
+impl std::fmt::Display for ClientOutcome {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientOutcome::Finished(t) => write!(f, "finished at {t}"),
+            ClientOutcome::RejectedOom { requested, available } => {
+                write!(f, "rejected (OOM: needed {requested} B, {available} B free)")
+            }
+            ClientOutcome::RejectedByScheduler(why) => {
+                write!(f, "rejected by scheduler ({why})")
+            }
+            ClientOutcome::DeadlineExceeded(t) => write!(f, "deadline exceeded at {t}"),
+            ClientOutcome::RetriesExhausted { at, attempts } => {
+                write!(f, "retries exhausted at {at} ({attempts} attempts)")
+            }
+            ClientOutcome::CircuitOpen { at, trips } => {
+                write!(f, "circuit open at {at} ({trips} trips)")
+            }
+            ClientOutcome::Stalled => write!(f, "stalled"),
+        }
+    }
 }
 
 /// Per-client results.
@@ -62,7 +100,7 @@ impl ClientReport {
     pub fn finish_time(&self) -> SimTime {
         match self.outcome {
             ClientOutcome::Finished(t) => t,
-            ref other => panic!("client {} did not finish: {other:?}", self.client),
+            ref other => panic!("client {} did not finish: {other}", self.client),
         }
     }
 

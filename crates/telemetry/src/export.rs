@@ -47,6 +47,14 @@ fn alert_value(a: &Alert) -> Value {
             ("short_burn".into(), f(*short_burn)),
             ("long_burn".into(), f(*long_burn)),
         ]),
+        Alert::FaultRecovery { at, client, action, detail } => Value::Object(vec![
+            ("type".into(), Value::str("alert")),
+            ("kind".into(), Value::str("fault-recovery")),
+            ("t_ns".into(), Value::UInt(at.as_nanos())),
+            ("client".into(), Value::UInt(u64::from(*client))),
+            ("action".into(), Value::str(*action)),
+            ("detail".into(), Value::UInt(*detail)),
+        ]),
     }
 }
 

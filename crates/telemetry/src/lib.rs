@@ -179,13 +179,29 @@ pub enum Alert {
         /// Burn rate over the long window.
         long_burn: f64,
     },
+    /// The fault-recovery layer acted: a circuit breaker opened, a client
+    /// was shed, or the token-hold watchdog revoked a stalled holder.
+    FaultRecovery {
+        /// Virtual time of the action.
+        at: SimTime,
+        /// The affected client.
+        client: u32,
+        /// What happened, kebab-case: `breaker-open`, `retries-exhausted`,
+        /// `circuit-open` or `watchdog-revoke`.
+        action: &'static str,
+        /// Action-specific detail: stall µs for watchdog revocations,
+        /// attempt count for sheds, 0 otherwise.
+        detail: u64,
+    },
 }
 
 impl Alert {
     /// Virtual time of the alert.
     pub fn at(&self) -> SimTime {
         match self {
-            Alert::Drift { at, .. } | Alert::SloBurn { at, .. } => *at,
+            Alert::Drift { at, .. }
+            | Alert::SloBurn { at, .. }
+            | Alert::FaultRecovery { at, .. } => *at,
         }
     }
 
@@ -194,6 +210,7 @@ impl Alert {
         match self {
             Alert::Drift { .. } => "drift",
             Alert::SloBurn { .. } => "slo-burn",
+            Alert::FaultRecovery { .. } => "fault-recovery",
         }
     }
 }
@@ -279,6 +296,12 @@ struct Ids {
     c_alerts_drift: CounterId,
     c_alerts_slo: CounterId,
     c_batches: CounterId,
+    c_faults_kernel: CounterId,
+    c_faults_alloc: CounterId,
+    c_retries: CounterId,
+    c_breaker_open: CounterId,
+    c_shed: CounterId,
+    c_watchdog: CounterId,
     g_queue: GaugeId,
     g_pool_idle: GaugeId,
     g_starving: GaugeId,
@@ -357,6 +380,12 @@ impl TelemetryHub {
             c_alerts_drift: registry.counter("alerts_drift"),
             c_alerts_slo: registry.counter("alerts_slo_burn"),
             c_batches: registry.counter("batches_planned"),
+            c_faults_kernel: registry.counter("faults_kernel"),
+            c_faults_alloc: registry.counter("faults_alloc"),
+            c_retries: registry.counter("kernel_retries"),
+            c_breaker_open: registry.counter("breaker_open_events"),
+            c_shed: registry.counter("clients_shed"),
+            c_watchdog: registry.counter("watchdog_revocations"),
             g_queue: registry.gauge("admission_queue_depth"),
             g_pool_idle: registry.gauge("pool_idle_threads"),
             g_starving: registry.gauge("starving_jobs"),
@@ -489,6 +518,78 @@ impl TelemetryHub {
         }
         let ids = self.ids();
         self.registry.observe(ids.h_handoff, latency.as_nanos() / 1_000);
+    }
+
+    /// A kernel launch transiently failed (injected fault).
+    #[inline]
+    pub fn on_kernel_fault(&mut self) {
+        if !self.on {
+            return;
+        }
+        let ids = self.ids();
+        self.registry.inc(ids.c_faults_kernel, 1);
+    }
+
+    /// A memory reservation transiently failed (injected fault).
+    #[inline]
+    pub fn on_alloc_fault(&mut self) {
+        if !self.on {
+            return;
+        }
+        let ids = self.ids();
+        self.registry.inc(ids.c_faults_alloc, 1);
+    }
+
+    /// A retry was scheduled after backoff.
+    #[inline]
+    pub fn on_retry(&mut self) {
+        if !self.on {
+            return;
+        }
+        let ids = self.ids();
+        self.registry.inc(ids.c_retries, 1);
+    }
+
+    /// A client's circuit breaker tripped open; lands on the
+    /// `fault-recovery` alert stream.
+    pub fn on_breaker_open(&mut self, at: SimTime, client: u32) {
+        if !self.on {
+            return;
+        }
+        let ids = self.ids();
+        self.registry.inc(ids.c_breaker_open, 1);
+        self.alerts.push(Alert::FaultRecovery {
+            at,
+            client,
+            action: "breaker-open",
+            detail: 0,
+        });
+    }
+
+    /// A client was shed by the recovery layer (`action` is
+    /// `retries-exhausted` or `circuit-open`, `detail` the attempt count).
+    pub fn on_client_shed(&mut self, at: SimTime, client: u32, action: &'static str, detail: u64) {
+        if !self.on {
+            return;
+        }
+        let ids = self.ids();
+        self.registry.inc(ids.c_shed, 1);
+        self.alerts.push(Alert::FaultRecovery { at, client, action, detail });
+    }
+
+    /// The token-hold watchdog revoked a stalled holder's token.
+    pub fn on_watchdog_revoke(&mut self, at: SimTime, client: u32, stalled_us: u64) {
+        if !self.on {
+            return;
+        }
+        let ids = self.ids();
+        self.registry.inc(ids.c_watchdog, 1);
+        self.alerts.push(Alert::FaultRecovery {
+            at,
+            client,
+            action: "watchdog-revoke",
+            detail: stalled_us,
+        });
     }
 
     /// A quantum was flushed for `client`: feeds the quantum histogram,

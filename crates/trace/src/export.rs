@@ -190,6 +190,52 @@ pub fn chrome_trace(trace: &Trace, meta: &TraceMeta) -> Value {
                         ("long_ppm".into(), Value::UInt(long_ppm)),
                     ]));
             }
+            TraceKind::KernelFault { job, client, device, node, attempt } => {
+                let mut args = job_arg(job);
+                args.push(("device".into(), Value::UInt(u64::from(device))));
+                args.push(("node".into(), Value::UInt(u64::from(node))));
+                args.push(("attempt".into(), Value::UInt(u64::from(attempt))));
+                rows.push(row(u64::from(client), e.at.as_nanos(), None,
+                    "kernel-fault".into(), "fault", args));
+            }
+            TraceKind::AllocFault { client, attempt } => {
+                rows.push(row(u64::from(client), e.at.as_nanos(), None,
+                    "alloc-fault".into(), "fault",
+                    vec![("attempt".into(), Value::UInt(u64::from(attempt)))]));
+            }
+            TraceKind::RetryScheduled { job, client, node, attempt, delay } => {
+                let mut args = Vec::new();
+                if job != u64::MAX {
+                    args.push(("job".into(), Value::UInt(job)));
+                    args.push(("node".into(), Value::UInt(u64::from(node))));
+                }
+                args.push(("attempt".into(), Value::UInt(u64::from(attempt))));
+                args.push(("backoff_us".into(), us(delay.as_nanos())));
+                rows.push(row(u64::from(client), e.at.as_nanos(), None,
+                    "retry-scheduled".into(), "recovery", args));
+            }
+            TraceKind::BreakerTransition { client, state } => {
+                rows.push(row(u64::from(client), e.at.as_nanos(), None,
+                    format!("breaker-{state}"), "recovery", Vec::new()));
+            }
+            TraceKind::WatchdogRevoke { job, client, stalled_us } => {
+                let mut args = job_arg(job);
+                args.push(("stalled_us".into(), Value::UInt(stalled_us)));
+                rows.push(row(u64::from(client), e.at.as_nanos(), None,
+                    "watchdog-revoke".into(), "recovery", args));
+            }
+            TraceKind::DeviceStall { device, until_us } => {
+                rows.push(Row {
+                    pid: GPUS_PID,
+                    tid: u64::from(device),
+                    ts_ns: e.at.as_nanos(),
+                    dur_ns: None,
+                    name: "device-stall".into(),
+                    cat: "fault",
+                    args: vec![("until_us".into(), Value::UInt(until_us))],
+                    seq: e.seq,
+                });
+            }
         }
     }
 

@@ -106,6 +106,9 @@ pub enum SwitchReason {
     QuantumExpired,
     /// A wall-clock quantum timer fired (the Figure 19 ablation meter).
     WallClockTimer,
+    /// The token-hold watchdog revoked a holder whose GPU progress had
+    /// stalled past its patience window (faults/recovery layer).
+    WatchdogStall,
 }
 
 impl SwitchReason {
@@ -116,6 +119,7 @@ impl SwitchReason {
             SwitchReason::Deregister => "deregister",
             SwitchReason::QuantumExpired => "quantum-expired",
             SwitchReason::WallClockTimer => "wall-clock-timer",
+            SwitchReason::WatchdogStall => "watchdog-stall",
         }
     }
 }
@@ -303,6 +307,65 @@ pub enum TraceKind {
         /// Long-window burn rate, ×1e6.
         long_ppm: u64,
     },
+    /// A kernel launch transiently failed (injected fault).
+    KernelFault {
+        /// The launching job.
+        job: u64,
+        /// Its owner.
+        client: u32,
+        /// Target device.
+        device: u32,
+        /// Graph node of the kernel.
+        node: u32,
+        /// 0-based attempt that failed.
+        attempt: u32,
+    },
+    /// A memory reservation transiently failed during admission
+    /// (injected fault).
+    AllocFault {
+        /// The affected client.
+        client: u32,
+        /// 0-based admission attempt that failed.
+        attempt: u32,
+    },
+    /// A retry was scheduled after deterministic exponential backoff.
+    RetryScheduled {
+        /// The retrying job (`u64::MAX` for an admission retry, which has
+        /// no job yet).
+        job: u64,
+        /// Its owner.
+        client: u32,
+        /// Graph node being retried (`u32::MAX` for admission).
+        node: u32,
+        /// 0-based attempt the retry will make.
+        attempt: u32,
+        /// Backoff delay until the retry.
+        delay: SimDuration,
+    },
+    /// A client's circuit breaker changed state.
+    BreakerTransition {
+        /// The client the breaker guards.
+        client: u32,
+        /// New breaker state, kebab-case ("closed"/"open"/"half-open").
+        state: &'static str,
+    },
+    /// The token-hold watchdog revoked the token from a stalled holder;
+    /// the stall is charged to the holder like an overflow kernel.
+    WatchdogRevoke {
+        /// The stalled (now revoked) holder.
+        job: u64,
+        /// Its owner.
+        client: u32,
+        /// How long the holder had made no GPU progress, µs.
+        stalled_us: u64,
+    },
+    /// The device entered a planned stall window (injected fault).
+    DeviceStall {
+        /// The stalled device.
+        device: u32,
+        /// Window end, µs since run start.
+        until_us: u64,
+    },
 }
 
 impl TraceKind {
@@ -333,9 +396,14 @@ impl TraceKind {
             | TraceKind::KernelEnqueue { client, .. }
             | TraceKind::KernelLaunch { client, .. }
             | TraceKind::KernelComplete { client, .. }
-            | TraceKind::DriftAlert { client, .. } => Some(client),
+            | TraceKind::DriftAlert { client, .. }
+            | TraceKind::KernelFault { client, .. }
+            | TraceKind::AllocFault { client, .. }
+            | TraceKind::RetryScheduled { client, .. }
+            | TraceKind::BreakerTransition { client, .. }
+            | TraceKind::WatchdogRevoke { client, .. } => Some(client),
             TraceKind::TokenRevoke { client, .. } | TraceKind::TokenGrant { client, .. } => client,
-            TraceKind::SloBurnAlert { .. } => None,
+            TraceKind::SloBurnAlert { .. } | TraceKind::DeviceStall { .. } => None,
         }
     }
 }
@@ -416,6 +484,34 @@ impl fmt::Display for TraceEvent {
                 f,
                 "slo burn alert objective{slo} (short {short_ppm}ppm, long {long_ppm}ppm)"
             ),
+            TraceKind::KernelFault { job, client, device, node, attempt } => write!(
+                f,
+                "kernel fault job{job} node{node} (client{client}, gpu{device}, attempt {attempt})"
+            ),
+            TraceKind::AllocFault { client, attempt } => {
+                write!(f, "alloc fault client{client} (attempt {attempt})")
+            }
+            TraceKind::RetryScheduled { job, client, node, attempt, delay } => {
+                if job == u64::MAX {
+                    write!(f, "admission retry client{client} (attempt {attempt}, backoff {delay})")
+                } else {
+                    write!(
+                        f,
+                        "retry job{job} node{node} (client{client}, attempt {attempt}, \
+                         backoff {delay})"
+                    )
+                }
+            }
+            TraceKind::BreakerTransition { client, state } => {
+                write!(f, "breaker {state} client{client}")
+            }
+            TraceKind::WatchdogRevoke { job, client, stalled_us } => write!(
+                f,
+                "watchdog revoke job{job} (client{client}, stalled {stalled_us}us)"
+            ),
+            TraceKind::DeviceStall { device, until_us } => {
+                write!(f, "device stall gpu{device} (until {until_us}us)")
+            }
         }
     }
 }

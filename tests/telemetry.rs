@@ -94,6 +94,47 @@ fn telemetry_exports_are_byte_identical_across_job_counts() {
     );
 }
 
+/// The fault-recovery counters are first-class registry members: they show
+/// up in both exporters even for a healthy run (at zero), and count real
+/// events when a fault plan is active.
+#[test]
+fn fault_recovery_counters_flow_through_both_exporters() {
+    const KEYS: [&str; 6] = [
+        "faults_kernel",
+        "faults_alloc",
+        "kernel_retries",
+        "breaker_open_events",
+        "clients_shed",
+        "watchdog_revocations",
+    ];
+
+    let cfg = EngineConfig::default().with_telemetry(TelemetryConfig::enabled(INTERVAL));
+    let store = store_for(&cfg);
+    let mut sched =
+        OlympianScheduler::new(Arc::clone(&store), Box::new(RoundRobin::new()), QUANTUM);
+    let healthy = run_experiment(&cfg, clients(), &mut sched);
+    let prom = healthy.prometheus_text();
+    let jsonl = healthy.telemetry_jsonl();
+    for key in KEYS {
+        assert!(healthy.telemetry.counter(key).is_some(), "{key} not registered");
+        assert!(prom.contains(&format!("olympian_{key} 0")), "{key} missing in prom");
+        assert!(jsonl.contains(&format!("\"{key}\":0")), "{key} missing in jsonl");
+    }
+
+    let plan = serving::faults::FaultPlan::new().with_kernel_failures(0.05);
+    let cfg = cfg.with_faults(serving::faults::FaultConfig::new(plan));
+    let mut sched = OlympianScheduler::new(store, Box::new(RoundRobin::new()), QUANTUM);
+    let faulted = run_experiment(&cfg, clients(), &mut sched);
+    let faults = faulted.telemetry.counter("faults_kernel").expect("registered");
+    assert!(faults > 0, "plan must fire");
+    assert!(faulted
+        .prometheus_text()
+        .contains(&format!("olympian_faults_kernel {faults}")));
+    assert!(faulted
+        .telemetry_jsonl()
+        .contains(&format!("\"faults_kernel\":{faults}")));
+}
+
 #[test]
 fn drifting_deployment_alerts_in_report_stream_and_timeline() {
     let report = drifted_run();
