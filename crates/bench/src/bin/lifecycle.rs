@@ -1,0 +1,8 @@
+//! Model-lifecycle suite. See `bench::figs::lifecycle`.
+
+fn main() {
+    let out = bench::figs::lifecycle::run();
+    print!("{out}");
+    let path = bench::save_result("lifecycle.txt", &out);
+    eprintln!("(saved to {})", path.display());
+}

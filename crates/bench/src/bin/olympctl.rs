@@ -14,6 +14,7 @@
 //! olympctl metrics <experiment> [--interval-us N] [--out telemetry.jsonl]
 //!                  [--prom metrics.prom]
 //! olympctl chaos   <scenario>   [--scheduler olympian|fifo|both]
+//! olympctl lifecycle <scenario>
 //! ```
 //!
 //! `trace` runs a named experiment (see `bench::traced::traced_registry`)
@@ -30,6 +31,12 @@
 //! `bench::figs::chaos::scenarios`) with the full recovery stack on —
 //! retries with backoff, circuit breaking and the token-hold watchdog —
 //! against its fault-free twin, and prints the resilience comparison.
+//!
+//! `lifecycle` runs a named model-lifecycle scenario (see
+//! `bench::figs::lifecycle::scenarios`): `churn` exercises
+//! memory-budgeted eviction and reload of versioned models, `canary`
+//! rolls out a version 2 both healthy (promoted) and regressed (rolled
+//! back).
 
 use olympian::{
     DeficitRoundRobin, Lottery, MultiGpuScheduler, OlympianScheduler, Policy, Priority,
@@ -52,6 +59,7 @@ fn usage() -> ExitCode {
          olympctl metrics <experiment> [--interval-us <n>] [--out <telemetry.jsonl>]\n                   \
          [--prom <metrics.prom>]\n  \
          olympctl chaos <scenario> [--scheduler <olympian|fifo|both>]\n  \
+         olympctl lifecycle <scenario>\n  \
          any command also accepts --jobs <n> (worker threads for parallel\n  \
          sweeps; default: all cores, or OLYMPIAN_JOBS)"
     );
@@ -415,6 +423,25 @@ fn cmd_chaos(name: &str, flags: &HashMap<String, String>) -> Result<(), String> 
     Ok(())
 }
 
+fn cmd_lifecycle(name: &str) -> Result<(), String> {
+    match bench::figs::lifecycle::scenario_report(name) {
+        Some(report) => {
+            print!("{report}");
+            Ok(())
+        }
+        None => {
+            let names: Vec<&str> = bench::figs::lifecycle::scenarios()
+                .iter()
+                .map(|s| s.name)
+                .collect();
+            Err(format!(
+                "unknown lifecycle scenario {name:?}; available: {}",
+                names.join(", ")
+            ))
+        }
+    }
+}
+
 fn print_run(report: &serving::RunReport, sched: &OlympianScheduler) {
     print_report(report);
     println!("token switches : {}", sched.switches());
@@ -441,9 +468,13 @@ fn main() -> ExitCode {
     let Some(cmd) = args.first() else {
         return usage();
     };
-    // `trace`, `metrics` and `chaos` take one positional argument (the
-    // experiment or scenario) before flags.
-    let (positional, flag_args) = if cmd == "trace" || cmd == "metrics" || cmd == "chaos" {
+    // `trace`, `metrics`, `chaos` and `lifecycle` take one positional
+    // argument (the experiment or scenario) before flags.
+    let (positional, flag_args) = if cmd == "trace"
+        || cmd == "metrics"
+        || cmd == "chaos"
+        || cmd == "lifecycle"
+    {
         match args.get(1) {
             Some(a) if !a.starts_with("--") => (Some(a.clone()), &args[2..]),
             _ => {
@@ -482,6 +513,7 @@ fn main() -> ExitCode {
         "trace" => cmd_trace(positional.as_deref().expect("positional parsed"), &flags),
         "metrics" => cmd_metrics(positional.as_deref().expect("positional parsed"), &flags),
         "chaos" => cmd_chaos(positional.as_deref().expect("positional parsed"), &flags),
+        "lifecycle" => cmd_lifecycle(positional.as_deref().expect("positional parsed")),
         _ => {
             return usage();
         }

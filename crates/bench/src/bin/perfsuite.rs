@@ -22,7 +22,12 @@
 //! * the fault-injection guardrail: engine throughput with fault injection
 //!   off (`cfg.faults = None`) and with a live chaos plan, with a hard
 //!   assert that the off-mode rate stays within noise of the PR 3
-//!   reference (fault hooks must cost one predicted branch when off).
+//!   reference (fault hooks must cost one predicted branch when off);
+//! * the lifecycle guardrail: engine throughput with the model-lifecycle
+//!   manager off (`cfg.lifecycle = None`) and with every run routed
+//!   through a managed deployment, with a hard assert that the off-mode
+//!   rate stays within noise of the PR 4 reference (an unmanaged engine
+//!   must not pay for version routing).
 //!
 //! ```text
 //! perfsuite [--smoke] [--jobs N] [--out path]
@@ -72,6 +77,12 @@ const PR2_ENGINE_OLYMPIAN_EPS: f64 = 4_670_088.0;
 /// compares against.
 const PR3_ENGINE_FIFO_EPS: f64 = 4_945_747.0;
 const PR3_ENGINE_OLYMPIAN_EPS: f64 = 4_670_088.0;
+
+/// PR 4 reference numbers (this suite's own `BENCH_engine.json` before the
+/// lifecycle manager landed) — the baseline the lifecycle-off guardrail
+/// compares against.
+const PR4_ENGINE_FIFO_EPS: f64 = 4_653_017.0;
+const PR4_ENGINE_OLYMPIAN_EPS: f64 = 4_857_083.0;
 
 /// Guardrail: tracing-off throughput must stay above this fraction of the
 /// PR 1 reference. Generous, to absorb machine and run-to-run noise — the
@@ -392,6 +403,64 @@ fn faults_section(off_eps: f64) -> Value {
     ])
 }
 
+/// Measures the Olympian engine config with the lifecycle manager routing
+/// every run through a managed single-version deployment, and asserts the
+/// off rate (measured by `engine_section`, since `cfg.lifecycle` defaults
+/// to `None`) is within noise of the PR 4 reference.
+///
+/// # Panics
+///
+/// Panics if lifecycle-disabled engine throughput falls below
+/// `TRACE_OFF_NOISE_FLOOR` x the PR 4 reference — an unmanaged engine must
+/// not pay for the lifecycle layer.
+fn lifecycle_section(off_eps: f64) -> Value {
+    use serving::lifecycle::{DeploymentPlan, LifecycleConfig, ModelDeployment};
+    let model = models::mini::small(4);
+    let base = EngineConfig::default();
+    let plan = DeploymentPlan::new()
+        .with_model(ModelDeployment::new(model.name(), model.clone()));
+    let store = Arc::new(ProfileStore::new());
+    let binder = olympian::StoreBinder::calibrate(&base, &plan, Arc::clone(&store));
+    let cfg = base.with_lifecycle(LifecycleConfig::new(plan).with_binder(binder));
+    let sched = || {
+        OlympianScheduler::new(
+            Arc::clone(&store),
+            Box::new(RoundRobin::new()),
+            SimDuration::from_micros(200),
+        )
+    };
+    let probe = run_experiment(&cfg, engine_clients(4, 2), &mut sched());
+    let m = harness::run("engine_olympian/lifecycle=on", || {
+        black_box(run_experiment(&cfg, engine_clients(4, 2), &mut sched()))
+    });
+    let on_eps = m.per_second() * probe.event_count as f64;
+    let off_vs_pr4 = off_eps / PR4_ENGINE_OLYMPIAN_EPS;
+    println!(
+        "  -> lifecycle: off {off_eps:.0} events/s ({off_vs_pr4:.2}x PR 4 reference), \
+         managed {on_eps:.0}"
+    );
+    assert!(
+        off_vs_pr4 >= TRACE_OFF_NOISE_FLOOR,
+        "lifecycle-disabled engine throughput {off_eps:.0} events/s fell below \
+         {TRACE_OFF_NOISE_FLOOR}x the PR 4 reference {PR4_ENGINE_OLYMPIAN_EPS:.0} — \
+         the lifecycle layer is no longer free when off"
+    );
+    Value::Object(vec![
+        (
+            "pr4_reference_events_per_sec".into(),
+            Value::Object(vec![
+                ("fifo".into(), Value::Float(PR4_ENGINE_FIFO_EPS)),
+                ("olympian".into(), Value::Float(PR4_ENGINE_OLYMPIAN_EPS)),
+            ]),
+        ),
+        ("off_events_per_sec".into(), Value::Float(off_eps)),
+        ("on_events_per_sec".into(), Value::Float(on_eps)),
+        ("off_vs_pr4".into(), Value::Float(off_vs_pr4)),
+        ("noise_floor".into(), Value::Float(TRACE_OFF_NOISE_FLOOR)),
+        ("on_cost".into(), Value::Float(1.0 - on_eps / off_eps.max(1e-9))),
+    ])
+}
+
 /// Returns the section plus the measured wall clock (0 in smoke mode).
 fn suite_section(smoke: bool, jobs: usize) -> (Value, f64) {
     if smoke {
@@ -517,6 +586,7 @@ fn main() -> ExitCode {
     let tracing = tracing_section(oly_eps);
     let telemetry = telemetry_section(oly_eps);
     let faults = faults_section(oly_eps);
+    let lifecycle = lifecycle_section(oly_eps);
     let (suite, suite_secs) = suite_section(smoke, jobs);
     let seed_reference = seed_reference_section(fifo_eps, oly_eps, suite_secs);
 
@@ -529,6 +599,7 @@ fn main() -> ExitCode {
         ("tracing".into(), tracing),
         ("telemetry".into(), telemetry),
         ("faults".into(), faults),
+        ("lifecycle".into(), lifecycle),
         ("suite".into(), suite),
         ("seed_reference".into(), seed_reference),
     ]);

@@ -1,0 +1,362 @@
+//! Model-lifecycle suite: memory-budgeted churn and canary rollouts.
+//!
+//! Two scenarios exercise the lifecycle manager end to end under load:
+//!
+//! * **churn** — six single-version deployments share a device whose
+//!   memory fits only [`CHURN_RESIDENT`] weight sets. Staggered open-loop
+//!   clients keep every service active, so the manager continuously
+//!   evicts the cheapest idle resident version (cost-aware LRU) and
+//!   reloads it on demand — without ever exceeding the device budget.
+//! * **canary** — one deployment publishes version 2 mid-run. The rollout
+//!   controller splits traffic deterministically (every stride-th run to
+//!   the candidate), then promotes a healthy candidate and rolls back a
+//!   regressed one on the mean-latency gate.
+//!
+//! Every run is a deterministic simulation with per-version cost profiles
+//! wired through [`StoreBinder`], so the report is byte-identical across
+//! `--jobs N`.
+
+use crate::figs::fair;
+use crate::banner;
+use metrics::table::render_table;
+use models::LoadedModel;
+use olympian::{ProfileStore, StoreBinder};
+use serving::lifecycle::{CanaryConfig, DeploymentPlan, LifecycleConfig, ModelDeployment};
+use serving::{run_experiment, ClientSpec, EngineConfig, RunReport, TraceConfig};
+use simtime::{SimDuration, SimTime};
+use std::sync::Arc;
+use telemetry::TelemetryConfig;
+
+/// Deployments in the churn scenario.
+pub const CHURN_SERVICES: usize = 6;
+/// Whole weight sets the churn device budget fits (< [`CHURN_SERVICES`],
+/// so eviction must fire for every client to finish).
+pub const CHURN_RESIDENT: u64 = 3;
+/// Scheduling quantum for the Olympian runs.
+const QUANTUM: SimDuration = SimDuration::from_micros(200);
+/// Telemetry snapshot cadence.
+const CADENCE: SimDuration = SimDuration::from_micros(500);
+/// Batches per churn client.
+const CHURN_BATCHES: u32 = 4;
+/// Think time between a churn client's batches: long enough for its
+/// version to go idle (and become evictable) while other services run.
+const CHURN_THINK: SimDuration = SimDuration::from_micros(800);
+/// Stagger between churn client start times.
+const CHURN_STAGGER: SimDuration = SimDuration::from_micros(150);
+/// Clients of the canaried service.
+const CANARY_CLIENTS: usize = 3;
+/// Batches per canary client.
+const CANARY_BATCHES: u32 = 16;
+/// When version 2 of the canaried service is published.
+const CANARY_PUBLISH: SimTime = SimTime::from_micros(500);
+/// Canary split/gate parameters: every 3rd run to the candidate, decide
+/// after 4 completed runs per arm, promote within 25% of the incumbent.
+const CANARY: CanaryConfig = CanaryConfig { stride: 3, min_runs: 4, tolerance: 0.25 };
+
+/// A named lifecycle scenario (`olympctl lifecycle <name>`).
+pub struct Scenario {
+    /// Stable name.
+    pub name: &'static str,
+    /// One-line description for the report.
+    pub caption: &'static str,
+}
+
+/// The scenario catalogue.
+pub fn scenarios() -> Vec<Scenario> {
+    vec![
+        Scenario {
+            name: "churn",
+            caption: "6 services share memory that fits 3 weight sets; evict + reload on demand",
+        },
+        Scenario {
+            name: "canary",
+            caption: "version 2 published mid-run; promote when healthy, roll back when regressed",
+        },
+    ]
+}
+
+/// Looks up a scenario by name.
+pub fn scenario(name: &str) -> Option<Scenario> {
+    scenarios().into_iter().find(|s| s.name == name)
+}
+
+/// Rebadges a mini zoo model as the named service (same graph, weights
+/// and batch). `regressed` picks a much heavier graph — the unhealthy
+/// canary candidate.
+fn service(name: &str, regressed: bool) -> LoadedModel {
+    let m = if regressed { models::mini::small(4) } else { models::mini::tiny(4) };
+    LoadedModel::from_parts(
+        name,
+        None,
+        m.batch(),
+        Arc::clone(m.graph()),
+        m.weights_bytes(),
+        m.activation_bytes(),
+    )
+}
+
+/// Device memory budget of the churn scenario: [`CHURN_RESIDENT`] weight
+/// sets plus headroom for every client's activations.
+pub fn churn_budget() -> u64 {
+    let m = service("probe", false);
+    CHURN_RESIDENT * m.weights_bytes()
+        + CHURN_SERVICES as u64 * m.activation_bytes()
+        + (64 << 10)
+}
+
+fn churn_name(i: usize) -> String {
+    format!("svc-{i}")
+}
+
+/// An engine + profile store with the lifecycle manager on: the store
+/// starts empty and is populated per-version by the calibrated binder as
+/// the manager loads and unloads versions.
+fn lifecycle_cfg(mut cfg: EngineConfig, plan: DeploymentPlan) -> (EngineConfig, Arc<ProfileStore>) {
+    cfg = cfg
+        .with_trace(TraceConfig::sampled())
+        .with_telemetry(TelemetryConfig::enabled(CADENCE));
+    let store = Arc::new(ProfileStore::new());
+    let binder = StoreBinder::calibrate(&cfg, &plan, Arc::clone(&store));
+    let lc = LifecycleConfig::new(plan).with_canary(CANARY).with_binder(binder);
+    (cfg.with_lifecycle(lc), store)
+}
+
+/// Runs the churn scenario: more deployments than fit, staggered
+/// open-loop clients, cost-aware eviction keeping residency under budget.
+pub fn churn_report() -> RunReport {
+    let mut plan = DeploymentPlan::new();
+    for i in 0..CHURN_SERVICES {
+        let name = churn_name(i);
+        plan = plan.with_model(ModelDeployment::new(name.clone(), service(&name, false)));
+    }
+    let device = gpusim::DeviceProfile::custom("lifecycle-lab", 1.0, churn_budget(), 8, 0.0);
+    let cfg = EngineConfig { device, ..EngineConfig::default() };
+    let (cfg, store) = lifecycle_cfg(cfg, plan);
+    let clients: Vec<ClientSpec> = (0..CHURN_SERVICES)
+        .map(|i| {
+            ClientSpec::new(service(&churn_name(i), false), CHURN_BATCHES)
+                .with_start(SimTime::ZERO + CHURN_STAGGER.mul_f64(i as f64))
+                .with_think_time(CHURN_THINK)
+        })
+        .collect();
+    let mut sched = fair(store, QUANTUM);
+    run_experiment(&cfg, clients, &mut sched)
+}
+
+/// Runs the canary scenario. `regressed` publishes a version-2 graph that
+/// is far heavier than version 1, so the mean-latency gate rolls it back;
+/// otherwise version 2 matches version 1 and is promoted.
+pub fn canary_report(regressed: bool) -> RunReport {
+    let plan = DeploymentPlan::new().with_model(
+        ModelDeployment::new("svc", service("svc", false))
+            .with_version(service("svc", regressed), CANARY_PUBLISH),
+    );
+    let (cfg, store) = lifecycle_cfg(EngineConfig::default(), plan);
+    let clients =
+        vec![ClientSpec::new(service("svc", false), CANARY_BATCHES); CANARY_CLIENTS];
+    let mut sched = fair(store, QUANTUM);
+    run_experiment(&cfg, clients, &mut sched)
+}
+
+/// Headline numbers of one lifecycle run.
+#[derive(Debug, Clone, Copy)]
+pub struct Outcome {
+    /// Clients that finished every batch.
+    pub finished: usize,
+    /// Version loads (initial loads plus reloads after eviction).
+    pub loads: u64,
+    /// Warm-up runs executed by freshly loaded versions.
+    pub warmups: u64,
+    /// Memory-pressure evictions of idle versions.
+    pub evictions: u64,
+    /// Versions unloaded (drained rollouts and evictions combined).
+    pub unloads: u64,
+    /// Drains started (version retirements that waited for in-flight runs).
+    pub drains: u64,
+    /// Canary candidates promoted.
+    pub promotions: u64,
+    /// Canary candidates rolled back.
+    pub rollbacks: u64,
+    /// Peak device memory in use, bytes.
+    pub peak_bytes: u64,
+    /// Makespan in seconds.
+    pub makespan_s: f64,
+}
+
+/// Summarises a lifecycle run from its telemetry counters.
+pub fn outcome(r: &RunReport) -> Outcome {
+    let c = |name: &str| r.telemetry.counter(name).unwrap_or(0);
+    Outcome {
+        finished: r.finished_count(),
+        loads: c("versions_loaded"),
+        warmups: c("warmup_runs"),
+        evictions: c("versions_evicted"),
+        unloads: c("versions_unloaded"),
+        drains: c("drains_started"),
+        promotions: c("canary_promotions"),
+        rollbacks: c("canary_rollbacks"),
+        peak_bytes: r.peak_memory,
+        makespan_s: r.makespan.as_secs_f64(),
+    }
+}
+
+fn row(label: &str, clients: usize, o: &Outcome) -> Vec<String> {
+    vec![
+        label.to_string(),
+        format!("{}/{}", o.finished, clients),
+        format!("{}", o.loads),
+        format!("{}", o.warmups),
+        format!("{}", o.evictions),
+        format!("{}", o.unloads),
+        format!("{}", o.drains),
+        format!("{}", o.promotions),
+        format!("{}", o.rollbacks),
+        format!("{:.1}", o.peak_bytes as f64 / (1 << 20) as f64),
+        format!("{:.3}", o.makespan_s),
+    ]
+}
+
+/// Formats one scenario's section for `olympctl lifecycle <name>`.
+/// Returns `None` for unknown names.
+pub fn scenario_report(name: &str) -> Option<String> {
+    let s = scenario(name)?;
+    let mut out = format!("scenario       : {} — {}\n", s.name, s.caption);
+    match name {
+        "churn" => {
+            let o = outcome(&churn_report());
+            out.push_str(&format!(
+                "finished       : {}/{CHURN_SERVICES}\n\
+                 loads          : {} ({} reloads after eviction)\n\
+                 evictions      : {}\nwarm-up runs   : {}\n\
+                 peak memory    : {:.1} MB (budget {:.1} MB)\n\
+                 makespan       : {:.3} s\n",
+                o.finished,
+                o.loads,
+                o.loads.saturating_sub(CHURN_SERVICES as u64),
+                o.evictions,
+                o.warmups,
+                o.peak_bytes as f64 / (1 << 20) as f64,
+                churn_budget() as f64 / (1 << 20) as f64,
+                o.makespan_s,
+            ));
+        }
+        "canary" => {
+            for (label, regressed) in [("healthy", false), ("regressed", true)] {
+                let o = outcome(&canary_report(regressed));
+                out.push_str(&format!(
+                    "--- {label} candidate ---\n\
+                     finished       : {}/{CANARY_CLIENTS}\n\
+                     promotions     : {}\nrollbacks      : {}\n\
+                     drains         : {}\nmakespan       : {:.3} s\n",
+                    o.finished, o.promotions, o.rollbacks, o.drains, o.makespan_s,
+                ));
+            }
+        }
+        _ => unreachable!("scenario() vetted the name"),
+    }
+    Some(out)
+}
+
+/// Runs the whole suite and returns the report text.
+pub fn run() -> String {
+    let mut out = banner(
+        "Lifecycle",
+        "Versioned registry, memory-budgeted residency and canary rollouts",
+    );
+    let churn = outcome(&churn_report());
+    let healthy = outcome(&canary_report(false));
+    let regressed = outcome(&canary_report(true));
+    let rows = vec![
+        row("churn", CHURN_SERVICES, &churn),
+        row("canary-healthy", CANARY_CLIENTS, &healthy),
+        row("canary-regressed", CANARY_CLIENTS, &regressed),
+    ];
+    out.push_str(&render_table(
+        &[
+            "scenario", "finished", "loads", "warmups", "evict", "unload", "drain",
+            "promote", "rollback", "peak (MB)", "makespan (s)",
+        ],
+        &rows,
+    ));
+    out.push('\n');
+
+    let churn_pass = churn.finished == CHURN_SERVICES
+        && churn.evictions >= 1
+        && churn.loads > CHURN_SERVICES as u64
+        && churn.peak_bytes <= churn_budget();
+    out.push_str(&format!(
+        "churn            {} — {} loads over {} services under a {}-set budget \
+         ({} evictions, peak {:.1} of {:.1} MB)\n",
+        if churn_pass { "PASS" } else { "FAIL" },
+        churn.loads,
+        CHURN_SERVICES,
+        CHURN_RESIDENT,
+        churn.evictions,
+        churn.peak_bytes as f64 / (1 << 20) as f64,
+        churn_budget() as f64 / (1 << 20) as f64,
+    ));
+    let healthy_pass =
+        healthy.finished == CANARY_CLIENTS && healthy.promotions == 1 && healthy.rollbacks == 0;
+    out.push_str(&format!(
+        "canary-healthy   {} — candidate within {:.0}% of the incumbent is promoted \
+         ({} promotion, {} rollbacks, {} drain)\n",
+        if healthy_pass { "PASS" } else { "FAIL" },
+        CANARY.tolerance * 100.0,
+        healthy.promotions,
+        healthy.rollbacks,
+        healthy.drains,
+    ));
+    let regressed_pass = regressed.finished == CANARY_CLIENTS
+        && regressed.rollbacks == 1
+        && regressed.promotions == 0;
+    out.push_str(&format!(
+        "canary-regressed {} — heavier candidate breaches the latency gate and is \
+         rolled back ({} rollback, {} promotions)\n",
+        if regressed_pass { "PASS" } else { "FAIL" },
+        regressed.rollbacks,
+        regressed.promotions,
+    ));
+    out.push_str(&format!(
+        "\nlifecycle band: {}. The manager never exceeds the device budget, keeps \
+         every client servable through eviction churn, and gates version 2 on \
+         observed run latency.\n",
+        if churn_pass && healthy_pass && regressed_pass { "PASS" } else { "FAIL" }
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_scenario_is_known() {
+        for s in scenarios() {
+            assert!(scenario(s.name).is_some());
+        }
+        assert!(scenario("no-such-scenario").is_none());
+        assert!(scenario_report("no-such-scenario").is_none());
+    }
+
+    #[test]
+    fn churn_evicts_and_reloads_under_budget() {
+        let r = churn_report();
+        let o = outcome(&r);
+        assert!(r.all_finished(), "every churn client must finish");
+        assert!(o.evictions >= 1, "memory pressure must evict ({o:?})");
+        assert!(
+            o.loads > CHURN_SERVICES as u64,
+            "evicted services must reload on demand ({o:?})"
+        );
+        assert!(o.peak_bytes <= churn_budget(), "budget breached ({o:?})");
+    }
+
+    #[test]
+    fn canary_gate_promotes_healthy_and_rolls_back_regressed() {
+        let h = outcome(&canary_report(false));
+        assert_eq!((h.promotions, h.rollbacks), (1, 0), "healthy: {h:?}");
+        let r = outcome(&canary_report(true));
+        assert_eq!((r.promotions, r.rollbacks), (0, 1), "regressed: {r:?}");
+        assert_eq!(r.finished, CANARY_CLIENTS);
+    }
+}

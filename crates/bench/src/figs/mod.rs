@@ -20,6 +20,7 @@ pub mod fig18;
 pub mod fig19;
 pub mod fig20;
 pub mod fig21;
+pub mod lifecycle;
 pub mod motivation;
 pub mod multi_gpu;
 pub mod overhead;
@@ -72,6 +73,7 @@ pub fn registry() -> Vec<Experiment> {
         ("motivation", motivation::run),
         ("robustness", robustness::run),
         ("chaos", chaos::run),
+        ("lifecycle", lifecycle::run),
     ]
 }
 

@@ -138,6 +138,12 @@ pub fn run() -> String {
                     "  {at}  recovery  client {client}: {action} ({detail})\n"
                 ));
             }
+            Alert::Rollout { at, model, version, action, cand_us, base_us } => {
+                out.push_str(&format!(
+                    "  {at}  rollout   {model}@v{version}: {action} \
+                     (candidate {cand_us}us vs incumbent {base_us}us)\n"
+                ));
+            }
         }
     }
 

@@ -191,6 +191,51 @@ mod tests {
     }
 
     #[test]
+    fn exact_fit_fills_the_pool() {
+        let mut pool = MemoryPool::new(100);
+        let a = pool.alloc(100).unwrap();
+        assert_eq!(pool.available(), 0);
+        assert_eq!(pool.used(), pool.capacity());
+        // A zero-byte allocation still fits a full pool.
+        let z = pool.alloc(0).unwrap();
+        assert_eq!(z.bytes(), 0);
+        assert!(pool.alloc(1).is_err());
+        pool.free(a);
+        pool.free(z);
+        assert_eq!(pool.available(), 100);
+    }
+
+    #[test]
+    fn free_then_reuse_keeps_accounting_exact() {
+        let mut pool = MemoryPool::new(100);
+        let a = pool.alloc(40).unwrap();
+        let b = pool.alloc(40).unwrap();
+        pool.free(a);
+        // The freed 40 bytes are immediately reusable; ids never repeat.
+        let c = pool.alloc(50).unwrap();
+        assert_eq!(pool.used(), 90);
+        assert_eq!(pool.peak(), 90);
+        pool.free(b);
+        pool.free(c);
+        assert_eq!(pool.used(), 0);
+        assert_eq!(pool.peak(), 90);
+    }
+
+    #[test]
+    fn memory_error_displays_request_and_availability() {
+        let mut pool = MemoryPool::new(64);
+        let _a = pool.alloc(50).unwrap();
+        let err = pool.alloc(32).unwrap_err();
+        assert_eq!(
+            err.to_string(),
+            "out of GPU memory: requested 32 bytes, 14 available"
+        );
+        // MemoryError is a real std error with no wrapped source.
+        let dynerr: &dyn std::error::Error = &err;
+        assert!(dynerr.source().is_none());
+    }
+
+    #[test]
     fn transfer_time_scales() {
         let t = MemoryPool::transfer_time(12_000_000_000, 12.0);
         assert_eq!(t, SimDuration::from_secs(1));

@@ -42,6 +42,7 @@
 //! ```
 
 pub mod drift;
+pub mod lifecycle;
 pub mod multi;
 pub mod policy;
 pub mod profile;
@@ -50,6 +51,7 @@ pub mod scheduler;
 pub mod server;
 pub mod threaded;
 
+pub use lifecycle::StoreBinder;
 pub use multi::MultiGpuScheduler;
 pub use policy::{DeficitRoundRobin, Lottery, Policy, Priority, RoundRobin, WeightedFair};
 pub use profile::{ModelProfile, ProfileStore};

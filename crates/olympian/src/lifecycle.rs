@@ -1,0 +1,115 @@
+//! Profile wiring for the model-lifecycle manager: pre-calibrated
+//! per-version cost profiles, registered into the shared [`ProfileStore`]
+//! when a version loads and retired when it unloads.
+//!
+//! The paper's profiler runs *offline* on an idle GPU, so version profiles
+//! cannot be measured mid-simulation. [`StoreBinder::calibrate`] profiles
+//! every version of a deployment plan up front (as the operator would at
+//! model-publish time) and keeps them in a catalog; the lifecycle manager
+//! then calls [`bind`](serving::lifecycle::ProfileBinder::bind) /
+//! [`unbind`](serving::lifecycle::ProfileBinder::unbind) as versions come
+//! and go, which flips the catalog entries into and out of the store's
+//! dynamic section. The Olympian scheduler resolves jobs registered under
+//! versioned names (`"{name}@v{n}"`) against exactly these entries.
+
+use crate::{ModelProfile, ProfileStore, Profiler};
+use serving::lifecycle::{DeploymentPlan, ProfileBinder};
+use serving::EngineConfig;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A [`ProfileBinder`] over a shared [`ProfileStore`]: holds one
+/// pre-calibrated profile per `(versioned name, batch)` and registers or
+/// retires it as the lifecycle manager loads and unloads versions.
+#[derive(Debug)]
+pub struct StoreBinder {
+    store: Arc<ProfileStore>,
+    catalog: HashMap<(String, u64), ModelProfile>,
+}
+
+impl StoreBinder {
+    /// Profiles every version in `plan` on an idle, quiescent device (the
+    /// paper's offline-profiling condition) and returns a binder over
+    /// `store`. Profiles are catalogued under versioned names
+    /// (`"{name}@v{n}"`), matching the names the manager registers jobs
+    /// with.
+    pub fn calibrate(
+        cfg: &EngineConfig,
+        plan: &DeploymentPlan,
+        store: Arc<ProfileStore>,
+    ) -> Arc<StoreBinder> {
+        let profiler = Profiler::new(cfg);
+        let mut catalog = HashMap::new();
+        for dep in &plan.models {
+            for (k, spec) in dep.versions.iter().enumerate() {
+                let mut p = profiler.profile(&spec.model);
+                p.model = format!("{}@v{}", dep.name, k + 1);
+                catalog.insert((p.model.clone(), p.batch), p);
+            }
+        }
+        Arc::new(StoreBinder { store, catalog })
+    }
+
+    /// Number of catalogued version profiles.
+    pub fn len(&self) -> usize {
+        self.catalog.len()
+    }
+
+    /// Whether the catalog is empty.
+    pub fn is_empty(&self) -> bool {
+        self.catalog.is_empty()
+    }
+}
+
+impl ProfileBinder for StoreBinder {
+    fn bind(&self, versioned_name: &str, batch: u64) {
+        if let Some(p) = self.catalog.get(&(versioned_name.to_string(), batch)) {
+            self.store.register_dynamic(p.clone());
+        }
+    }
+
+    fn unbind(&self, versioned_name: &str, batch: u64) {
+        self.store.retire_dynamic(versioned_name, batch);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serving::lifecycle::ModelDeployment;
+    use simtime::SimTime;
+
+    fn named(name: &str) -> models::LoadedModel {
+        let m = models::mini::tiny(4);
+        models::LoadedModel::from_parts(
+            name,
+            None,
+            m.batch(),
+            Arc::clone(m.graph()),
+            m.weights_bytes(),
+            m.activation_bytes(),
+        )
+    }
+
+    #[test]
+    fn calibrate_profiles_every_version_under_its_versioned_name() {
+        let plan = DeploymentPlan::new().with_model(
+            ModelDeployment::new("svc", named("svc"))
+                .with_version(named("svc"), SimTime::from_millis(5)),
+        );
+        let store = Arc::new(ProfileStore::new());
+        let binder = StoreBinder::calibrate(&EngineConfig::default(), &plan, Arc::clone(&store));
+        assert_eq!(binder.len(), 2);
+        assert!(!binder.is_empty());
+        // Nothing resolves until a version binds.
+        assert!(store.resolve("svc@v1", 4).is_none());
+        binder.bind("svc@v1", 4);
+        let p = store.resolve("svc@v1", 4).expect("bound profile resolves");
+        assert!(p.total_cost > 0);
+        binder.unbind("svc@v1", 4);
+        assert!(store.resolve("svc@v1", 4).is_none());
+        // Unknown names bind as no-ops.
+        binder.bind("ghost@v9", 4);
+        assert!(store.resolve("ghost@v9", 4).is_none());
+    }
+}

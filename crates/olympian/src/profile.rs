@@ -153,6 +153,11 @@ impl From<microjson::Error> for StoreError {
 pub struct ProfileStore {
     profiles: HashMap<(String, u64), Arc<ModelProfile>>,
     linear: HashMap<String, crate::profiler::LinearCostModel>,
+    /// Profiles registered at model-load time and retired at unload (the
+    /// lifecycle manager's per-version cost rates). Interior mutability:
+    /// the store is shared `Arc<ProfileStore>` by the time versions load,
+    /// so registration must work through `&self`. Never persisted.
+    dynamic: std::sync::Mutex<HashMap<(String, u64), Arc<ModelProfile>>>,
 }
 
 impl ProfileStore {
@@ -179,14 +184,51 @@ impl ProfileStore {
         self.linear.insert(linear.model().to_string(), linear);
     }
 
+    /// Registers a profile for a dynamically loaded model version. Unlike
+    /// [`insert`](Self::insert), this works through `&self` (the store is
+    /// already shared when versions load) and the profile is dropped by
+    /// [`retire_dynamic`](Self::retire_dynamic), not persisted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dynamic-section lock is poisoned.
+    pub fn register_dynamic(&self, profile: ModelProfile) {
+        self.dynamic
+            .lock()
+            .expect("dynamic profile lock poisoned")
+            .insert((profile.model.clone(), profile.batch), Arc::new(profile));
+    }
+
+    /// Retires a dynamically registered profile (the version unloaded).
+    /// Unknown keys are ignored.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dynamic-section lock is poisoned.
+    pub fn retire_dynamic(&self, model: &str, batch: u64) {
+        self.dynamic
+            .lock()
+            .expect("dynamic profile lock poisoned")
+            .remove(&(model.to_string(), batch));
+    }
+
     /// Resolves a profile: an exact measurement if one exists, otherwise a
-    /// prediction from the model's linear fit, otherwise `None`.
+    /// live dynamically registered one, otherwise a prediction from the
+    /// model's linear fit, otherwise `None`.
     ///
     /// Predictions are memoized would-be — they are cheap enough (one pass
     /// over the node table) that this returns a fresh `Arc` each call.
     pub fn resolve(&self, model: &str, batch: u64) -> Option<Arc<ModelProfile>> {
         if let Some(p) = self.get(model, batch) {
             return Some(p);
+        }
+        if let Some(p) = self
+            .dynamic
+            .lock()
+            .expect("dynamic profile lock poisoned")
+            .get(&(model.to_string(), batch))
+        {
+            return Some(Arc::clone(p));
         }
         self.linear.get(model).map(|lin| Arc::new(lin.predict(batch)))
     }
@@ -321,6 +363,28 @@ mod tests {
         assert_eq!(predicted.gpu_duration, SimDuration::from_nanos(7_500));
         // Unknown model still misses.
         assert!(store.resolve("ghost", 10).is_none());
+    }
+
+    #[test]
+    fn dynamic_profiles_resolve_until_retired() {
+        let mut store = ProfileStore::new();
+        store.insert(sample("svc@v1", 4));
+        store.register_dynamic(sample("svc@v2", 4));
+        // Exact static profiles win; dynamic ones fill the gaps.
+        assert!(store.resolve("svc@v1", 4).is_some());
+        assert_eq!(store.resolve("svc@v2", 4).unwrap().total_cost, 15);
+        assert!(store.resolve("svc@v2", 8).is_none(), "batch must match");
+        store.retire_dynamic("svc@v2", 4);
+        assert!(store.resolve("svc@v2", 4).is_none());
+        // Retiring an unknown key is a no-op.
+        store.retire_dynamic("ghost", 1);
+        // Dynamic entries are not persisted.
+        let mut buf = Vec::new();
+        store.register_dynamic(sample("svc@v3", 4));
+        store.save(&mut buf).unwrap();
+        let loaded = ProfileStore::load(buf.as_slice()).unwrap();
+        assert_eq!(loaded.len(), 1);
+        assert!(loaded.resolve("svc@v3", 4).is_none());
     }
 
     #[test]

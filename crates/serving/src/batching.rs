@@ -20,7 +20,11 @@
 //! assert_eq!(total as usize, arrivals.len());
 //! ```
 
-use simtime::{DetRng, SimDuration, SimTime};
+use simtime::{SimDuration, SimTime};
+
+// Arrival generation moved to `crate::workload`; re-exported here so the
+// established `serving::batching::poisson_arrivals` path keeps working.
+pub use crate::workload::poisson_arrivals;
 
 /// Batcher parameters.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -133,29 +137,6 @@ pub fn plan_batches(arrivals: &[SimTime], cfg: &BatchingConfig) -> Vec<PlannedBa
 /// [`TelemetryConfig::with_batches`](telemetry::TelemetryConfig::with_batches).
 pub fn plan_telemetry(plan: &[PlannedBatch]) -> Vec<(u64, SimDuration)> {
     plan.iter().map(|b| (b.size(), b.oldest_wait())).collect()
-}
-
-/// Generates a Poisson arrival trace at `rate_per_sec` over `horizon`
-/// (deterministic per seed).
-///
-/// # Panics
-///
-/// Panics if `rate_per_sec` is not positive.
-pub fn poisson_arrivals(rate_per_sec: f64, horizon: SimDuration, seed: u64) -> Vec<SimTime> {
-    assert!(rate_per_sec > 0.0, "rate must be positive");
-    let mut rng = DetRng::new(seed ^ 0xA221_7A15);
-    let mut t = 0.0_f64;
-    let horizon_s = horizon.as_secs_f64();
-    let mut arrivals = Vec::new();
-    loop {
-        // Exponential inter-arrival times.
-        let u = rng.next_f64().max(f64::MIN_POSITIVE);
-        t += -u.ln() / rate_per_sec;
-        if t >= horizon_s {
-            return arrivals;
-        }
-        arrivals.push(SimTime::from_nanos((t * 1e9) as u64));
-    }
 }
 
 #[cfg(test)]

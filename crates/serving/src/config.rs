@@ -73,6 +73,12 @@ pub struct EngineConfig {
     /// branch each, the same zero-cost-when-off discipline as tracing and
     /// telemetry.
     pub faults: Option<faults::FaultConfig>,
+    /// Model-lifecycle management (see [`crate::lifecycle`]): versioned
+    /// registry, memory-budgeted hot load/unload and canary rollouts.
+    /// `None` by default — clients then carry pre-loaded models and
+    /// admission is the classic one-shot memory check; the lifecycle
+    /// hooks collapse to one predicted branch each.
+    pub lifecycle: Option<lifecycle::LifecycleConfig>,
     /// Hard cap on simulated events — a watchdog against scheduling bugs.
     pub max_events: u64,
 }
@@ -97,6 +103,7 @@ impl Default for EngineConfig {
             trace: trace::TraceConfig::off(),
             telemetry: telemetry::TelemetryConfig::off(),
             faults: None,
+            lifecycle: None,
             max_events: 500_000_000,
         }
     }
@@ -124,6 +131,13 @@ impl EngineConfig {
         self.telemetry.validate();
         if let Some(f) = &self.faults {
             f.validate();
+        }
+        if let Some(lc) = &self.lifecycle {
+            assert!(
+                self.extra_devices.is_empty(),
+                "lifecycle management currently assumes a single device"
+            );
+            lc.validate();
         }
     }
 
@@ -163,6 +177,14 @@ impl EngineConfig {
     /// A copy with fault injection and recovery configured (see [`faults`]).
     pub fn with_faults(&self, faults: faults::FaultConfig) -> EngineConfig {
         EngineConfig { faults: Some(faults), ..self.clone() }
+    }
+
+    /// A copy with model-lifecycle management configured (see
+    /// [`crate::lifecycle`]): clients naming a managed model are routed to
+    /// its serving version at issue time instead of carrying their own
+    /// weights.
+    pub fn with_lifecycle(&self, lifecycle: lifecycle::LifecycleConfig) -> EngineConfig {
+        EngineConfig { lifecycle: Some(lifecycle), ..self.clone() }
     }
 
     /// A copy with the online cost profiler enabled (Figure 6's condition).

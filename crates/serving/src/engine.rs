@@ -35,6 +35,7 @@ use crate::trace::{SwitchReason, TraceBuffer, TraceKind};
 use dataflow::{Graph, NodeId, Placement};
 use faults::{BreakerEvent, BreakerState, CircuitBreaker, FaultInjector, RetryPolicy};
 use gpusim::{Allocation, GpuDevice, JobTag, MemoryPool};
+use lifecycle::{Effects as LcEffects, LifecycleEvent, LifecycleManager, Route, VersionKey};
 use simtime::{DetRng, EventQueue, SimDuration, SimTime};
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
@@ -63,6 +64,9 @@ enum Event {
     PumpDevice(u32),
     /// A faulted admission's backoff elapsed; attempt admission again.
     RetryAdmit(ClientId),
+    /// A lifecycle transition is due: a version publish, a load
+    /// completion or a warm-up run boundary.
+    LifecycleTick,
 }
 
 /// Live fault-injection state for one run: the seeded injector plus the
@@ -99,6 +103,16 @@ impl FaultRuntime {
             stall_pump: vec![false; devices],
         }
     }
+}
+
+/// Live model-lifecycle state for one run: the manager plus the
+/// job → version map that attributes each completion to the version it
+/// was issued against. Held in an `Option` so the unmanaged hot path pays
+/// one predicted branch per hook.
+struct LifecycleRuntime {
+    mgr: LifecycleManager,
+    /// Versions of in-flight jobs, keyed by `JobId.0`.
+    job_versions: HashMap<u64, VersionKey>,
 }
 
 #[derive(Debug)]
@@ -246,6 +260,7 @@ struct Engine<'a> {
     kernel_free: Vec<u32>,
     last_switch: Option<SimTime>,
     faults: Option<FaultRuntime>,
+    lifecycle: Option<LifecycleRuntime>,
     trace: TraceBuffer,
     telemetry: TelemetryHub,
     intervals: Vec<SimDuration>,
@@ -308,6 +323,11 @@ pub fn run_experiment(
         .faults
         .as_ref()
         .map(|f| FaultRuntime::new(f, cfg.seed, client_states.len(), devices.len()));
+    let lifecycle = cfg.lifecycle.as_ref().map(|lc| LifecycleRuntime {
+        mgr: LifecycleManager::new(lc, memories[0].capacity())
+            .unwrap_or_else(|e| panic!("invalid lifecycle config: {e}")),
+        job_versions: HashMap::new(),
+    });
     let mut engine = Engine {
         cfg: cfg.clone(),
         queue: EventQueue::with_capacity(EVENT_QUEUE_CAPACITY),
@@ -327,6 +347,7 @@ pub fn run_experiment(
         kernel_free: Vec::with_capacity(64),
         last_switch: None,
         faults,
+        lifecycle,
         trace: TraceBuffer::new(&cfg.trace),
         telemetry: TelemetryHub::new(&cfg.telemetry),
         intervals: Vec::with_capacity(256),
@@ -334,6 +355,13 @@ pub fn run_experiment(
         timer_gen: 0,
         event_count: 0,
     };
+    // Schedule a lifecycle tick at every publish instant before any client
+    // starts, so version state is current at admission time.
+    let mut startup_fx = LcEffects::default();
+    if let Some(rt) = &engine.lifecycle {
+        rt.mgr.startup(&mut startup_fx);
+    }
+    engine.apply_lifecycle_effects(startup_fx);
     for i in 0..engine.clients.len() {
         let at = engine.clients[i].spec.start_at;
         engine.queue.schedule(at, Event::ClientStart(ClientId(i as u32)));
@@ -411,6 +439,7 @@ impl Engine<'_> {
                     self.pump_device(dev as usize);
                 }
                 Event::RetryAdmit(c) => self.retry_admit(c),
+                Event::LifecycleTick => self.lifecycle_tick(),
             }
         }
     }
@@ -479,8 +508,15 @@ impl Engine<'_> {
             // A retry (or a terminal shed) is already arranged.
             return false;
         }
+        // A lifecycle-managed model's weights are owned by the manager
+        // (loaded per version, on demand); admission reserves only the
+        // client's activations.
+        let managed = self
+            .lifecycle
+            .as_ref()
+            .is_some_and(|rt| rt.mgr.manages(&model_name));
         let key = (model_name, dev);
-        if !self.weights_loaded.contains_key(&key) {
+        if !managed && !self.weights_loaded.contains_key(&key) {
             match self.memories[dev as usize].alloc(weights_bytes) {
                 Ok(a) => {
                     self.weights_loaded.insert(key, a);
@@ -618,12 +654,54 @@ impl Engine<'_> {
     }
 
     fn start_run(&mut self, c: ClientId) {
+        // Lifecycle routing: resolve the model's serving version at issue
+        // time. `Wait` parks the client inside the manager; it is woken
+        // (via `Effects::wake`) once a version starts serving.
+        let mut routed: Option<VersionKey> = None;
+        if self.lifecycle.is_some() {
+            let managed = {
+                let name = self.clients[c.0 as usize].spec.model.name();
+                self.lifecycle.as_ref().unwrap().mgr.manages(name)
+            };
+            if managed {
+                let mut fx = LcEffects::default();
+                let route = {
+                    let client = &self.clients[c.0 as usize];
+                    let rt = self.lifecycle.as_mut().unwrap();
+                    rt.mgr.route(
+                        client.spec.model.name(),
+                        c.0,
+                        self.now,
+                        &mut self.memories[0],
+                        &mut fx,
+                    )
+                };
+                self.apply_lifecycle_effects(fx);
+                match route {
+                    Route::Wait => return,
+                    Route::Issue(key) => routed = Some(key),
+                }
+            }
+        }
         let job_id = JobId(self.job_refs.len() as u64);
+        // A routed run executes the *version's* graph and registers under
+        // its versioned name, so per-version profiles drive scheduling.
+        let graph = match routed {
+            Some(key) => {
+                let rt = self.lifecycle.as_ref().expect("routed without manager");
+                Arc::clone(rt.mgr.version_model(key).graph())
+            }
+            None => Arc::clone(self.clients[c.0 as usize].spec.model.graph()),
+        };
         let client = &self.clients[c.0 as usize];
-        let graph = Arc::clone(client.spec.model.graph());
         let ctx = JobCtx {
             client: c,
-            model_name: client.spec.model.name(),
+            model_name: match routed {
+                Some(key) => {
+                    self.lifecycle.as_ref().expect("routed without manager").mgr.versioned_name(key)
+                }
+                None => client.spec.model.name(),
+            },
             batch: client.spec.model.batch(),
             weight: client.spec.weight,
             priority: client.spec.priority,
@@ -646,6 +724,13 @@ impl Engine<'_> {
                 };
                 self.job_slots[slot as usize].started_at = self.now;
                 self.job_refs.push(JobRef::Live(slot));
+                if let Some(key) = routed {
+                    self.lifecycle
+                        .as_mut()
+                        .expect("routed without manager")
+                        .job_versions
+                        .insert(job_id.0, key);
+                }
                 self.clients[c.0 as usize].current_job = Some(job_id);
                 if let Some(deadline) = self.clients[c.0 as usize].spec.run_deadline {
                     self.queue
@@ -665,6 +750,11 @@ impl Engine<'_> {
                 if let Some(a) = client.activations.take() {
                     self.memories[dev].free(a);
                     self.pump_admission();
+                }
+                if let Some(key) = routed {
+                    // The issue never became a job: return the version's
+                    // in-flight credit (no latency observation).
+                    self.lifecycle_run_finished(key, None);
                 }
             }
         }
@@ -718,6 +808,17 @@ impl Engine<'_> {
         let verdict = self.scheduler.deregister(job_id, self.now);
         self.apply_verdict(verdict);
         self.schedule_timer();
+        if self.lifecycle.is_some() {
+            let key = self
+                .lifecycle
+                .as_mut()
+                .unwrap()
+                .job_versions
+                .remove(&job_id.0);
+            if let Some(key) = key {
+                self.lifecycle_run_finished(key, Some(self.now - started_at));
+            }
+        }
         let client = &mut self.clients[c.0 as usize];
         if client.batches_done < client.spec.num_batches {
             if client.spec.think_time > SimDuration::ZERO {
@@ -807,12 +908,140 @@ impl Engine<'_> {
         let verdict = self.scheduler.deregister(job_id, self.now);
         self.apply_verdict(verdict);
         self.schedule_timer();
+        if self.lifecycle.is_some() {
+            let key = self
+                .lifecycle
+                .as_mut()
+                .unwrap()
+                .job_versions
+                .remove(&job_id.0);
+            if let Some(key) = key {
+                // Cancelled runs report no latency: they must not skew
+                // the canary statistics.
+                self.lifecycle_run_finished(key, None);
+            }
+        }
         // Abort the whole session and release its memory.
         let client = &mut self.clients[c.0 as usize];
         client.current_job = None;
         client.outcome = Some(outcome);
         if let Some(a) = client.activations.take() {
             self.memories[dev].free(a);
+            self.pump_admission();
+        }
+    }
+
+    // ---- model lifecycle --------------------------------------------------
+
+    /// Advances the lifecycle manager's time-driven transitions (publishes,
+    /// load completions, warm-up runs) and applies the effects.
+    fn lifecycle_tick(&mut self) {
+        let mut fx = LcEffects::default();
+        {
+            let rt = self.lifecycle.as_mut().expect("lifecycle tick with manager off");
+            rt.mgr.tick(self.now, &mut self.memories[0], &mut fx);
+        }
+        self.apply_lifecycle_effects(fx);
+    }
+
+    /// Reports a routed run's completion (`latency == None` for cancelled
+    /// or never-started runs) and applies the resulting effects: canary
+    /// decisions, drain completions and retried loads.
+    fn lifecycle_run_finished(&mut self, key: VersionKey, latency: Option<SimDuration>) {
+        let mut fx = LcEffects::default();
+        {
+            let rt = self.lifecycle.as_mut().expect("lifecycle hook with manager off");
+            rt.mgr
+                .run_finished(key, self.now, latency, &mut self.memories[0], &mut fx);
+        }
+        self.apply_lifecycle_effects(fx);
+    }
+
+    /// Translates manager effects into engine actions: typed events onto
+    /// the trace and telemetry, future ticks onto the event queue, parked
+    /// clients back into `start_run`, and — after any unload or eviction —
+    /// a queued-admission pump over the freed memory.
+    fn apply_lifecycle_effects(&mut self, fx: LcEffects) {
+        if fx.is_empty() {
+            return;
+        }
+        let mut freed = false;
+        for ev in &fx.events {
+            match *ev {
+                LifecycleEvent::Load { key, bytes, latency: _ } => {
+                    self.record(TraceKind::VersionLoad {
+                        model: key.model,
+                        version: key.version,
+                        bytes,
+                    });
+                    self.telemetry.on_version_load();
+                }
+                LifecycleEvent::Warmup { key, run } => {
+                    self.record(TraceKind::WarmupRun {
+                        model: key.model,
+                        version: key.version,
+                        run,
+                    });
+                    self.telemetry.on_warmup_run();
+                }
+                LifecycleEvent::Evicted { key, bytes } => {
+                    self.record(TraceKind::Evict {
+                        model: key.model,
+                        version: key.version,
+                        bytes,
+                    });
+                    self.telemetry.on_version_evict();
+                    freed = true;
+                }
+                LifecycleEvent::Unloaded { .. } => {
+                    self.telemetry.on_version_unload();
+                    freed = true;
+                }
+                LifecycleEvent::Drain { key, inflight } => {
+                    self.record(TraceKind::Drain {
+                        model: key.model,
+                        version: key.version,
+                        inflight,
+                    });
+                    self.telemetry.on_drain_start();
+                }
+                LifecycleEvent::Promote { key, cand_us, base_us } => {
+                    self.record(TraceKind::CanaryPromote {
+                        model: key.model,
+                        version: key.version,
+                    });
+                    self.telemetry.on_rollout(
+                        self.now,
+                        self.lifecycle.as_ref().expect("event without manager").mgr.model_name(key),
+                        key.version,
+                        "promote",
+                        cand_us,
+                        base_us,
+                    );
+                }
+                LifecycleEvent::Rollback { key, cand_us, base_us } => {
+                    self.record(TraceKind::CanaryRollback {
+                        model: key.model,
+                        version: key.version,
+                    });
+                    self.telemetry.on_rollout(
+                        self.now,
+                        self.lifecycle.as_ref().expect("event without manager").mgr.model_name(key),
+                        key.version,
+                        "rollback",
+                        cand_us,
+                        base_us,
+                    );
+                }
+            }
+        }
+        for t in fx.ticks {
+            self.queue.schedule(t.max(self.now), Event::LifecycleTick);
+        }
+        for c in fx.wake {
+            self.start_run(ClientId(c));
+        }
+        if freed {
             self.pump_admission();
         }
     }
@@ -833,6 +1062,10 @@ impl Engine<'_> {
             starving: self.starving.len() as u64,
             active_jobs: u64::from(probe.active_jobs),
             holder_cost: probe.holder_cost,
+            resident_model_bytes: self
+                .lifecycle
+                .as_ref()
+                .map_or(0, |rt| rt.mgr.resident_bytes()),
         }
     }
 
@@ -869,6 +1102,9 @@ impl Engine<'_> {
             // WatchdogRevoke, RetryScheduled); mirroring them here would
             // double-count.
             Alert::FaultRecovery { .. } => return,
+            // Rollout alerts likewise: CanaryPromote / CanaryRollback are
+            // recorded where the decision lands.
+            Alert::Rollout { .. } => return,
         };
         self.trace.record(alert.at(), kind);
     }
@@ -1566,9 +1802,11 @@ mod tests {
             max_events: 5,
             ..EngineConfig::default()
         };
-        let result = std::panic::catch_unwind(|| {
+        // The dyn ProfileBinder inside the lifecycle config keeps the
+        // closure from being UnwindSafe; nothing is reused after the panic.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             run_experiment(&cfg, tiny_clients(1, 1), &mut FifoScheduler::new())
-        });
+        }));
         assert!(result.is_err(), "watchdog should panic");
     }
 
@@ -1758,6 +1996,80 @@ mod tests {
         assert_eq!(a.event_count, b.event_count);
         assert_eq!(a.telemetry_jsonl(), b.telemetry_jsonl());
         assert_eq!(a.prometheus_text(), b.prometheus_text());
+    }
+
+    /// A mini model re-badged under a deployment name, so lifecycle
+    /// routing matches the clients that request it.
+    fn managed(name: &str) -> models::LoadedModel {
+        let m = models::mini::tiny(4);
+        models::LoadedModel::from_parts(
+            name,
+            None,
+            m.batch(),
+            Arc::clone(m.graph()),
+            m.weights_bytes(),
+            m.activation_bytes(),
+        )
+    }
+
+    fn lifecycle_cfg() -> EngineConfig {
+        let plan = lifecycle::DeploymentPlan::new()
+            .with_model(lifecycle::ModelDeployment::new("svc", managed("svc")));
+        EngineConfig::default()
+            .with_lifecycle(lifecycle::LifecycleConfig::new(plan))
+            .with_telemetry(telemetry::TelemetryConfig::enabled(SimDuration::from_micros(
+                200,
+            )))
+    }
+
+    #[test]
+    fn lifecycle_client_waits_for_load_then_finishes() {
+        let clients = vec![ClientSpec::new(managed("svc"), 3)];
+        let report = run_experiment(&lifecycle_cfg(), clients, &mut FifoScheduler::new());
+        assert!(report.all_finished());
+        let t = &report.telemetry;
+        assert_eq!(t.counter("versions_loaded"), Some(1));
+        assert!(t.counter("warmup_runs").unwrap() >= 1);
+        assert_eq!(t.counter("runs_completed"), Some(3));
+    }
+
+    #[test]
+    fn lifecycle_run_is_deterministic() {
+        let mk = || vec![ClientSpec::new(managed("svc"), 2), ClientSpec::new(managed("svc"), 2)];
+        let a = run_experiment(&lifecycle_cfg(), mk(), &mut FifoScheduler::new());
+        let b = run_experiment(&lifecycle_cfg(), mk(), &mut FifoScheduler::new());
+        assert_eq!(a.makespan, b.makespan);
+        assert_eq!(a.event_count, b.event_count);
+        assert_eq!(a.telemetry_jsonl(), b.telemetry_jsonl());
+    }
+
+    #[test]
+    fn lifecycle_keeps_resident_bytes_under_budget() {
+        // Three single-version deployments on a device that fits two
+        // models' weights; clients of all three still finish because the
+        // manager evicts idle versions.
+        let m = managed("a");
+        let weights = m.weights_bytes();
+        let budget = 2 * weights + 4 * m.activation_bytes() + (64 << 10);
+        let plan = lifecycle::DeploymentPlan::new()
+            .with_model(lifecycle::ModelDeployment::new("a", managed("a")))
+            .with_model(lifecycle::ModelDeployment::new("b", managed("b")))
+            .with_model(lifecycle::ModelDeployment::new("c", managed("c")));
+        let cfg = EngineConfig {
+            device: gpusim::DeviceProfile::custom("lab", 1.0, budget, 8, 0.0),
+            ..EngineConfig::default()
+        }
+        .with_lifecycle(lifecycle::LifecycleConfig::new(plan))
+        .with_telemetry(telemetry::TelemetryConfig::enabled(SimDuration::from_micros(200)));
+        let clients = vec![
+            ClientSpec::new(managed("a"), 2),
+            ClientSpec::new(managed("b"), 2).with_start(SimTime::from_millis(2)),
+            ClientSpec::new(managed("c"), 2).with_start(SimTime::from_millis(4)),
+        ];
+        let report = run_experiment(&cfg, clients, &mut FifoScheduler::new());
+        assert!(report.all_finished());
+        assert!(report.telemetry.counter("versions_evicted").unwrap() >= 1);
+        assert!(report.peak_memory <= budget);
     }
 
     #[test]

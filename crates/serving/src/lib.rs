@@ -42,10 +42,19 @@ pub mod faults {
     //! [`EngineConfig::with_faults`]: crate::EngineConfig::with_faults
     pub use ::faults::*;
 }
+pub mod lifecycle {
+    //! Re-export of the model-lifecycle crate: versioned registries,
+    //! memory-budgeted residency and canary rollouts consumed via
+    //! [`EngineConfig::with_lifecycle`].
+    //!
+    //! [`EngineConfig::with_lifecycle`]: crate::EngineConfig::with_lifecycle
+    pub use ::lifecycle::*;
+}
 mod report;
 mod scheduler;
 pub mod telemetry;
 pub mod trace;
+pub mod workload;
 
 pub use client::ClientSpec;
 pub use config::EngineConfig;

@@ -249,7 +249,27 @@ mod tests {
             model: "vgg".into(),
             batch: 32,
         };
-        assert!(e.to_string().contains("vgg"));
-        assert!(e.to_string().contains("32"));
+        assert_eq!(
+            e.to_string(),
+            "no offline profile for model \"vgg\" at batch 32"
+        );
+    }
+
+    #[test]
+    fn register_error_round_trips_through_dyn_error() {
+        let e = RegisterError::MissingProfile {
+            model: "svc@v2".into(),
+            batch: 4,
+        };
+        let display = e.to_string();
+        let boxed: Box<dyn std::error::Error> = Box::new(e.clone());
+        // A leaf error: displays identically through the trait object and
+        // wraps no source.
+        assert_eq!(boxed.to_string(), display);
+        assert!(boxed.source().is_none());
+        let back = boxed
+            .downcast::<RegisterError>()
+            .expect("downcasts to the concrete error");
+        assert_eq!(*back, e);
     }
 }

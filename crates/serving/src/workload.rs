@@ -1,0 +1,92 @@
+//! Open-loop workload generation: deterministic arrival traces shared by
+//! the batcher, the lifecycle churn experiments and the harness at large.
+//!
+//! Open-loop arrivals (clients fire on a schedule regardless of system
+//! state) are the standard way to stress a serving stack without the
+//! coordinated-omission bias of closed loops. Every generator here is a
+//! pure function of its arguments — same inputs, same trace, regardless
+//! of the surrounding harness parallelism.
+
+use simtime::{DetRng, SimDuration, SimTime};
+
+/// Generates a Poisson arrival trace at `rate_per_sec` over `horizon`
+/// (deterministic per seed).
+///
+/// # Panics
+///
+/// Panics if `rate_per_sec` is not positive.
+pub fn poisson_arrivals(rate_per_sec: f64, horizon: SimDuration, seed: u64) -> Vec<SimTime> {
+    assert!(rate_per_sec > 0.0, "rate must be positive");
+    let mut rng = DetRng::new(seed ^ 0xA221_7A15);
+    let mut t = 0.0_f64;
+    let horizon_s = horizon.as_secs_f64();
+    let mut arrivals = Vec::new();
+    loop {
+        // Exponential inter-arrival times.
+        let u = rng.next_f64().max(f64::MIN_POSITIVE);
+        t += -u.ln() / rate_per_sec;
+        if t >= horizon_s {
+            return arrivals;
+        }
+        arrivals.push(SimTime::from_nanos((t * 1e9) as u64));
+    }
+}
+
+/// Generates `n` evenly spaced arrivals starting at `start`: the constant-
+/// rate open-loop trace (arrival `i` at `start + i * spacing`).
+pub fn uniform_arrivals(n: usize, spacing: SimDuration, start: SimTime) -> Vec<SimTime> {
+    (0..n as u64).map(|i| start + spacing.mul_f64(i as f64)).collect()
+}
+
+/// Thins a trace to every `stride`-th arrival beginning at `offset` — the
+/// standard way to split one arrival process across a pool of clients
+/// without re-drawing randomness per client.
+///
+/// # Panics
+///
+/// Panics if `stride` is zero.
+pub fn split_arrivals(arrivals: &[SimTime], stride: usize, offset: usize) -> Vec<SimTime> {
+    assert!(stride > 0, "stride must be positive");
+    arrivals.iter().skip(offset).step_by(stride).copied().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_arrivals_are_evenly_spaced() {
+        let xs = uniform_arrivals(4, SimDuration::from_millis(5), SimTime::from_millis(2));
+        assert_eq!(
+            xs,
+            vec![
+                SimTime::from_millis(2),
+                SimTime::from_millis(7),
+                SimTime::from_millis(12),
+                SimTime::from_millis(17),
+            ]
+        );
+        assert!(uniform_arrivals(0, SimDuration::ZERO, SimTime::ZERO).is_empty());
+    }
+
+    #[test]
+    fn split_partitions_without_loss() {
+        let xs = poisson_arrivals(200.0, SimDuration::from_secs(1), 11);
+        let a = split_arrivals(&xs, 3, 0);
+        let b = split_arrivals(&xs, 3, 1);
+        let c = split_arrivals(&xs, 3, 2);
+        assert_eq!(a.len() + b.len() + c.len(), xs.len());
+        let mut merged: Vec<SimTime> = a.into_iter().chain(b).chain(c).collect();
+        merged.sort();
+        assert_eq!(merged, xs);
+    }
+
+    #[test]
+    fn poisson_is_deterministic_per_seed() {
+        let a = poisson_arrivals(300.0, SimDuration::from_secs(1), 5);
+        let b = poisson_arrivals(300.0, SimDuration::from_secs(1), 5);
+        let c = poisson_arrivals(300.0, SimDuration::from_secs(1), 6);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+}

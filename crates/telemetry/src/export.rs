@@ -55,6 +55,16 @@ fn alert_value(a: &Alert) -> Value {
             ("action".into(), Value::str(*action)),
             ("detail".into(), Value::UInt(*detail)),
         ]),
+        Alert::Rollout { at, model, version, action, cand_us, base_us } => Value::Object(vec![
+            ("type".into(), Value::str("alert")),
+            ("kind".into(), Value::str("rollout")),
+            ("t_ns".into(), Value::UInt(at.as_nanos())),
+            ("model".into(), Value::Str(model.clone())),
+            ("version".into(), Value::UInt(u64::from(*version))),
+            ("action".into(), Value::str(*action)),
+            ("candidate_us".into(), Value::UInt(*cand_us)),
+            ("incumbent_us".into(), Value::UInt(*base_us)),
+        ]),
     }
 }
 

@@ -148,6 +148,9 @@ pub struct EngineGauges {
     /// Token holder's `(cumulated, threshold)` cost units, for metering
     /// schedulers.
     pub holder_cost: Option<(u64, u64)>,
+    /// Weight bytes resident under the lifecycle manager (0 when the
+    /// engine runs without one).
+    pub resident_model_bytes: u64,
 }
 
 /// An alert raised by one of the online monitors.
@@ -193,6 +196,22 @@ pub enum Alert {
         /// attempt count for sheds, 0 otherwise.
         detail: u64,
     },
+    /// The lifecycle rollout controller decided a canary: the candidate
+    /// version was promoted or rolled back.
+    Rollout {
+        /// Virtual time of the decision.
+        at: SimTime,
+        /// The served model name.
+        model: String,
+        /// The candidate version number (1-based).
+        version: u32,
+        /// `"promote"` or `"rollback"`.
+        action: &'static str,
+        /// Candidate mean run latency, µs (0 when superseded undecided).
+        cand_us: u64,
+        /// Incumbent mean run latency, µs (0 when superseded undecided).
+        base_us: u64,
+    },
 }
 
 impl Alert {
@@ -201,7 +220,8 @@ impl Alert {
         match self {
             Alert::Drift { at, .. }
             | Alert::SloBurn { at, .. }
-            | Alert::FaultRecovery { at, .. } => *at,
+            | Alert::FaultRecovery { at, .. }
+            | Alert::Rollout { at, .. } => *at,
         }
     }
 
@@ -211,6 +231,7 @@ impl Alert {
             Alert::Drift { .. } => "drift",
             Alert::SloBurn { .. } => "slo-burn",
             Alert::FaultRecovery { .. } => "fault-recovery",
+            Alert::Rollout { .. } => "rollout",
         }
     }
 }
@@ -302,12 +323,20 @@ struct Ids {
     c_breaker_open: CounterId,
     c_shed: CounterId,
     c_watchdog: CounterId,
+    c_versions_loaded: CounterId,
+    c_versions_unloaded: CounterId,
+    c_versions_evicted: CounterId,
+    c_warmup_runs: CounterId,
+    c_promotions: CounterId,
+    c_rollbacks: CounterId,
+    c_drains: CounterId,
     g_queue: GaugeId,
     g_pool_idle: GaugeId,
     g_starving: GaugeId,
     g_active_jobs: GaugeId,
     g_holder_ratio: GaugeId,
     g_fairness: GaugeId,
+    g_resident: GaugeId,
     h_quantum: HistogramId,
     h_handoff: HistogramId,
     h_latency: HistogramId,
@@ -386,12 +415,20 @@ impl TelemetryHub {
             c_breaker_open: registry.counter("breaker_open_events"),
             c_shed: registry.counter("clients_shed"),
             c_watchdog: registry.counter("watchdog_revocations"),
+            c_versions_loaded: registry.counter("versions_loaded"),
+            c_versions_unloaded: registry.counter("versions_unloaded"),
+            c_versions_evicted: registry.counter("versions_evicted"),
+            c_warmup_runs: registry.counter("warmup_runs"),
+            c_promotions: registry.counter("canary_promotions"),
+            c_rollbacks: registry.counter("canary_rollbacks"),
+            c_drains: registry.counter("drains_started"),
             g_queue: registry.gauge("admission_queue_depth"),
             g_pool_idle: registry.gauge("pool_idle_threads"),
             g_starving: registry.gauge("starving_jobs"),
             g_active_jobs: registry.gauge("scheduler_active_jobs"),
             g_holder_ratio: registry.gauge("holder_cost_ratio"),
             g_fairness: registry.gauge("gpu_share_fairness"),
+            g_resident: registry.gauge("resident_model_bytes"),
             h_quantum: registry.histogram("quantum_us"),
             h_handoff: registry.histogram("handoff_us"),
             h_latency: registry.histogram("run_latency_us"),
@@ -592,6 +629,87 @@ impl TelemetryHub {
         });
     }
 
+    /// A model version's weights started loading (lifecycle layer).
+    #[inline]
+    pub fn on_version_load(&mut self) {
+        if !self.on {
+            return;
+        }
+        let ids = self.ids();
+        self.registry.inc(ids.c_versions_loaded, 1);
+    }
+
+    /// A drained version was unloaded (lifecycle layer).
+    #[inline]
+    pub fn on_version_unload(&mut self) {
+        if !self.on {
+            return;
+        }
+        let ids = self.ids();
+        self.registry.inc(ids.c_versions_unloaded, 1);
+    }
+
+    /// An idle version was evicted for memory (lifecycle layer).
+    #[inline]
+    pub fn on_version_evict(&mut self) {
+        if !self.on {
+            return;
+        }
+        let ids = self.ids();
+        self.registry.inc(ids.c_versions_evicted, 1);
+    }
+
+    /// A freshly loaded version completed one warm-up run (lifecycle
+    /// layer).
+    #[inline]
+    pub fn on_warmup_run(&mut self) {
+        if !self.on {
+            return;
+        }
+        let ids = self.ids();
+        self.registry.inc(ids.c_warmup_runs, 1);
+    }
+
+    /// A version started draining (lifecycle layer).
+    #[inline]
+    pub fn on_drain_start(&mut self) {
+        if !self.on {
+            return;
+        }
+        let ids = self.ids();
+        self.registry.inc(ids.c_drains, 1);
+    }
+
+    /// The rollout controller decided a canary (`action` is `"promote"`
+    /// or `"rollback"`); lands on the `rollout` alert stream.
+    pub fn on_rollout(
+        &mut self,
+        at: SimTime,
+        model: &str,
+        version: u32,
+        action: &'static str,
+        cand_us: u64,
+        base_us: u64,
+    ) {
+        if !self.on {
+            return;
+        }
+        let ids = self.ids();
+        if action == "promote" {
+            self.registry.inc(ids.c_promotions, 1);
+        } else {
+            self.registry.inc(ids.c_rollbacks, 1);
+        }
+        self.alerts.push(Alert::Rollout {
+            at,
+            model: model.to_string(),
+            version,
+            action,
+            cand_us,
+            base_us,
+        });
+    }
+
     /// A quantum was flushed for `client`: feeds the quantum histogram,
     /// the per-client GPU share and the streaming drift detector. Returns
     /// a drift alert the first time that client's detector fires.
@@ -646,6 +764,7 @@ impl TelemetryHub {
             _ => 0.0,
         };
         self.registry.set_gauge(ids.g_holder_ratio, ratio);
+        self.registry.set_gauge(ids.g_resident, gauges.resident_model_bytes as f64);
         let shares: Vec<f64> = self.clients.iter().map(|c| c.gpu_ns as f64).collect();
         // An idle window (no clients yet) must not panic: try_* + neutral 1.0.
         let fairness = metrics::try_jain_fairness(&shares).unwrap_or(1.0);

@@ -236,6 +236,58 @@ pub fn chrome_trace(trace: &Trace, meta: &TraceMeta) -> Value {
                     seq: e.seq,
                 });
             }
+            TraceKind::VersionLoad { model, version, bytes } => {
+                rows.push(row(scheduler_tid, e.at.as_nanos(), None,
+                    "version-load".into(), "residency",
+                    vec![
+                        ("model".into(), Value::UInt(u64::from(model))),
+                        ("version".into(), Value::UInt(u64::from(version))),
+                        ("bytes".into(), Value::UInt(bytes)),
+                    ]));
+            }
+            TraceKind::WarmupRun { model, version, run } => {
+                rows.push(row(scheduler_tid, e.at.as_nanos(), None,
+                    "warmup-run".into(), "residency",
+                    vec![
+                        ("model".into(), Value::UInt(u64::from(model))),
+                        ("version".into(), Value::UInt(u64::from(version))),
+                        ("run".into(), Value::UInt(u64::from(run))),
+                    ]));
+            }
+            TraceKind::Evict { model, version, bytes } => {
+                rows.push(row(scheduler_tid, e.at.as_nanos(), None,
+                    "evict".into(), "residency",
+                    vec![
+                        ("model".into(), Value::UInt(u64::from(model))),
+                        ("version".into(), Value::UInt(u64::from(version))),
+                        ("bytes".into(), Value::UInt(bytes)),
+                    ]));
+            }
+            TraceKind::CanaryPromote { model, version } => {
+                rows.push(row(scheduler_tid, e.at.as_nanos(), None,
+                    "canary-promote".into(), "rollout",
+                    vec![
+                        ("model".into(), Value::UInt(u64::from(model))),
+                        ("version".into(), Value::UInt(u64::from(version))),
+                    ]));
+            }
+            TraceKind::CanaryRollback { model, version } => {
+                rows.push(row(scheduler_tid, e.at.as_nanos(), None,
+                    "canary-rollback".into(), "rollout",
+                    vec![
+                        ("model".into(), Value::UInt(u64::from(model))),
+                        ("version".into(), Value::UInt(u64::from(version))),
+                    ]));
+            }
+            TraceKind::Drain { model, version, inflight } => {
+                rows.push(row(scheduler_tid, e.at.as_nanos(), None,
+                    "drain".into(), "residency",
+                    vec![
+                        ("model".into(), Value::UInt(u64::from(model))),
+                        ("version".into(), Value::UInt(u64::from(version))),
+                        ("inflight".into(), Value::UInt(u64::from(inflight))),
+                    ]));
+            }
         }
     }
 

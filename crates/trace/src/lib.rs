@@ -366,6 +366,62 @@ pub enum TraceKind {
         /// Window end, µs since run start.
         until_us: u64,
     },
+    /// A model version's weights started transferring to the device
+    /// (lifecycle layer).
+    VersionLoad {
+        /// Deployment index in the lifecycle plan.
+        model: u32,
+        /// Version number (1-based).
+        version: u32,
+        /// Weight bytes being loaded.
+        bytes: u64,
+    },
+    /// A freshly loaded version completed one warm-up run (lifecycle
+    /// layer).
+    WarmupRun {
+        /// Deployment index in the lifecycle plan.
+        model: u32,
+        /// Version number (1-based).
+        version: u32,
+        /// Warm-up run ordinal (1-based).
+        run: u32,
+    },
+    /// An idle version was evicted to make room for a load (lifecycle
+    /// layer).
+    Evict {
+        /// Deployment index in the lifecycle plan.
+        model: u32,
+        /// Version number (1-based).
+        version: u32,
+        /// Weight bytes freed.
+        bytes: u64,
+    },
+    /// A canary candidate was promoted to the serving version (lifecycle
+    /// layer).
+    CanaryPromote {
+        /// Deployment index in the lifecycle plan.
+        model: u32,
+        /// The promoted version number (1-based).
+        version: u32,
+    },
+    /// A canary candidate was rolled back (lifecycle layer).
+    CanaryRollback {
+        /// Deployment index in the lifecycle plan.
+        model: u32,
+        /// The rejected version number (1-based).
+        version: u32,
+    },
+    /// A version stopped accepting new runs and started draining; when it
+    /// later unloads the engine records a second `Drain` with
+    /// `inflight == 0` (lifecycle layer).
+    Drain {
+        /// Deployment index in the lifecycle plan.
+        model: u32,
+        /// Version number (1-based).
+        version: u32,
+        /// Runs still in flight at this instant.
+        inflight: u32,
+    },
 }
 
 impl TraceKind {
@@ -403,7 +459,14 @@ impl TraceKind {
             | TraceKind::BreakerTransition { client, .. }
             | TraceKind::WatchdogRevoke { client, .. } => Some(client),
             TraceKind::TokenRevoke { client, .. } | TraceKind::TokenGrant { client, .. } => client,
-            TraceKind::SloBurnAlert { .. } | TraceKind::DeviceStall { .. } => None,
+            TraceKind::SloBurnAlert { .. }
+            | TraceKind::DeviceStall { .. }
+            | TraceKind::VersionLoad { .. }
+            | TraceKind::WarmupRun { .. }
+            | TraceKind::Evict { .. }
+            | TraceKind::CanaryPromote { .. }
+            | TraceKind::CanaryRollback { .. }
+            | TraceKind::Drain { .. } => None,
         }
     }
 }
@@ -511,6 +574,24 @@ impl fmt::Display for TraceEvent {
             ),
             TraceKind::DeviceStall { device, until_us } => {
                 write!(f, "device stall gpu{device} (until {until_us}us)")
+            }
+            TraceKind::VersionLoad { model, version, bytes } => {
+                write!(f, "version load m{model}@v{version} ({bytes} B)")
+            }
+            TraceKind::WarmupRun { model, version, run } => {
+                write!(f, "warmup run m{model}@v{version} (run {run})")
+            }
+            TraceKind::Evict { model, version, bytes } => {
+                write!(f, "evict m{model}@v{version} ({bytes} B)")
+            }
+            TraceKind::CanaryPromote { model, version } => {
+                write!(f, "canary promote m{model}@v{version}")
+            }
+            TraceKind::CanaryRollback { model, version } => {
+                write!(f, "canary rollback m{model}@v{version}")
+            }
+            TraceKind::Drain { model, version, inflight } => {
+                write!(f, "drain m{model}@v{version} ({inflight} in flight)")
             }
         }
     }
