@@ -6,8 +6,18 @@
 //! * event-queue throughput, for both the optimized 4-ary queue and the
 //!   original binary-heap baseline it replaced (the seed reference), plus
 //!   the resulting speedup;
+//! * the hierarchical timing wheel the engine now runs on, on the same
+//!   churn workload, with speedups against both earlier queues;
 //! * end-to-end engine throughput in events/second under the TF-Serving
-//!   baseline (FIFO) and the Olympian scheduler;
+//!   baseline (FIFO) and the Olympian scheduler, with a hard regression
+//!   guard: the Olympian rate must stay above 0.7x the PR 5 reference;
+//! * the SoA cache proxy: the Olympian engine at 10x the client count, so a
+//!   regression in the job tables' cache behavior shows up as a falling
+//!   ratio to the 4-client rate;
+//! * the device-group sharding check: a three-device run through the
+//!   sharded entry point at `shards = 1` vs every core, asserting
+//!   byte-identical reports and recording the wall-clock speedup (which
+//!   must exceed 1.0 whenever more than one core is available);
 //! * total wall-clock of the full `bench::all` experiment suite run through
 //!   the parallel harness, with its serial-equivalent time and speedup;
 //! * the recorded seed-reference numbers (pre-optimization engine + queue)
@@ -40,8 +50,10 @@
 use bench::harness;
 use microjson::Value;
 use olympian::{OlympianScheduler, Profiler, ProfileStore, RoundRobin};
-use serving::{run_experiment, ClientSpec, EngineConfig, FifoScheduler};
-use simtime::{BaselineEventQueue, DetRng, EventQueue, SimDuration, SimTime};
+use serving::{
+    run_experiment, run_sharded_experiment, ClientSpec, EngineConfig, FifoScheduler, Scheduler,
+};
+use simtime::{BaselineEventQueue, DetRng, EventQueue, SimDuration, SimTime, TimingWheel};
 use std::hint::black_box;
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -83,6 +95,12 @@ const PR3_ENGINE_OLYMPIAN_EPS: f64 = 4_670_088.0;
 /// compares against.
 const PR4_ENGINE_FIFO_EPS: f64 = 4_653_017.0;
 const PR4_ENGINE_OLYMPIAN_EPS: f64 = 4_857_083.0;
+
+/// PR 5 reference numbers (this suite's own `BENCH_engine.json` before the
+/// timing-wheel queue, SoA job tables and device-group sharding landed) —
+/// the floor the engine throughput-regression guard compares against.
+const PR5_ENGINE_FIFO_EPS: f64 = 4_783_773.45;
+const PR5_ENGINE_OLYMPIAN_EPS: f64 = 4_260_753.98;
 
 /// Guardrail: tracing-off throughput must stay above this fraction of the
 /// PR 1 reference. Generous, to absorb machine and run-to-run noise — the
@@ -161,6 +179,76 @@ fn queue_section() -> Value {
     ])
 }
 
+/// Pre-generated near-future offsets for the monotone churn workload: the
+/// engine only ever schedules at `now + delta`, never in the past, with
+/// deltas on the kernel/switch-latency scale (microseconds to a couple of
+/// milliseconds — a few to a few hundred wheel ticks out, the level-0
+/// horizon). That is the shape the timing wheel is built for; the
+/// absolute-time workload above would land everything in the wheel's
+/// current tick and measure its same-tick insertion buffer instead of the
+/// engine-relevant path.
+fn wheel_workload() -> Vec<u64> {
+    let mut rng = DetRng::new(0xF00D);
+    (0..QUEUE_EVENTS).map(|_| rng.range_u64(0, 1 << 20)).collect()
+}
+
+/// Monotone churn: schedule `now + delta` in bursts of 4, pop 3 per burst
+/// (advancing `now` to each popped time), then drain — the engine's access
+/// pattern, on whichever queue `$new` builds.
+macro_rules! monotone_churn {
+    ($new:expr, $deltas:expr) => {{
+        let mut q = $new;
+        let mut now = SimTime::ZERO;
+        let mut acc = 0u64;
+        for (i, &d) in $deltas.iter().enumerate() {
+            q.schedule(now + SimDuration::from_nanos(d), i as u64);
+            if i % 4 == 3 {
+                for _ in 0..3 {
+                    let (t, v) = q.pop().expect("non-empty");
+                    now = t;
+                    acc = acc.wrapping_add(v);
+                }
+            }
+        }
+        while let Some((_, v)) = q.pop() {
+            acc = acc.wrapping_add(v);
+        }
+        acc
+    }};
+}
+
+/// The hierarchical timing wheel the engine now runs on, against the 4-ary
+/// queue and the seed binary heap, all three on the monotone workload.
+fn queue_wheel_section() -> Value {
+    let deltas = wheel_workload();
+    let wheel = harness::run("queue_wheel/timing-wheel", || {
+        black_box(monotone_churn!(TimingWheel::<u64>::with_capacity(1024), deltas))
+    });
+    let four = harness::run("queue_wheel/4-ary", || {
+        black_box(monotone_churn!(EventQueue::<u64>::with_capacity(1024), deltas))
+    });
+    let heap = harness::run("queue_wheel/binary-heap", || {
+        black_box(monotone_churn!(BaselineEventQueue::<u64>::new(), deltas))
+    });
+    let wheel_eps = wheel.per_second() * QUEUE_EVENTS as f64;
+    let four_eps = four.per_second() * QUEUE_EVENTS as f64;
+    let heap_eps = heap.per_second() * QUEUE_EVENTS as f64;
+    let vs_four = wheel_eps / four_eps;
+    let vs_heap = wheel_eps / heap_eps;
+    println!(
+        "  -> queue_wheel: wheel {wheel_eps:.0} events/s \
+         ({vs_four:.2}x 4-ary {four_eps:.0}, {vs_heap:.2}x seed heap {heap_eps:.0})"
+    );
+    Value::Object(vec![
+        ("events_per_iter".into(), Value::UInt(QUEUE_EVENTS as u64)),
+        ("wheel_events_per_sec".into(), Value::Float(wheel_eps)),
+        ("four_ary_events_per_sec".into(), Value::Float(four_eps)),
+        ("seed_baseline_events_per_sec".into(), Value::Float(heap_eps)),
+        ("speedup_vs_four_ary".into(), Value::Float(vs_four)),
+        ("speedup_vs_seed_baseline".into(), Value::Float(vs_heap)),
+    ])
+}
+
 fn engine_clients(n: usize, batches: u32) -> Vec<ClientSpec> {
     vec![ClientSpec::new(models::mini::small(4), batches); n]
 }
@@ -219,7 +307,144 @@ fn engine_section() -> (Value, f64, f64) {
     });
     let (fifo_entry, fifo_eps) = engine_entry("fifo", fifo_probe.event_count, &fifo);
     let (oly_entry, oly_eps) = engine_entry("olympian", oly_probe.event_count, &oly);
-    (Value::Object(vec![fifo_entry, oly_entry]), fifo_eps, oly_eps)
+    let oly_vs_pr5 = oly_eps / PR5_ENGINE_OLYMPIAN_EPS;
+    assert!(
+        oly_vs_pr5 >= TRACE_OFF_NOISE_FLOOR,
+        "olympian engine throughput {oly_eps:.0} events/s fell below \
+         {TRACE_OFF_NOISE_FLOOR}x the PR 5 reference {PR5_ENGINE_OLYMPIAN_EPS:.0} — \
+         the hot path regressed"
+    );
+    (
+        Value::Object(vec![
+            fifo_entry,
+            oly_entry,
+            (
+                "pr5_reference_events_per_sec".into(),
+                Value::Object(vec![
+                    ("fifo".into(), Value::Float(PR5_ENGINE_FIFO_EPS)),
+                    ("olympian".into(), Value::Float(PR5_ENGINE_OLYMPIAN_EPS)),
+                ]),
+            ),
+            ("olympian_vs_pr5".into(), Value::Float(oly_vs_pr5)),
+            ("noise_floor".into(), Value::Float(TRACE_OFF_NOISE_FLOOR)),
+        ]),
+        fifo_eps,
+        oly_eps,
+    )
+}
+
+/// The SoA cache proxy: the same engine workload at 10x the client count.
+/// With the hot per-job state packed into structure-of-arrays tables the
+/// per-event rate should hold up as the job population grows past what an
+/// AoS layout keeps in cache; the section records the rate and its ratio to
+/// the 4-client rate so regressions in cache behavior show up as a falling
+/// `vs_4_clients`.
+fn soa_section(oly_eps_4: f64) -> Value {
+    const CLIENTS: usize = 40;
+    let cfg = EngineConfig::default();
+    let model = models::mini::small(4);
+    let mut store = ProfileStore::new();
+    store.insert(Profiler::new(&cfg).profile(&model));
+    let store = Arc::new(store);
+    let sched = || {
+        OlympianScheduler::new(
+            Arc::clone(&store),
+            Box::new(RoundRobin::new()),
+            SimDuration::from_micros(200),
+        )
+    };
+    let probe = run_experiment(&cfg, engine_clients(CLIENTS, 2), &mut sched());
+    let m = harness::run("engine_olympian/clients=40", || {
+        black_box(run_experiment(&cfg, engine_clients(CLIENTS, 2), &mut sched()))
+    });
+    let eps = m.per_second() * probe.event_count as f64;
+    let vs_4 = eps / oly_eps_4.max(1e-9);
+    println!(
+        "  -> soa: {eps:.0} events/s at {CLIENTS} clients \
+         ({vs_4:.2}x of the 4-client rate, {} events per run)",
+        probe.event_count
+    );
+    Value::Object(vec![
+        ("clients".into(), Value::UInt(CLIENTS as u64)),
+        ("events_per_run".into(), Value::UInt(probe.event_count)),
+        ("events_per_sec".into(), Value::Float(eps)),
+        ("vs_4_clients".into(), Value::Float(vs_4)),
+    ])
+}
+
+/// The device-group sharding section: a three-device experiment run through
+/// the sharded entry point with one worker thread and with every available
+/// core, asserting the two reports are byte-identical (the shard-count
+/// invariance contract) and recording the wall-clock speedup.
+///
+/// # Panics
+///
+/// Panics if the `shards = 1` and `shards = N` reports differ, or if more
+/// than one core is available and the parallel run is not faster. On a
+/// single-core machine the section degrades to a no-op comparison (both
+/// runs use one thread and the speedup hovers around 1.0).
+fn shard_section() -> Value {
+    let base = EngineConfig::default();
+    let groups = 3u64;
+    // Millisecond hand-off latency — the large-model regime sharding
+    // targets. The window length equals the hand-off latency, so this keeps
+    // each group's per-window work large relative to the barrier cost.
+    let mk_cfg = |shards: u32| EngineConfig {
+        extra_devices: vec![base.device.clone(), base.device.clone()],
+        shards,
+        switch_latency: SimDuration::from_millis(1),
+        ..base.clone()
+    };
+    let clients = || -> Vec<ClientSpec> { engine_clients(12, 4) };
+    let factory =
+        |_g: usize| Box::new(FifoScheduler::new()) as Box<dyn Scheduler>;
+    let cores = simpar::default_jobs() as u32;
+
+    let cfg_1 = mk_cfg(1);
+    let cfg_n = mk_cfg(cores);
+    let probe_1 = run_sharded_experiment(&cfg_1, clients(), &factory);
+    let probe_n = run_sharded_experiment(&cfg_n, clients(), &factory);
+    assert_eq!(
+        format!("{probe_1:?}"),
+        format!("{probe_n:?}"),
+        "sharded report diverged between shards=1 and shards={cores}"
+    );
+
+    let m_1 = harness::run("engine_sharded/shards=1", || {
+        black_box(run_sharded_experiment(&cfg_1, clients(), &factory))
+    });
+    let eps_1 = m_1.per_second() * probe_1.event_count as f64;
+    // On one core `shards = N` is the same single-threaded run; re-measuring
+    // it would only record measurement noise as a bogus "speedup".
+    let eps_n = if cores > 1 {
+        let m_n = harness::run(&format!("engine_sharded/shards={cores}"), || {
+            black_box(run_sharded_experiment(&cfg_n, clients(), &factory))
+        });
+        m_n.per_second() * probe_n.event_count as f64
+    } else {
+        eps_1
+    };
+    let speedup = eps_n / eps_1.max(1e-9);
+    println!(
+        "  -> shard: {groups} groups, shards=1 {eps_1:.0} events/s, \
+         shards={cores} {eps_n:.0} events/s (speedup {speedup:.2}x), reports identical"
+    );
+    if cores > 1 {
+        assert!(
+            speedup > 1.0,
+            "sharded run with {cores} worker threads was not faster than one \
+             ({eps_n:.0} vs {eps_1:.0} events/s) despite {cores} cores"
+        );
+    }
+    Value::Object(vec![
+        ("groups".into(), Value::UInt(groups)),
+        ("cores".into(), Value::UInt(u64::from(cores))),
+        ("events_per_run".into(), Value::UInt(probe_1.event_count)),
+        ("shards_1_events_per_sec".into(), Value::Float(eps_1)),
+        ("shards_n_events_per_sec".into(), Value::Float(eps_n)),
+        ("speedup".into(), Value::Float(speedup)),
+        ("reports_identical".into(), Value::Bool(true)),
+    ])
 }
 
 /// Measures the Olympian engine config with tracing off / sampled / full and
@@ -582,7 +807,10 @@ fn main() -> ExitCode {
 
     println!("perfsuite ({} mode, {jobs} jobs)", if smoke { "smoke" } else { "full" });
     let queue = queue_section();
+    let queue_wheel = queue_wheel_section();
     let (engine, fifo_eps, oly_eps) = engine_section();
+    let soa = soa_section(oly_eps);
+    let shard = shard_section();
     let tracing = tracing_section(oly_eps);
     let telemetry = telemetry_section(oly_eps);
     let faults = faults_section(oly_eps);
@@ -595,7 +823,10 @@ fn main() -> ExitCode {
         ("mode".into(), Value::str(if smoke { "smoke" } else { "full" })),
         ("jobs".into(), Value::UInt(jobs as u64)),
         ("queue".into(), queue),
+        ("queue_wheel".into(), queue_wheel),
         ("engine".into(), engine),
+        ("soa".into(), soa),
+        ("shard".into(), shard),
         ("tracing".into(), tracing),
         ("telemetry".into(), telemetry),
         ("faults".into(), faults),

@@ -95,7 +95,7 @@ pub fn run() -> String {
     let rows: Vec<Vec<String>> = t
         .counter_names
         .iter()
-        .zip(&last.counters)
+        .zip(last.counters)
         .map(|(n, v)| vec![(*n).to_string(), v.to_string()])
         .collect();
     out.push_str(&render_table(&["counter", "total"], &rows));

@@ -1,0 +1,173 @@
+//! Shard-count invariance and the sharding determinism matrix.
+//!
+//! The sharded runner's contract (see `serving::shard`): the decomposition
+//! is one group per device and `EngineConfig::shards` only sets the worker
+//! thread count, so every rendered artifact — `RunReport` debug, Chrome
+//! trace JSON, telemetry JSON-lines — must be byte-identical across
+//! `shards ∈ {1, 2, 4}`, under both schedulers, with faults and lifecycle
+//! enabled, and whether the cells themselves run on 1 or 4 `simpar` jobs.
+
+use models::LoadedModel;
+use olympian::{OlympianScheduler, ProfileStore, Profiler, RoundRobin, StoreBinder};
+use serving::faults::{FaultConfig, FaultPlan};
+use serving::lifecycle::{DeploymentPlan, LifecycleConfig, ModelDeployment};
+use serving::{
+    run_experiment, run_sharded_experiment, ClientSpec, EngineConfig, FifoScheduler, RunReport,
+    Scheduler, TraceConfig,
+};
+use simtime::{SimDuration, SimTime};
+use std::sync::Arc;
+
+const QUANTUM: SimDuration = SimDuration::from_micros(200);
+
+/// Renders every export surface the matrix compares.
+fn render(r: &RunReport) -> String {
+    format!(
+        "REPORT {r:?}\nCHROME {}\nTELEMETRY {}",
+        r.chrome_trace_json(),
+        r.telemetry_jsonl()
+    )
+}
+
+fn faults() -> FaultConfig {
+    let plan = FaultPlan::new()
+        .with_kernel_failures(0.02)
+        .with_slowdown(2.0, SimTime::from_millis(1), SimTime::from_millis(2));
+    FaultConfig::new(plan)
+}
+
+/// Rebadges a mini-zoo model as a named service (lifecycle deployments
+/// and clients must agree on the model name).
+fn service(name: &str) -> LoadedModel {
+    let m = models::mini::tiny(4);
+    LoadedModel::from_parts(
+        name,
+        None,
+        m.batch(),
+        Arc::clone(m.graph()),
+        m.weights_bytes(),
+        m.activation_bytes(),
+    )
+}
+
+/// The full-stack single-group cell: faults, lifecycle, tracing and
+/// telemetry all on. One device — the sharded entry point must route to
+/// the classic engine byte-for-byte for every `shards` value.
+fn full_stack_cell(shards: u32, olympian: bool) -> String {
+    let services = ["svc-0", "svc-1", "svc-2"];
+    let mut plan = DeploymentPlan::new();
+    for name in services {
+        plan = plan.with_model(ModelDeployment::new(name.to_string(), service(name)));
+    }
+    let mut cfg = EngineConfig { seed: 23, shards, ..EngineConfig::default() }
+        .with_trace(TraceConfig::full())
+        .with_telemetry(serving::TelemetryConfig::enabled(SimDuration::from_micros(500)))
+        .with_faults(faults());
+    let store = Arc::new(ProfileStore::new());
+    let binder = StoreBinder::calibrate(&cfg, &plan, Arc::clone(&store));
+    cfg = cfg.with_lifecycle(LifecycleConfig::new(plan).with_binder(binder));
+    let clients: Vec<ClientSpec> = services
+        .iter()
+        .enumerate()
+        .map(|(i, name)| {
+            let mut spec = ClientSpec::new(service(name), 2);
+            spec.start_at = SimTime::from_micros(100 * i as u64);
+            spec.think_time = SimDuration::from_micros(300);
+            spec
+        })
+        .collect();
+    let report = run_sharded_experiment(&cfg, clients, &factory(olympian, &store));
+    render(&report)
+}
+
+/// The multi-group cell: three devices, faults on, full tracing — the
+/// shard topology is real (three groups) and threads race over it.
+fn multi_device_cell(shards: u32, olympian: bool) -> String {
+    let base = EngineConfig::default();
+    let cfg = EngineConfig {
+        seed: 41,
+        shards,
+        extra_devices: vec![base.device.clone(), base.device.clone()],
+        ..base
+    }
+    .with_trace(TraceConfig::full())
+    .with_faults(faults());
+    let model = models::mini::tiny(4);
+    let mut store = ProfileStore::new();
+    store.insert(Profiler::new(&cfg).profile(&model));
+    let store = Arc::new(store);
+    let clients: Vec<ClientSpec> = (0..6).map(|_| ClientSpec::new(model.clone(), 2)).collect();
+    let report = run_sharded_experiment(&cfg, clients, &factory(olympian, &store));
+    render(&report)
+}
+
+fn factory(
+    olympian: bool,
+    store: &Arc<ProfileStore>,
+) -> Box<dyn Fn(usize) -> Box<dyn Scheduler> + Sync + '_> {
+    if olympian {
+        Box::new(move |_g| {
+            Box::new(OlympianScheduler::new(
+                Arc::clone(store),
+                Box::new(RoundRobin::new()),
+                QUANTUM,
+            )) as Box<dyn Scheduler>
+        })
+    } else {
+        Box::new(|_g| Box::new(FifoScheduler::new()) as Box<dyn Scheduler>)
+    }
+}
+
+#[test]
+fn full_stack_is_shard_count_invariant() {
+    for olympian in [false, true] {
+        let reference = full_stack_cell(1, olympian);
+        for shards in [2, 4] {
+            assert_eq!(
+                reference,
+                full_stack_cell(shards, olympian),
+                "full-stack cell diverged at shards={shards}, olympian={olympian}"
+            );
+        }
+    }
+}
+
+#[test]
+fn multi_device_is_shard_count_invariant() {
+    for olympian in [false, true] {
+        let reference = multi_device_cell(1, olympian);
+        for shards in [2, 4] {
+            assert_eq!(
+                reference,
+                multi_device_cell(shards, olympian),
+                "multi-device cell diverged at shards={shards}, olympian={olympian}"
+            );
+        }
+    }
+}
+
+#[test]
+fn sharded_single_group_matches_classic_exactly() {
+    let cfg = EngineConfig { seed: 5, shards: 4, ..EngineConfig::default() }
+        .with_trace(TraceConfig::full())
+        .with_faults(faults());
+    let clients = |n: usize| -> Vec<ClientSpec> {
+        (0..n).map(|_| ClientSpec::new(models::mini::tiny(4), 2)).collect()
+    };
+    let classic = run_experiment(&cfg, clients(3), &mut FifoScheduler::new());
+    let sharded = run_sharded_experiment(&cfg, clients(3), &|_g| {
+        Box::new(FifoScheduler::new()) as Box<dyn Scheduler>
+    });
+    assert_eq!(render(&classic), render(&sharded));
+}
+
+#[test]
+fn matrix_cells_match_across_simpar_jobs() {
+    // The --jobs axis: every (shards, scheduler) cell rendered on one
+    // worker must equal the same cell rendered on four.
+    let cells: Vec<(u32, bool)> =
+        [1u32, 2, 4].iter().flat_map(|&s| [(s, false), (s, true)]).collect();
+    let serial = simpar::par_map_jobs(1, &cells, |_, &(s, oly)| multi_device_cell(s, oly));
+    let parallel = simpar::par_map_jobs(4, &cells, |_, &(s, oly)| multi_device_cell(s, oly));
+    assert_eq!(serial, parallel);
+}

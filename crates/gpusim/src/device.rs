@@ -158,6 +158,35 @@ struct Pending {
     factor: f64,
 }
 
+/// Per-context state, stored densely so the arbitration scan and the busy
+/// accounting never touch a hash table on the kernel hot path.
+#[derive(Debug)]
+struct TagState {
+    tag: JobTag,
+    queue: VecDeque<Pending>,
+    bias: f64,
+    busy: SimDuration,
+    /// Whether this tag has entered `order` (set on its first enqueue).
+    ordered: bool,
+}
+
+impl TagState {
+    fn new(tag: JobTag) -> Self {
+        TagState {
+            tag,
+            queue: VecDeque::new(),
+            bias: 1.0,
+            busy: SimDuration::ZERO,
+            ordered: false,
+        }
+    }
+}
+
+/// Tags below this value index a dense lookup vector; rarer larger tags fall
+/// back to the hash map. Serving clients are numbered densely from zero, so
+/// in practice every lookup takes the vector path.
+const FAST_TAGS: u64 = 1 << 16;
+
 /// A kernel the device has started executing.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct StartedKernel {
@@ -191,17 +220,23 @@ pub struct StartedKernel {
 pub struct GpuDevice {
     profile: DeviceProfile,
     rng: DetRng,
-    queues: HashMap<JobTag, VecDeque<Pending>>,
-    /// Round-robin-stable ordering of tags for deterministic weighted picks.
-    tag_order: Vec<JobTag>,
-    bias: HashMap<JobTag, f64>,
+    /// Dense per-context state; an index, once assigned, is stable for the
+    /// device's lifetime.
+    tags: Vec<TagState>,
+    /// Small-tag lookup: `fast_index[tag.0]` is the tag's index into `tags`
+    /// (`u32::MAX` = unassigned). Grown on demand, capped at [`FAST_TAGS`].
+    fast_index: Vec<u32>,
+    /// Fallback lookup for tags at or above [`FAST_TAGS`].
+    slow_index: HashMap<u64, u32>,
+    /// First-enqueue ordering of tag indices — the deterministic candidate
+    /// iteration order for weighted picks.
+    order: Vec<u32>,
     busy_until: SimTime,
     started_any: bool,
     /// This instance's clock factor, drawn once from the profile's wobble.
     run_clock_factor: f64,
     busy_total: SimDuration,
     kernel_count: u64,
-    per_job_busy: HashMap<JobTag, SimDuration>,
 }
 
 impl GpuDevice {
@@ -217,16 +252,47 @@ impl GpuDevice {
         GpuDevice {
             profile,
             rng,
-            queues: HashMap::new(),
-            tag_order: Vec::new(),
-            bias: HashMap::new(),
+            tags: Vec::new(),
+            fast_index: Vec::new(),
+            slow_index: HashMap::new(),
+            order: Vec::new(),
             busy_until: SimTime::ZERO,
             started_any: false,
             run_clock_factor,
             busy_total: SimDuration::ZERO,
             kernel_count: 0,
-            per_job_busy: HashMap::new(),
         }
+    }
+
+    /// Index of `tag` in `tags`, if it has one.
+    #[inline]
+    fn tag_slot(&self, tag: JobTag) -> Option<u32> {
+        if tag.0 < FAST_TAGS {
+            match self.fast_index.get(tag.0 as usize) {
+                Some(&i) if i != u32::MAX => Some(i),
+                _ => None,
+            }
+        } else {
+            self.slow_index.get(&tag.0).copied()
+        }
+    }
+
+    /// Index of `tag`, creating its dense slot on first sight.
+    fn tag_slot_or_insert(&mut self, tag: JobTag) -> u32 {
+        if let Some(i) = self.tag_slot(tag) {
+            return i;
+        }
+        let i = self.tags.len() as u32;
+        self.tags.push(TagState::new(tag));
+        if tag.0 < FAST_TAGS {
+            if self.fast_index.len() <= tag.0 as usize {
+                self.fast_index.resize(tag.0 as usize + 1, u32::MAX);
+            }
+            self.fast_index[tag.0 as usize] = i;
+        } else {
+            self.slow_index.insert(tag.0, i);
+        }
+        i
     }
 
     /// The device's hardware profile.
@@ -242,7 +308,8 @@ impl GpuDevice {
     /// Panics if `weight` is not positive and finite.
     pub fn set_bias(&mut self, tag: JobTag, weight: f64) {
         assert!(weight > 0.0 && weight.is_finite(), "bias must be positive");
-        self.bias.insert(tag, weight);
+        let i = self.tag_slot_or_insert(tag);
+        self.tags[i as usize].bias = weight;
     }
 
     /// Queues a kernel with mean duration `true_duration`; `payload` is
@@ -260,10 +327,13 @@ impl GpuDevice {
         extra_factor: f64,
     ) {
         debug_assert!(extra_factor > 0.0, "extra factor must be positive");
-        if !self.queues.contains_key(&tag) {
-            self.tag_order.push(tag);
+        let i = self.tag_slot_or_insert(tag) as usize;
+        let t = &mut self.tags[i];
+        if !t.ordered {
+            t.ordered = true;
+            self.order.push(i as u32);
         }
-        self.queues.entry(tag).or_default().push_back(Pending {
+        t.queue.push_back(Pending {
             payload,
             duration: true_duration,
             factor: extra_factor,
@@ -277,18 +347,15 @@ impl GpuDevice {
         if now < self.busy_until {
             return None;
         }
-        let tag = self.pick_tag()?;
-        let pending = self
-            .queues
-            .get_mut(&tag)
-            .expect("picked tag has a queue")
-            .pop_front()
-            .expect("picked queue is non-empty");
+        let slot = self.pick_tag()? as usize;
         let jitter = if self.profile.duration_jitter > 0.0 {
             self.rng.jitter(self.profile.duration_jitter)
         } else {
             1.0
         };
+        let t = &mut self.tags[slot];
+        let tag = t.tag;
+        let pending = t.queue.pop_front().expect("picked queue is non-empty");
         let duration = pending
             .duration
             .mul_f64(self.profile.speed_factor * self.run_clock_factor * jitter * pending.factor);
@@ -303,7 +370,7 @@ impl GpuDevice {
         self.started_any = true;
         self.busy_total += duration;
         self.kernel_count += 1;
-        *self.per_job_busy.entry(tag).or_default() += duration;
+        t.busy += duration;
         Some(StartedKernel {
             payload: pending.payload,
             tag,
@@ -314,30 +381,46 @@ impl GpuDevice {
     }
 
     /// Weighted pick among non-empty queues, deterministic given the seed.
-    fn pick_tag(&mut self) -> Option<JobTag> {
+    /// Returns the picked tag's index into `tags`.
+    ///
+    /// Two allocation-free passes over the first-enqueue ordering replace
+    /// the old candidate vector; the weight arithmetic visits candidates in
+    /// the same order with the same float operations, and the RNG is drawn
+    /// only on contested picks — so every pick is bit-identical to the
+    /// candidate-vector implementation it replaced.
+    fn pick_tag(&mut self) -> Option<u32> {
         let mut total = 0.0;
-        let mut candidates: Vec<(JobTag, f64)> = Vec::new();
-        for &tag in &self.tag_order {
-            if self.queues.get(&tag).is_some_and(|q| !q.is_empty()) {
-                let w = self.bias.get(&tag).copied().unwrap_or(1.0);
-                total += w;
-                candidates.push((tag, w));
+        let mut count = 0usize;
+        let mut first = 0u32;
+        for &idx in &self.order {
+            let t = &self.tags[idx as usize];
+            if !t.queue.is_empty() {
+                total += t.bias;
+                if count == 0 {
+                    first = idx;
+                }
+                count += 1;
             }
         }
-        if candidates.is_empty() {
+        if count == 0 {
             return None;
         }
-        if candidates.len() == 1 {
-            return Some(candidates[0].0);
+        if count == 1 {
+            return Some(first);
         }
         let mut x = self.rng.next_f64() * total;
-        for (tag, w) in &candidates {
-            x -= w;
-            if x <= 0.0 {
-                return Some(*tag);
+        let mut last = first;
+        for &idx in &self.order {
+            let t = &self.tags[idx as usize];
+            if !t.queue.is_empty() {
+                x -= t.bias;
+                last = idx;
+                if x <= 0.0 {
+                    return Some(idx);
+                }
             }
         }
-        Some(candidates.last().expect("non-empty").0)
+        Some(last)
     }
 
     /// Cancels queued (not yet started) kernels whose payloads appear in
@@ -346,22 +429,23 @@ impl GpuDevice {
     /// overflow argument).
     pub fn cancel_payloads(&mut self, payloads: &std::collections::HashSet<u64>) -> usize {
         let mut removed = 0;
-        for queue in self.queues.values_mut() {
-            let before = queue.len();
-            queue.retain(|p| !payloads.contains(&p.payload));
-            removed += before - queue.len();
+        for t in &mut self.tags {
+            let before = t.queue.len();
+            t.queue.retain(|p| !payloads.contains(&p.payload));
+            removed += before - t.queue.len();
         }
         removed
     }
 
     /// Number of queued (not yet started) kernels.
     pub fn queued(&self) -> usize {
-        self.queues.values().map(VecDeque::len).sum()
+        self.tags.iter().map(|t| t.queue.len()).sum()
     }
 
     /// Number of kernels queued by one context.
     pub fn queued_for(&self, tag: JobTag) -> usize {
-        self.queues.get(&tag).map_or(0, VecDeque::len)
+        self.tag_slot(tag)
+            .map_or(0, |i| self.tags[i as usize].queue.len())
     }
 
     /// Instant at which all *started* work will have drained.
@@ -381,7 +465,8 @@ impl GpuDevice {
 
     /// Total busy time attributed to one context (measurement only).
     pub fn job_busy(&self, tag: JobTag) -> SimDuration {
-        self.per_job_busy.get(&tag).copied().unwrap_or(SimDuration::ZERO)
+        self.tag_slot(tag)
+            .map_or(SimDuration::ZERO, |i| self.tags[i as usize].busy)
     }
 
     /// Busy fraction of the window `[0, as_of]`, the quantity `nvidia-smi`

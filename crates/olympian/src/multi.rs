@@ -41,7 +41,7 @@ use std::sync::Arc;
 /// One Olympian token scheduler per GPU.
 pub struct MultiGpuScheduler {
     profiles: Arc<ProfileStore>,
-    policy_factory: Box<dyn Fn() -> Box<dyn Policy>>,
+    policy_factory: Box<dyn Fn() -> Box<dyn Policy> + Send>,
     quantum: SimDuration,
     per_device: HashMap<u32, OlympianScheduler>,
     job_device: HashMap<JobId, u32>,
@@ -67,7 +67,7 @@ impl MultiGpuScheduler {
     /// Panics if `quantum` is zero (checked on first device creation).
     pub fn new(
         profiles: Arc<ProfileStore>,
-        policy_factory: impl Fn() -> Box<dyn Policy> + 'static,
+        policy_factory: impl Fn() -> Box<dyn Policy> + Send + 'static,
         quantum: SimDuration,
     ) -> Self {
         assert!(quantum > SimDuration::ZERO, "quantum must be positive");

@@ -20,7 +20,7 @@ use std::fmt;
 /// [`crate::OlympianScheduler`] owns the cost metering and calls the policy
 /// only at quantum boundaries, exactly as `scheduler.updateTokenInfo` does
 /// in Algorithm 2.
-pub trait Policy: fmt::Debug {
+pub trait Policy: fmt::Debug + Send {
     /// A job arrived. Returns the token holder afterwards.
     fn admit(&mut self, job: JobId, weight: u32, priority: u32, current: Option<JobId>)
         -> Option<JobId>;

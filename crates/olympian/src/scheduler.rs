@@ -9,7 +9,6 @@ use crate::profile::{ModelProfile, ProfileStore};
 use dataflow::NodeId;
 use serving::{JobCtx, JobId, RegisterError, Scheduler, SchedulerProbe, SwitchReason, Verdict};
 use simtime::{SimDuration, SimTime};
-use std::collections::HashMap;
 use std::sync::Arc;
 
 /// How quantum expiry is detected.
@@ -45,7 +44,10 @@ pub struct OlympianScheduler {
     meter: QuantumMeter,
     token: Option<JobId>,
     token_since: SimTime,
-    jobs: HashMap<JobId, JobAccount>,
+    /// Active-job cost accounts, keyed by job id. Linear scan: the set holds
+    /// at most one entry per live client, and a per-kernel scan over a few
+    /// dense entries beats a hash probe on the cost hot path.
+    jobs: Vec<(JobId, JobAccount)>,
     name: String,
     switches: u64,
     /// Token-hold watchdog patience (a multiple of `Q`); `None` disables.
@@ -75,7 +77,7 @@ impl OlympianScheduler {
             meter: QuantumMeter::CostAccumulation,
             token: None,
             token_since: SimTime::ZERO,
-            jobs: HashMap::new(),
+            jobs: Vec::new(),
             name,
             switches: 0,
             watchdog: None,
@@ -156,20 +158,26 @@ impl Scheduler for OlympianScheduler {
                 batch: ctx.batch,
             })?;
         let threshold = profile.threshold(self.quantum);
-        self.jobs.insert(
+        debug_assert!(
+            self.jobs.iter().all(|(j, _)| *j != job),
+            "job ids are unique per run"
+        );
+        self.jobs.push((
             job,
             JobAccount {
                 profile,
                 threshold,
                 cumulated: 0,
             },
-        );
+        ));
         let next = self.policy.admit(job, ctx.weight, ctx.priority, self.token);
         Ok(self.move_token(next, ctx.now, SwitchReason::Register))
     }
 
     fn deregister(&mut self, job: JobId, now: SimTime) -> Verdict {
-        self.jobs.remove(&job);
+        if let Some(i) = self.jobs.iter().position(|(j, _)| *j == job) {
+            self.jobs.swap_remove(i);
+        }
         let next = self.policy.remove(job, self.token);
         self.move_token(next, now, SwitchReason::Deregister)
     }
@@ -179,7 +187,11 @@ impl Scheduler for OlympianScheduler {
     }
 
     fn on_gpu_node_done(&mut self, job: JobId, node: NodeId, now: SimTime) -> Verdict {
-        let Some(account) = self.jobs.get_mut(&job) else {
+        let Some(account) = self
+            .jobs
+            .iter_mut()
+            .find_map(|(j, a)| (*j == job).then_some(a))
+        else {
             // A kernel can complete after its job deregistered only through
             // an engine bug; be strict.
             panic!("cost event for unregistered {job}");
@@ -268,7 +280,9 @@ impl Scheduler for OlympianScheduler {
     }
 
     fn cost_state(&self, job: JobId) -> Option<(u64, u64)> {
-        self.jobs.get(&job).map(|a| (a.cumulated, a.threshold))
+        self.jobs
+            .iter()
+            .find_map(|(j, a)| (*j == job).then_some((a.cumulated, a.threshold)))
     }
 
     fn telemetry_probe(&self) -> SchedulerProbe {

@@ -81,6 +81,16 @@ pub struct EngineConfig {
     pub lifecycle: Option<lifecycle::LifecycleConfig>,
     /// Hard cap on simulated events — a watchdog against scheduling bugs.
     pub max_events: u64,
+    /// Worker threads for [`run_sharded_experiment`]: how many OS threads
+    /// execute the per-device shard groups concurrently. The *decomposition*
+    /// is always one group per device, so results are byte-identical for
+    /// every value of `shards` — this knob trades wall-clock only. Ignored
+    /// by the classic [`run_experiment`] path; `1` (the default) keeps
+    /// everything serial.
+    ///
+    /// [`run_sharded_experiment`]: crate::run_sharded_experiment
+    /// [`run_experiment`]: crate::run_experiment
+    pub shards: u32,
 }
 
 impl Default for EngineConfig {
@@ -105,6 +115,7 @@ impl Default for EngineConfig {
             faults: None,
             lifecycle: None,
             max_events: 500_000_000,
+            shards: 1,
         }
     }
 }
@@ -128,6 +139,7 @@ impl EngineConfig {
         assert!(self.driver_bias_spread >= 0.0, "negative bias spread");
         assert!(self.profiling_inflation >= 0.0, "negative inflation");
         assert!(self.max_events > 0, "event watchdog must be positive");
+        assert!(self.shards > 0, "shard worker count must be at least 1");
         self.telemetry.validate();
         if let Some(f) = &self.faults {
             f.validate();

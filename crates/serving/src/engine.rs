@@ -36,7 +36,7 @@ use dataflow::{Graph, NodeId, Placement};
 use faults::{BreakerEvent, BreakerState, CircuitBreaker, FaultInjector, RetryPolicy};
 use gpusim::{Allocation, GpuDevice, JobTag, MemoryPool};
 use lifecycle::{Effects as LcEffects, LifecycleEvent, LifecycleManager, Route, VersionKey};
-use simtime::{DetRng, EventQueue, SimDuration, SimTime};
+use simtime::{DetRng, SimDuration, SimTime, TimingWheel};
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 use telemetry::{Alert, EngineGauges, TelemetryHub};
@@ -64,6 +64,9 @@ enum Event {
     PumpDevice(u32),
     /// A faulted admission's backoff elapsed; attempt admission again.
     RetryAdmit(ClientId),
+    /// Workers donated by a drained shard group arrive (sharded runs only;
+    /// always scheduled at a window-barrier instant).
+    PoolGrant(u32),
     /// A lifecycle transition is due: a version publish, a load
     /// completion or a warm-up run boundary.
     LifecycleTick,
@@ -115,10 +118,15 @@ struct LifecycleRuntime {
     job_versions: HashMap<u64, VersionKey>,
 }
 
+/// Hot half of a job slot: every field the per-node dispatch and
+/// completion paths read or write. Kept in its own dense table
+/// (`Engine::job_hot`), separate from [`JobCold`], for two reasons:
+/// the hot loop's working set stays compact in cache, and the graph can be
+/// borrowed from the cold table while the hot row is mutably borrowed —
+/// which removes the per-node `Arc` clone the combined struct forced.
 #[derive(Debug)]
-struct JobState {
+struct JobHot {
     client: ClientId,
-    graph: Arc<Graph>,
     remaining_parents: Vec<u32>,
     ready: VecDeque<NodeId>,
     done_nodes: u32,
@@ -136,25 +144,31 @@ struct JobState {
     yield_blocked: bool,
     gpu_busy: SimDuration,
     quantum_acc: SimDuration,
-    /// Completed quanta as `(end time, GPU duration received)`.
-    quanta: Vec<(SimTime, SimDuration)>,
-    /// Registration time — the run's latency baseline for telemetry.
-    started_at: SimTime,
     /// Time of the last token grant whose hand-off latency has not been
     /// measured yet; `SimTime::MAX` otherwise. Only maintained while
     /// telemetry is on.
     granted_at: SimTime,
 }
 
-impl JobState {
-    fn new(client: ClientId, graph: Arc<Graph>) -> Self {
+/// Cold half of a job slot: bookkeeping the hot loop only reads through
+/// (the graph) or touches at quantum/run boundaries.
+#[derive(Debug)]
+struct JobCold {
+    graph: Arc<Graph>,
+    /// Completed quanta as `(end time, GPU duration received)`.
+    quanta: Vec<(SimTime, SimDuration)>,
+    /// Registration time — the run's latency baseline for telemetry.
+    started_at: SimTime,
+}
+
+impl JobHot {
+    fn new(client: ClientId, graph: &Graph) -> Self {
         let remaining_parents: Vec<u32> =
             graph.node_ids().map(|id| graph.parent_count(id)).collect();
         let ready: VecDeque<NodeId> = graph.roots().into();
         let total_nodes = graph.node_count() as u32;
-        JobState {
+        JobHot {
             client,
-            graph,
             remaining_parents,
             ready,
             done_nodes: 0,
@@ -167,16 +181,14 @@ impl JobState {
             yield_blocked: false,
             gpu_busy: SimDuration::ZERO,
             quantum_acc: SimDuration::ZERO,
-            quanta: Vec::with_capacity(QUANTA_CAPACITY),
-            started_at: SimTime::ZERO,
             granted_at: SimTime::MAX,
         }
     }
 
     /// Re-initialises a recycled slot for a fresh run, reusing the
-    /// `remaining_parents`, `ready` and `quanta` allocations so steady-state
-    /// serving allocates nothing per run.
-    fn reset(&mut self, client: ClientId, graph: Arc<Graph>) {
+    /// `remaining_parents` and `ready` allocations so steady-state serving
+    /// allocates nothing per run.
+    fn reset(&mut self, client: ClientId, graph: &Graph) {
         self.remaining_parents.clear();
         self.remaining_parents
             .extend(graph.node_ids().map(|id| graph.parent_count(id)));
@@ -186,7 +198,6 @@ impl JobState {
             .extend(graph.node_ids().filter(|&id| graph.parent_count(id) == 0));
         self.total_nodes = graph.node_count() as u32;
         self.client = client;
-        self.graph = graph;
         self.done_nodes = 0;
         self.held = 0;
         self.busy = 0;
@@ -196,9 +207,24 @@ impl JobState {
         self.yield_blocked = false;
         self.gpu_busy = SimDuration::ZERO;
         self.quantum_acc = SimDuration::ZERO;
+        self.granted_at = SimTime::MAX;
+    }
+}
+
+impl JobCold {
+    fn new(graph: Arc<Graph>) -> Self {
+        JobCold {
+            graph,
+            quanta: Vec::with_capacity(QUANTA_CAPACITY),
+            started_at: SimTime::ZERO,
+        }
+    }
+
+    /// Counterpart of [`JobHot::reset`], reusing the `quanta` allocation.
+    fn reset(&mut self, graph: Arc<Graph>) {
+        self.graph = graph;
         self.quanta.clear();
         self.started_at = SimTime::ZERO;
-        self.granted_at = SimTime::MAX;
     }
 }
 
@@ -210,7 +236,7 @@ impl JobState {
 enum JobRef {
     /// Rejected at registration, or completed.
     Dead,
-    /// Live, holding this job's slot index in `job_slots`.
+    /// Live, holding this job's slot index in the hot/cold job tables.
     Live(u32),
     /// Cancelled by a deadline; remembers the device index so stale kernel
     /// completions still pump the device.
@@ -234,9 +260,9 @@ struct ClientState {
     rng: DetRng,
 }
 
-struct Engine<'a> {
+pub(crate) struct Engine<'a> {
     cfg: EngineConfig,
-    queue: EventQueue<Event>,
+    queue: TimingWheel<Event>,
     now: SimTime,
     devices: Vec<GpuDevice>,
     memories: Vec<MemoryPool>,
@@ -245,9 +271,11 @@ struct Engine<'a> {
     /// Job handles, indexed by `JobId.0` — ids are dense from 0 (one per
     /// `register` call, including rejected ones).
     job_refs: Vec<JobRef>,
-    /// Job-state slots; completed slots go on `free_slots` and are `reset`
-    /// for the next run instead of reallocated.
-    job_slots: Vec<JobState>,
+    /// Job-state slots in struct-of-arrays layout: `job_hot[s]` and
+    /// `job_cold[s]` are the two halves of slot `s`. Completed slots go on
+    /// `free_slots` and are `reset` for the next run instead of reallocated.
+    job_hot: Vec<JobHot>,
+    job_cold: Vec<JobCold>,
     free_slots: Vec<u32>,
     pool_idle: u32,
     starving: VecDeque<JobId>,
@@ -259,6 +287,10 @@ struct Engine<'a> {
     kernels: Vec<Option<(JobId, NodeId)>>,
     kernel_free: Vec<u32>,
     last_switch: Option<SimTime>,
+    /// Cached `telemetry.next_due()` — refreshed after every telemetry tick
+    /// so the per-event boundary check reads a local field instead of
+    /// calling across the crate boundary.
+    telemetry_due: SimTime,
     faults: Option<FaultRuntime>,
     lifecycle: Option<LifecycleRuntime>,
     trace: TraceBuffer,
@@ -284,6 +316,24 @@ pub fn run_experiment(
     clients: Vec<ClientSpec>,
     scheduler: &mut dyn Scheduler,
 ) -> RunReport {
+    let mut engine = build_engine(cfg, clients, scheduler);
+    engine.run();
+    engine.finalize()
+}
+
+/// Validates inputs, constructs the engine and schedules every client's
+/// start event — everything [`run_experiment`] does before the event loop.
+/// The sharded runner builds one engine per device group this way and
+/// drives them window-by-window instead of straight to completion.
+///
+/// # Panics
+///
+/// Panics if the configuration or a client spec is invalid.
+pub(crate) fn build_engine<'a>(
+    cfg: &EngineConfig,
+    clients: Vec<ClientSpec>,
+    scheduler: &'a mut dyn Scheduler,
+) -> Engine<'a> {
     cfg.validate();
     for spec in &clients {
         spec.validate();
@@ -328,16 +378,19 @@ pub fn run_experiment(
             .unwrap_or_else(|e| panic!("invalid lifecycle config: {e}")),
         job_versions: HashMap::new(),
     });
+    let telemetry = TelemetryHub::new(&cfg.telemetry);
+    let telemetry_due = telemetry.next_due();
     let mut engine = Engine {
         cfg: cfg.clone(),
-        queue: EventQueue::with_capacity(EVENT_QUEUE_CAPACITY),
+        queue: TimingWheel::with_capacity(EVENT_QUEUE_CAPACITY),
         now: SimTime::ZERO,
         devices,
         memories,
         scheduler,
         clients: client_states,
         job_refs: Vec::with_capacity(256),
-        job_slots: Vec::new(),
+        job_hot: Vec::new(),
+        job_cold: Vec::new(),
         free_slots: Vec::new(),
         pool_idle: cfg.pool_size,
         starving: VecDeque::new(),
@@ -346,10 +399,11 @@ pub fn run_experiment(
         kernels: Vec::with_capacity(64),
         kernel_free: Vec::with_capacity(64),
         last_switch: None,
+        telemetry_due,
         faults,
         lifecycle,
         trace: TraceBuffer::new(&cfg.trace),
-        telemetry: TelemetryHub::new(&cfg.telemetry),
+        telemetry,
         intervals: Vec::with_capacity(256),
         switch_count: 0,
         timer_gen: 0,
@@ -366,13 +420,12 @@ pub fn run_experiment(
         let at = engine.clients[i].spec.start_at;
         engine.queue.schedule(at, Event::ClientStart(ClientId(i as u32)));
     }
-    engine.run();
-    engine.finalize()
+    engine
 }
 
 impl Engine<'_> {
     /// The slot index of `id` if it is live. Returns a copied index (not a
-    /// reference) so callers can split borrows between `job_slots` and the
+    /// reference) so callers can split borrows between the job tables and the
     /// engine's other fields.
     #[inline]
     fn live_slot(&self, id: JobId) -> Option<usize> {
@@ -384,6 +437,57 @@ impl Engine<'_> {
 
     fn run(&mut self) {
         while let Some((t, event)) = self.queue.pop() {
+            self.step(t, event);
+        }
+    }
+
+    /// Processes events due at or before `bound`, then returns at the
+    /// window barrier. The sharded runner drives one group engine per call;
+    /// between calls the only outside mutation is a [`Event::PoolGrant`]
+    /// scheduled at the barrier instant.
+    pub(crate) fn run_window(&mut self, bound: SimTime) {
+        while let Some((t, event)) = self.queue.pop_at_or_before(bound) {
+            self.step(t, event);
+        }
+    }
+
+    /// Whether any event is still pending.
+    pub(crate) fn has_pending(&self) -> bool {
+        !self.queue.is_empty()
+    }
+
+    /// The engine clock: the time of the last processed event.
+    pub(crate) fn clock(&self) -> SimTime {
+        self.now
+    }
+
+    /// Whether any job is parked waiting for a worker thread.
+    pub(crate) fn is_starved(&self) -> bool {
+        !self.starving.is_empty()
+    }
+
+    /// The instant of the earliest pending event, if any.
+    pub(crate) fn next_event_time(&self) -> Option<SimTime> {
+        self.queue.peek_time()
+    }
+
+    /// Withdraws every currently idle worker from this engine's pool —
+    /// the donation half of the barrier rebalance. Only meaningful on a
+    /// drained engine (no pending events): live engines keep their share.
+    pub(crate) fn take_idle_workers(&mut self) -> u32 {
+        std::mem::take(&mut self.pool_idle)
+    }
+
+    /// Schedules `n` donated workers to arrive at the barrier instant
+    /// `at`; the grant lands inside the event loop so starvation wake-ups
+    /// replay identically for every shard count.
+    pub(crate) fn grant_workers(&mut self, at: SimTime, n: u32) {
+        self.queue.schedule(at, Event::PoolGrant(n));
+    }
+
+    #[inline]
+    fn step(&mut self, t: SimTime, event: Event) {
+        {
             debug_assert!(t >= self.now, "time went backwards");
             self.now = t;
             self.event_count += 1;
@@ -393,11 +497,11 @@ impl Engine<'_> {
                 self.event_count,
                 self.now
             );
-            // One predicted branch when telemetry is off (`next_due` is
-            // `SimTime::MAX`); boundaries are emitted lazily, *before* the
-            // first event at or past them, so snapshots capture the state
-            // as of the boundary instant.
-            if t >= self.telemetry.next_due() {
+            // One predicted branch when telemetry is off (`telemetry_due`
+            // is `SimTime::MAX`); boundaries are emitted lazily, *before*
+            // the first event at or past them, so snapshots capture the
+            // state as of the boundary instant.
+            if t >= self.telemetry_due {
                 self.telemetry_tick();
             }
             match event {
@@ -412,7 +516,7 @@ impl Engine<'_> {
                 }
                 Event::ResumeJob(job) => {
                     if let Some(slot) = self.live_slot(job) {
-                        self.job_slots[slot].resume_scheduled = false;
+                        self.job_hot[slot].resume_scheduled = false;
                     }
                     self.dispatch(job);
                 }
@@ -440,6 +544,10 @@ impl Engine<'_> {
                 }
                 Event::RetryAdmit(c) => self.retry_admit(c),
                 Event::LifecycleTick => self.lifecycle_tick(),
+                Event::PoolGrant(n) => {
+                    self.pool_idle += n;
+                    self.wake_starving();
+                }
             }
         }
     }
@@ -714,15 +822,17 @@ impl Engine<'_> {
                 self.record(TraceKind::RunRegistered { job: job_id.0, client: c.0 });
                 let slot = match self.free_slots.pop() {
                     Some(s) => {
-                        self.job_slots[s as usize].reset(c, graph);
+                        self.job_hot[s as usize].reset(c, &graph);
+                        self.job_cold[s as usize].reset(graph);
                         s
                     }
                     None => {
-                        self.job_slots.push(JobState::new(c, graph));
-                        (self.job_slots.len() - 1) as u32
+                        self.job_hot.push(JobHot::new(c, &graph));
+                        self.job_cold.push(JobCold::new(graph));
+                        (self.job_hot.len() - 1) as u32
                     }
                 };
-                self.job_slots[slot as usize].started_at = self.now;
+                self.job_cold[slot as usize].started_at = self.now;
                 self.job_refs.push(JobRef::Live(slot));
                 if let Some(key) = routed {
                     self.lifecycle
@@ -764,12 +874,13 @@ impl Engine<'_> {
         let slot = self.live_slot(job_id).expect("completing a live job");
         self.job_refs[job_id.0 as usize] = JobRef::Dead;
         let (held, c, gpu_busy, final_quantum, started_at) = {
-            let job = &mut self.job_slots[slot];
+            let job = &mut self.job_hot[slot];
+            let cold = &mut self.job_cold[slot];
             debug_assert_eq!(job.busy, 0, "no in-flight work at completion");
             let mut flushed = None;
             if job.quantum_acc > SimDuration::ZERO {
                 let acc = std::mem::take(&mut job.quantum_acc);
-                job.quanta.push((self.now, acc));
+                cold.quanta.push((self.now, acc));
                 flushed = Some(acc);
             }
             (
@@ -777,7 +888,7 @@ impl Engine<'_> {
                 job.client,
                 job.gpu_busy,
                 flushed,
-                job.started_at,
+                cold.started_at,
             )
         };
         // Return the whole gang to the pool.
@@ -794,11 +905,11 @@ impl Engine<'_> {
         self.record(TraceKind::RunCompleted { job: job_id.0, client: c.0 });
         self.telemetry.on_run_complete(c.0, self.now - started_at);
         {
-            let job = &self.job_slots[slot];
+            let cold = &self.job_cold[slot];
             let client = &mut self.clients[c.0 as usize];
             client.run_finish_times.push(self.now);
             client.run_gpu_durations.push(gpu_busy);
-            client.quantum_marks.extend(job.quanta.iter().copied());
+            client.quantum_marks.extend(cold.quanta.iter().copied());
             client.batches_done += 1;
             client.current_job = None;
         }
@@ -847,7 +958,7 @@ impl Engine<'_> {
     /// Cancels a live job whose deadline elapsed.
     fn cancel_job(&mut self, job_id: JobId) {
         let slot = self.live_slot(job_id).expect("cancelling a live job");
-        let c = self.job_slots[slot].client;
+        let c = self.job_hot[slot].client;
         self.record(TraceKind::DeadlineCancelled { job: job_id.0, client: c.0 });
         self.telemetry.on_deadline_cancel();
         self.teardown_job(job_id, c, ClientOutcome::DeadlineExceeded(self.now));
@@ -877,7 +988,7 @@ impl Engine<'_> {
     /// hardware) but their completions are swallowed.
     fn teardown_job(&mut self, job_id: JobId, c: ClientId, outcome: ClientOutcome) {
         let slot = self.live_slot(job_id).expect("tearing down a live job");
-        let held = self.job_slots[slot].held;
+        let held = self.job_hot[slot].held;
         let dev = self.clients[c.0 as usize].device as usize;
         self.job_refs[job_id.0 as usize] = JobRef::Cancelled(dev as u32);
         self.free_slots.push(slot as u32);
@@ -1074,6 +1185,7 @@ impl Engine<'_> {
     fn telemetry_tick(&mut self) {
         let gauges = self.engine_gauges();
         let alerts = self.telemetry.tick(self.now, &gauges);
+        self.telemetry_due = self.telemetry.next_due();
         for a in &alerts {
             self.record_alert(a);
         }
@@ -1122,7 +1234,7 @@ impl Engine<'_> {
                     .last_switch
                     .map_or(0, |t| (self.now - t).as_nanos() / 1_000);
                 if let Some(s) = self.live_slot(old) {
-                    let client = self.job_slots[s].client.0;
+                    let client = self.job_hot[s].client.0;
                     self.record(TraceKind::WatchdogRevoke { job: old.0, client, stalled_us });
                     self.telemetry.on_watchdog_revoke(self.now, client, stalled_us);
                 }
@@ -1137,10 +1249,10 @@ impl Engine<'_> {
         if let Some(old) = from {
             if let Some(slot) = self.live_slot(old) {
                 let (flushed, client) = {
-                    let j = &mut self.job_slots[slot];
+                    let j = &mut self.job_hot[slot];
                     if j.quantum_acc > SimDuration::ZERO {
                         let acc = std::mem::take(&mut j.quantum_acc);
-                        j.quanta.push((self.now, acc));
+                        self.job_cold[slot].quanta.push((self.now, acc));
                         (Some(acc), j.client.0)
                     } else {
                         (None, j.client.0)
@@ -1158,11 +1270,11 @@ impl Engine<'_> {
             // A revoked/granted job may already be deregistered (its slot is
             // freed before the verdict reaches us), hence the Option client.
             if let Some(old) = from {
-                let client = self.live_slot(old).map(|s| self.job_slots[s].client.0);
+                let client = self.live_slot(old).map(|s| self.job_hot[s].client.0);
                 self.record(TraceKind::TokenRevoke { job: old.0, client, reason });
             }
             if let Some(new) = to {
-                let client = self.live_slot(new).map(|s| self.job_slots[s].client.0);
+                let client = self.live_slot(new).map(|s| self.job_hot[s].client.0);
                 self.record(TraceKind::TokenGrant { job: new.0, client, reason });
             }
         }
@@ -1170,7 +1282,7 @@ impl Engine<'_> {
             if let Some(slot) = self.live_slot(new) {
                 let telemetry_on = self.telemetry.is_on();
                 let (unblocked, client) = {
-                    let j = &mut self.job_slots[slot];
+                    let j = &mut self.job_hot[slot];
                     j.resume_at = self.now + self.cfg.switch_latency;
                     if telemetry_on {
                         // Hand-off latency runs from here to the holder's
@@ -1204,7 +1316,7 @@ impl Engine<'_> {
                 break;
             };
             if let Some(slot) = self.live_slot(job) {
-                self.job_slots[slot].starving = false;
+                self.job_hot[slot].starving = false;
                 self.dispatch(job);
             }
         }
@@ -1220,18 +1332,18 @@ impl Engine<'_> {
             // Algorithm 2 line 12: scheduler.yield() — a suspended gang's
             // threads park here, keeping their pool slots.
             if !self.scheduler.may_run(job_id) {
-                if self.trace.is_on() && !self.job_slots[slot].yield_blocked {
-                    self.job_slots[slot].yield_blocked = true;
-                    let client = self.job_slots[slot].client.0;
+                if self.trace.is_on() && !self.job_hot[slot].yield_blocked {
+                    self.job_hot[slot].yield_blocked = true;
+                    let client = self.job_hot[slot].client.0;
                     self.record(TraceKind::YieldBlock { job: job_id.0, client });
                 }
                 return;
             }
-            let job = &self.job_slots[slot];
+            let job = &self.job_hot[slot];
             // Gang wake-up latency after a token hand-off.
             if self.now < job.resume_at {
                 let at = job.resume_at;
-                let job = &mut self.job_slots[slot];
+                let job = &mut self.job_hot[slot];
                 if !job.resume_scheduled {
                     job.resume_scheduled = true;
                     self.queue.schedule(at, Event::ResumeJob(job_id));
@@ -1243,7 +1355,7 @@ impl Engine<'_> {
                 // (TF-Serving returns threads as soon as Process() drains).
                 let idle = job.held - job.busy;
                 if idle > 0 {
-                    self.job_slots[slot].held -= idle;
+                    self.job_hot[slot].held -= idle;
                     self.pool_idle += idle;
                     self.wake_starving();
                 }
@@ -1254,16 +1366,16 @@ impl Engine<'_> {
             if job.held == job.busy {
                 if job.held < gang_limit && self.pool_idle > 0 {
                     self.pool_idle -= 1;
-                    self.job_slots[slot].held += 1;
+                    self.job_hot[slot].held += 1;
                 } else {
                     if job.busy == 0 && !job.starving {
-                        self.job_slots[slot].starving = true;
+                        self.job_hot[slot].starving = true;
                         self.starving.push_back(job_id);
                     }
                     return;
                 }
             }
-            let job = &mut self.job_slots[slot];
+            let job = &mut self.job_hot[slot];
             job.busy += 1;
             let node = job.ready.pop_front().expect("checked non-empty");
             self.execute_node(job_id, node);
@@ -1272,9 +1384,11 @@ impl Engine<'_> {
 
     fn execute_node(&mut self, job_id: JobId, node: NodeId) {
         let slot = self.live_slot(job_id).expect("executing a live job");
-        let job = &self.job_slots[slot];
-        let graph = Arc::clone(&job.graph);
-        let client = &mut self.clients[job.client.0 as usize];
+        // Hot/cold split: the graph lives in the cold table, so borrowing it
+        // alongside the mutable client row needs no `Arc` clone.
+        let client_id = self.job_hot[slot].client.0;
+        let graph = &self.job_cold[slot].graph;
+        let client = &mut self.clients[client_id as usize];
         let n = graph.node(node);
         let inflation = if self.cfg.online_profiling {
             1.0 + self.cfg.profiling_inflation
@@ -1313,7 +1427,7 @@ impl Engine<'_> {
             JobRef::Dead => unreachable!("submitting for a dead job"),
         };
         if self.telemetry.is_on() {
-            let j = &mut self.job_slots[slot];
+            let j = &mut self.job_hot[slot];
             if j.granted_at != SimTime::MAX {
                 let granted = std::mem::replace(&mut j.granted_at, SimTime::MAX);
                 self.telemetry.on_handoff(self.now - granted);
@@ -1324,15 +1438,14 @@ impl Engine<'_> {
             // client was shed). The gang thread stays blocked either way.
             return;
         }
-        let job = &self.job_slots[slot];
-        let duration = job.graph.node(node).duration();
-        let tag = JobTag(job.client.0 as u64);
+        let duration = self.job_cold[slot].graph.node(node).duration();
+        let tag = JobTag(self.job_hot[slot].client.0 as u64);
         let inflation = if self.cfg.online_profiling {
             1.0 + self.cfg.profiling_inflation
         } else {
             1.0
         };
-        let dev = self.clients[job.client.0 as usize].device as usize;
+        let dev = self.clients[tag.0 as usize].device as usize;
         let kernel_id = match self.kernel_free.pop() {
             Some(k) => {
                 self.kernels[k as usize] = Some((job_id, node));
@@ -1344,7 +1457,7 @@ impl Engine<'_> {
             }
         };
         if self.trace.records_kernels() {
-            let client = self.job_slots[slot].client.0;
+            let client = self.job_hot[slot].client.0;
             self.record(TraceKind::KernelEnqueue {
                 job: job_id.0,
                 client,
@@ -1369,8 +1482,8 @@ impl Engine<'_> {
     /// kernel was not enqueued and the gang thread stays blocked on it.
     fn kernel_fault_fired(&mut self, job_id: JobId, node: NodeId, slot: usize) -> bool {
         let now = self.now;
-        let c = self.job_slots[slot].client;
-        let started_at = self.job_slots[slot].started_at;
+        let c = self.job_hot[slot].client;
+        let started_at = self.job_cold[slot].started_at;
         let dev = self.clients[c.0 as usize].device;
         let deadline = self.clients[c.0 as usize].spec.run_deadline.map(|d| started_at + d);
         let fr = self.faults.as_mut().expect("fault path entered with faults on");
@@ -1488,7 +1601,7 @@ impl Engine<'_> {
                 // cancelled jobs are dropped, and a job with in-flight work
                 // cannot complete.
                 if let Some(s) = self.live_slot(job) {
-                    let client = self.job_slots[s].client.0;
+                    let client = self.job_hot[s].client.0;
                     self.record(TraceKind::KernelLaunch {
                         job: job.0,
                         client,
@@ -1522,10 +1635,10 @@ impl Engine<'_> {
         if gpu.is_some() {
             // A kernel just finished: its device is free for the next one.
             let dev =
-                self.clients[self.job_slots[slot].client.0 as usize].device as usize;
+                self.clients[self.job_hot[slot].client.0 as usize].device as usize;
             self.pump_device(dev);
         }
-        let job = &mut self.job_slots[slot];
+        let job = &mut self.job_hot[slot];
         job.busy -= 1;
         job.done_nodes += 1;
         if let Some(d) = gpu {
@@ -1580,8 +1693,10 @@ impl Engine<'_> {
             self.apply_verdict(verdict);
             self.schedule_timer();
         }
-        let job = &mut self.job_slots[slot];
-        let graph = Arc::clone(&job.graph);
+        // Split borrow across the SoA halves: children come from the cold
+        // graph while readiness mutates the hot row — no `Arc` clone.
+        let job = &mut self.job_hot[slot];
+        let graph = &self.job_cold[slot].graph;
         for &child in graph.children(node) {
             let r = &mut job.remaining_parents[child.index()];
             debug_assert!(*r > 0, "child readiness underflow");
@@ -1599,8 +1714,17 @@ impl Engine<'_> {
 
     // ---- wrap-up -----------------------------------------------------------
 
-    fn finalize(mut self) -> RunReport {
-        let makespan = self.now;
+    fn finalize(self) -> RunReport {
+        let horizon = self.now;
+        self.finalize_at(horizon)
+    }
+
+    /// [`finalize`](Self::finalize) against an explicit horizon — the
+    /// sharded runner passes the global makespan so per-device utilization
+    /// denominators agree across groups. `horizon >= self.now` required.
+    pub(crate) fn finalize_at(mut self, horizon: SimTime) -> RunReport {
+        debug_assert!(horizon >= self.now, "finalize horizon precedes the clock");
+        let makespan = horizon;
         // Flush the telemetry tail (remaining boundaries plus the final
         // partial snapshot) before the trace ring is sealed, so burn-rate
         // alerts fired at the end of the run still land on the timeline.

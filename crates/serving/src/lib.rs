@@ -52,6 +52,7 @@ pub mod lifecycle {
 }
 mod report;
 mod scheduler;
+pub mod shard;
 pub mod telemetry;
 pub mod trace;
 pub mod workload;
@@ -60,6 +61,7 @@ pub use client::ClientSpec;
 pub use config::EngineConfig;
 pub use engine::run_experiment;
 pub use report::{ClientOutcome, ClientReport, RunReport};
+pub use shard::run_sharded_experiment;
 pub use scheduler::{
     ClientId, FifoScheduler, JobCtx, JobId, RegisterError, Scheduler, SchedulerProbe, Verdict,
 };

@@ -117,7 +117,7 @@ impl std::error::Error for RegisterError {}
 ///   completes — where cost accumulates and quanta expire,
 /// * [`next_timer`](Scheduler::next_timer) / [`on_timer`](Scheduler::on_timer)
 ///   for wall-clock-quantum schedulers (the paper's Figure 19 ablation).
-pub trait Scheduler: fmt::Debug {
+pub trait Scheduler: fmt::Debug + Send {
     /// Admits a job. May immediately grant it the token.
     ///
     /// # Errors

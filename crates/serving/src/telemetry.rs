@@ -13,6 +13,6 @@
 
 pub use telemetry::{
     json_lines, prometheus_text, Alert, BurnSignal, BurnWindows, DriftConfig, DriftDetector,
-    DriftSignal, EngineGauges, HistogramSnapshot, MetricsRegistry, SloMonitor, SloSpec, Snapshot,
+    DriftSignal, EngineGauges, HistogramSnapshot, MetricsRegistry, SloMonitor, SloSpec, SnapshotSeries, SnapshotView,
     TelemetryConfig, TelemetryHub, TelemetryReport,
 };

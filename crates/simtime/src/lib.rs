@@ -33,10 +33,12 @@
 mod queue;
 mod rng;
 mod time;
+mod wheel;
 
 pub use queue::{BaselineEventQueue, EventQueue};
 pub use rng::DetRng;
 pub use time::{SimDuration, SimTime};
+pub use wheel::TimingWheel;
 
 /// Union of possibly-overlapping `[start, end)` intervals, used to measure
 /// "GPU duration" exactly as the paper defines it (Figure 5): the total time

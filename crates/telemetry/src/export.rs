@@ -13,7 +13,7 @@
 //! {"type":"alert", ...}       // merged into the stream in time order
 //! ```
 
-use crate::{Alert, Snapshot, TelemetryReport};
+use crate::{Alert, SnapshotView, TelemetryReport};
 use microjson::Value;
 
 fn f(v: f64) -> Value {
@@ -68,23 +68,23 @@ fn alert_value(a: &Alert) -> Value {
     }
 }
 
-fn snapshot_value(r: &TelemetryReport, s: &Snapshot) -> Value {
+fn snapshot_value(r: &TelemetryReport, s: SnapshotView<'_>) -> Value {
     let counters = r
         .counter_names
         .iter()
-        .zip(&s.counters)
+        .zip(s.counters)
         .map(|(n, v)| (n.to_string(), Value::UInt(*v)))
         .collect();
     let gauges = r
         .gauge_names
         .iter()
-        .zip(&s.gauges)
+        .zip(s.gauges)
         .map(|(n, v)| (n.to_string(), f(*v)))
         .collect();
     let hists = r
         .hist_names
         .iter()
-        .zip(&s.hists)
+        .zip(s.hists)
         .map(|(n, h)| {
             (
                 n.to_string(),
@@ -149,7 +149,7 @@ pub fn json_lines(r: &TelemetryReport) -> String {
     );
     // Merge: alerts at time <= a snapshot's boundary stream before it.
     let mut ai = 0;
-    for s in &r.snapshots {
+    for s in r.snapshots.iter() {
         while ai < r.alerts.len() && r.alerts[ai].at() <= s.at {
             obj_line(&mut out, alert_value(&r.alerts[ai]));
             ai += 1;
@@ -176,17 +176,17 @@ pub fn prometheus_text(r: &TelemetryReport) -> String {
     let Some(last) = r.last() else {
         return out;
     };
-    for (name, v) in r.counter_names.iter().zip(&last.counters) {
+    for (name, v) in r.counter_names.iter().zip(last.counters) {
         out.push_str(&format!("# TYPE olympian_{name} counter\n"));
         out.push_str(&format!("olympian_{name} {v}\n"));
     }
-    for (name, v) in r.gauge_names.iter().zip(&last.gauges) {
+    for (name, v) in r.gauge_names.iter().zip(last.gauges) {
         out.push_str(&format!("# TYPE olympian_{name} gauge\n"));
         out.push_str(&format!("olympian_{name} "));
         push_prom_number(&mut out, *v);
         out.push('\n');
     }
-    for (name, h) in r.hist_names.iter().zip(&last.hists) {
+    for (name, h) in r.hist_names.iter().zip(last.hists) {
         out.push_str(&format!("# TYPE olympian_{name} summary\n"));
         out.push_str(&format!("olympian_{name}{{quantile=\"0.5\"}} "));
         push_prom_number(&mut out, h.p50);

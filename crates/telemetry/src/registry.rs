@@ -63,19 +63,43 @@ pub struct Histogram {
     count: u64,
     sum: u64,
     max: u64,
+    /// Occupied bucket range (`lo..=hi`), so quantile scans touch only the
+    /// populated span instead of all [`BUCKETS`] cells. `lo > hi` ⇔ empty.
+    lo: usize,
+    hi: usize,
+    /// Snapshot as of the last [`snap`](Self::snap), valid while `!dirty`.
+    /// Histograms are cumulative, so a boundary with no new observations
+    /// reuses the cached row instead of re-running the quantile scans —
+    /// at snapshot cadences far above the observation rate that is almost
+    /// every boundary.
+    cache: HistogramSnapshot,
+    dirty: bool,
 }
 
 impl Histogram {
     fn new() -> Histogram {
-        Histogram { counts: vec![0; BUCKETS], count: 0, sum: 0, max: 0 }
+        Histogram {
+            counts: vec![0; BUCKETS],
+            count: 0,
+            sum: 0,
+            max: 0,
+            lo: BUCKETS,
+            hi: 0,
+            cache: HistogramSnapshot::default(),
+            dirty: false,
+        }
     }
 
     #[inline]
     fn observe(&mut self, v: u64) {
-        self.counts[bucket_of(v)] += 1;
+        let b = bucket_of(v);
+        self.counts[b] += 1;
         self.count += 1;
         self.sum += v;
         self.max = self.max.max(v);
+        self.lo = self.lo.min(b);
+        self.hi = self.hi.max(b);
+        self.dirty = true;
     }
 
     /// Number of observations.
@@ -102,23 +126,59 @@ impl Histogram {
         }
         let rank = ((q * self.count as f64).ceil() as u64).max(1);
         let mut seen = 0u64;
-        for (i, &c) in self.counts.iter().enumerate() {
-            seen += u64::from(c);
+        for i in self.lo..=self.hi {
+            seen += u64::from(self.counts[i]);
             if seen >= rank {
                 return Some(bucket_mid(i));
             }
         }
-        Some(bucket_mid(BUCKETS - 1))
+        Some(bucket_mid(self.hi))
     }
 
-    /// Compact copy for a snapshot.
+    /// Compact copy for a snapshot: the cached row when nothing changed
+    /// since the last [`snap_mut`](Self::snap_mut), else one fused scan.
     pub fn snap(&self) -> HistogramSnapshot {
+        if self.dirty { self.compute_snap() } else { self.cache }
+    }
+
+    /// Like [`snap`](Self::snap), but refreshes the cache so later calls
+    /// on an unchanged histogram are a struct copy.
+    fn snap_mut(&mut self) -> HistogramSnapshot {
+        if self.dirty {
+            self.cache = self.compute_snap();
+            self.dirty = false;
+        }
+        self.cache
+    }
+
+    /// Builds the snapshot row with p50 and p99 resolved in a single pass
+    /// over the occupied bucket span. Produces exactly what
+    /// [`quantile`](Self::quantile)`(0.50)` / `(0.99)` produce.
+    fn compute_snap(&self) -> HistogramSnapshot {
+        if self.count == 0 {
+            return HistogramSnapshot::default();
+        }
+        let r50 = ((0.50 * self.count as f64).ceil() as u64).max(1);
+        let r99 = ((0.99 * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        let mut p50 = None;
+        let mut p99 = None;
+        for i in self.lo..=self.hi {
+            seen += u64::from(self.counts[i]);
+            if p50.is_none() && seen >= r50 {
+                p50 = Some(bucket_mid(i));
+            }
+            if seen >= r99 {
+                p99 = Some(bucket_mid(i));
+                break;
+            }
+        }
         HistogramSnapshot {
             count: self.count,
             sum: self.sum,
             max: self.max,
-            p50: self.quantile(0.50).unwrap_or(0.0),
-            p99: self.quantile(0.99).unwrap_or(0.0),
+            p50: p50.unwrap_or_else(|| bucket_mid(self.hi)),
+            p99: p99.unwrap_or_else(|| bucket_mid(self.hi)),
         }
     }
 }
@@ -147,7 +207,17 @@ pub struct MetricsRegistry {
     gauges: Vec<f64>,
     hist_names: Vec<&'static str>,
     hists: Vec<Histogram>,
+    /// Histogram observations buffered since the last [`flush`]: recording
+    /// is a contiguous push, and the bucket math runs batched at snapshot
+    /// boundaries where its cache footprint is paid once.
+    ///
+    /// [`flush`]: MetricsRegistry::flush
+    pending: Vec<(u32, u64)>,
 }
+
+/// Pending-observation high-water mark: [`MetricsRegistry::observe`]
+/// self-flushes past this, bounding buffer memory between snapshots.
+const FLUSH_AT: usize = 4096;
 
 impl MetricsRegistry {
     /// An empty registry.
@@ -188,10 +258,27 @@ impl MetricsRegistry {
         self.gauges[id.0 as usize] = v;
     }
 
-    /// Records one histogram observation.
+    /// Records one histogram observation. Buffered: the observation counts
+    /// toward the histogram only after [`flush`](Self::flush), which every
+    /// snapshot path runs first — readers of [`hist`](Self::hist) and
+    /// [`hist_snaps`](Self::hist_snaps) must do the same.
     #[inline]
     pub fn observe(&mut self, id: HistogramId, v: u64) {
-        self.hists[id.0 as usize].observe(v);
+        self.pending.push((id.0, v));
+        if self.pending.len() >= FLUSH_AT {
+            self.flush();
+        }
+    }
+
+    /// Applies all buffered observations to their histograms, in recording
+    /// order.
+    pub fn flush(&mut self) {
+        let mut pending = std::mem::take(&mut self.pending);
+        for &(id, v) in &pending {
+            self.hists[id as usize].observe(v);
+        }
+        pending.clear();
+        self.pending = pending;
     }
 
     /// Current counter value.
@@ -204,7 +291,8 @@ impl MetricsRegistry {
         self.gauges[id.0 as usize]
     }
 
-    /// Read access to a histogram.
+    /// Read access to a histogram. Call [`flush`](Self::flush) first if
+    /// observations were recorded since the last snapshot.
     pub fn hist(&self, id: HistogramId) -> &Histogram {
         &self.hists[id.0 as usize]
     }
@@ -238,6 +326,14 @@ impl MetricsRegistry {
     /// [`hist_names`](Self::hist_names).
     pub fn hist_snaps(&self) -> Vec<HistogramSnapshot> {
         self.hists.iter().map(Histogram::snap).collect()
+    }
+
+    /// Appends a snapshot of every histogram to `out`, in registration
+    /// order — the allocation-free form of [`hist_snaps`](Self::hist_snaps)
+    /// for callers that batch rows into shared storage. Takes `&mut self`
+    /// so unchanged histograms serve their cached rows.
+    pub fn snap_hists_into(&mut self, out: &mut Vec<HistogramSnapshot>) {
+        out.extend(self.hists.iter_mut().map(Histogram::snap_mut));
     }
 }
 
@@ -308,6 +404,7 @@ mod tests {
         r.inc(c, 3);
         r.set_gauge(g, 7.5);
         r.observe(h, 100);
+        r.flush();
         assert_eq!(r.counter_value(c), 5);
         assert_eq!(r.gauge_value(g), 7.5);
         assert_eq!(r.hist(h).count(), 1);

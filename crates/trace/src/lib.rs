@@ -435,6 +435,69 @@ impl TraceKind {
         )
     }
 
+    /// Rewrites the client, device and job ids embedded in this kind —
+    /// the typed half of the sharded-run trace merge, where each device
+    /// group records with group-local ids that must be lifted into the
+    /// global namespace. Sentinel ids (`u64::MAX` job / `u32::MAX` node on
+    /// admission retries) pass through unchanged; lifecycle and SLO events
+    /// carry plan-local indices, not engine ids, and are left untouched.
+    pub fn remap_ids(
+        &mut self,
+        client_of: &dyn Fn(u32) -> u32,
+        device_of: &dyn Fn(u32) -> u32,
+        job_of: &dyn Fn(u64) -> u64,
+    ) {
+        let j = |job: &mut u64| {
+            if *job != u64::MAX {
+                *job = job_of(*job);
+            }
+        };
+        match self {
+            TraceKind::ClientAdmitted { client }
+            | TraceKind::ClientRejectedOom { client, .. }
+            | TraceKind::ClientFinished { client }
+            | TraceKind::DriftAlert { client, .. }
+            | TraceKind::AllocFault { client, .. }
+            | TraceKind::BreakerTransition { client, .. } => *client = client_of(*client),
+            TraceKind::RunRegistered { job, client }
+            | TraceKind::RunCompleted { job, client }
+            | TraceKind::DeadlineCancelled { job, client }
+            | TraceKind::QuantumEnd { job, client, .. }
+            | TraceKind::CostThreshold { job, client, .. }
+            | TraceKind::YieldBlock { job, client }
+            | TraceKind::YieldUnblock { job, client }
+            | TraceKind::RetryScheduled { job, client, .. }
+            | TraceKind::WatchdogRevoke { job, client, .. } => {
+                *client = client_of(*client);
+                j(job);
+            }
+            TraceKind::TokenRevoke { job, client, .. }
+            | TraceKind::TokenGrant { job, client, .. } => {
+                if let Some(c) = client {
+                    *c = client_of(*c);
+                }
+                j(job);
+            }
+            TraceKind::OverflowCharge { job, client, device, .. }
+            | TraceKind::KernelEnqueue { job, client, device, .. }
+            | TraceKind::KernelLaunch { job, client, device, .. }
+            | TraceKind::KernelComplete { job, client, device, .. }
+            | TraceKind::KernelFault { job, client, device, .. } => {
+                *client = client_of(*client);
+                *device = device_of(*device);
+                j(job);
+            }
+            TraceKind::DeviceStall { device, .. } => *device = device_of(*device),
+            TraceKind::SloBurnAlert { .. }
+            | TraceKind::VersionLoad { .. }
+            | TraceKind::WarmupRun { .. }
+            | TraceKind::Evict { .. }
+            | TraceKind::CanaryPromote { .. }
+            | TraceKind::CanaryRollback { .. }
+            | TraceKind::Drain { .. } => {}
+        }
+    }
+
     /// The client the event belongs to, when known.
     pub fn client(&self) -> Option<u32> {
         match *self {
