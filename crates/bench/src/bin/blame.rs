@@ -1,0 +1,8 @@
+//! Renders the latency-blame report. See `bench::figs::blame`.
+
+fn main() {
+    let out = bench::figs::blame::run();
+    print!("{out}");
+    let path = bench::save_result("blame.txt", &out);
+    eprintln!("(saved to {})", path.display());
+}

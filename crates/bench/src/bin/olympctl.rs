@@ -16,6 +16,8 @@
 //! olympctl trace   <experiment> [--out trace.json] [--mode sampled|full]
 //! olympctl metrics <experiment> [--interval-us N] [--out telemetry.jsonl]
 //!                  [--prom metrics.prom]
+//! olympctl blame   <experiment> [--vs <experiment>] [--out blame.json]
+//!                  [--trace phases.json]
 //! olympctl chaos   <scenario>   [--scheduler olympian|fifo|both]
 //! olympctl lifecycle <scenario>
 //! ```
@@ -35,6 +37,14 @@
 //! thread and with `--shards N` (default: all cores), verifies the two
 //! reports are byte-identical — the shard-count invariance contract — and
 //! prints the throughput of each plus the parallel speedup.
+//!
+//! `blame` runs a named telemetered experiment with tracing on and prints
+//! its latency attribution: the per-phase decomposition of every run (the
+//! phases tile each span exactly), the critical path of the makespan, and
+//! — with `--vs` — a p99 blame diff against a baseline experiment. `--out`
+//! writes the machine-readable `blame/v1` JSON document; `--trace` writes
+//! Chrome trace-event JSON with the phase slices and the highlighted
+//! critical path on their own process.
 //!
 //! `chaos` runs a named fault-injection scenario (see
 //! `bench::figs::chaos::scenarios`) with the full recovery stack on —
@@ -69,6 +79,8 @@ fn usage() -> ExitCode {
          olympctl trace <experiment> [--out <trace.json>] [--mode sampled|full]\n  \
          olympctl metrics <experiment> [--interval-us <n>] [--out <telemetry.jsonl>]\n                   \
          [--prom <metrics.prom>]\n  \
+         olympctl blame <experiment> [--vs <experiment>] [--out <blame.json>]\n                 \
+         [--trace <phases.json>]\n  \
          olympctl chaos <scenario> [--scheduler <olympian|fifo|both>]\n  \
          olympctl lifecycle <scenario>\n  \
          any command also accepts --jobs <n> (worker threads for parallel\n  \
@@ -389,6 +401,7 @@ fn cmd_trace(experiment: &str, flags: &HashMap<String, String>) -> Result<(), St
         report.trace.len(),
         report.trace.dropped
     );
+    print_track_summary(&report.trace);
     println!("token switches : {}", stats.token_switches);
     if stats.quantum.count > 0 {
         println!(
@@ -404,6 +417,80 @@ fn cmd_trace(experiment: &str, flags: &HashMap<String, String>) -> Result<(), St
         );
     }
     println!("wrote {out} — open it at https://ui.perfetto.dev or chrome://tracing");
+    Ok(())
+}
+
+/// Per-track event counts: one line per client track (ascending id) plus
+/// the ownerless scheduler track, so a truncated or lopsided capture is
+/// visible before anyone opens the export in Perfetto.
+fn print_track_summary(trace: &serving::trace::Trace) {
+    let mut per_client: Vec<u64> = Vec::new();
+    let mut scheduler = 0u64;
+    for e in &trace.events {
+        match e.kind.client() {
+            Some(c) => {
+                if per_client.len() <= c as usize {
+                    per_client.resize(c as usize + 1, 0);
+                }
+                per_client[c as usize] += 1;
+            }
+            None => scheduler += 1,
+        }
+    }
+    println!("track summary  :");
+    for (c, n) in per_client.iter().enumerate() {
+        println!("  {:<13}: {n} events", format!("client{c}"));
+    }
+    println!("  {:<13}: {scheduler} events", "scheduler");
+}
+
+fn cmd_blame(experiment: &str, flags: &HashMap<String, String>) -> Result<(), String> {
+    use serving::attrib;
+    let known = |name: &str| bench::telemetered::telemetered_experiment(name).is_some();
+    let names = || -> String {
+        bench::telemetered::telemetered_registry()
+            .iter()
+            .map(|&(n, _)| n)
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+    if !known(experiment) {
+        return Err(format!(
+            "unknown telemetered experiment {experiment:?}; available: {}",
+            names()
+        ));
+    }
+    if let Some(base) = flags.get("vs") {
+        if !known(base) {
+            return Err(format!(
+                "unknown baseline experiment {base:?}; available: {}",
+                names()
+            ));
+        }
+    }
+    let (report, attr) = bench::figs::blame::attribute(experiment);
+    let cp = attrib::critical_path(&attr);
+    let base = flags
+        .get("vs")
+        .map(|b| (b.as_str(), bench::figs::blame::attribute(b).1));
+    let diffed = base.as_ref().map(|(name, b)| (*name, attrib::diff(&attr, b)));
+    let baseline = diffed.as_ref().map(|(n, d)| (*n, d));
+    print!("{}", attrib::render_text(experiment, &attr, &cp, baseline));
+    if let Some(out) = flags.get("out") {
+        let doc = attrib::to_json(experiment, &attr, &cp, baseline);
+        let mut text = String::new();
+        doc.write(&mut text);
+        std::fs::write(out, text).map_err(|e| e.to_string())?;
+        println!("wrote {out}");
+    }
+    if let Some(path) = flags.get("trace") {
+        let json = report.chrome_trace_json_with_phases(&attr, &cp);
+        std::fs::write(path, json).map_err(|e| e.to_string())?;
+        println!(
+            "wrote {path} (phase slices + critical path on the \"phases\" \
+             process) — open it at https://ui.perfetto.dev"
+        );
+    }
     Ok(())
 }
 
@@ -557,6 +644,7 @@ fn main() -> ExitCode {
     // argument (the experiment or scenario) before flags.
     let (positional, flag_args) = if cmd == "trace"
         || cmd == "metrics"
+        || cmd == "blame"
         || cmd == "chaos"
         || cmd == "lifecycle"
     {
@@ -598,6 +686,7 @@ fn main() -> ExitCode {
         "bench" => cmd_bench(&flags),
         "trace" => cmd_trace(positional.as_deref().expect("positional parsed"), &flags),
         "metrics" => cmd_metrics(positional.as_deref().expect("positional parsed"), &flags),
+        "blame" => cmd_blame(positional.as_deref().expect("positional parsed"), &flags),
         "chaos" => cmd_chaos(positional.as_deref().expect("positional parsed"), &flags),
         "lifecycle" => cmd_lifecycle(positional.as_deref().expect("positional parsed")),
         _ => {

@@ -37,7 +37,11 @@
 //!   manager off (`cfg.lifecycle = None`) and with every run routed
 //!   through a managed deployment, with a hard assert that the off-mode
 //!   rate stays within noise of the PR 4 reference (an unmanaged engine
-//!   must not pay for version routing).
+//!   must not pay for version routing);
+//! * the attribution rate: how fast the post-hoc blame pipeline (phase
+//!   sweep, critical path, run diff) rebuilds its report from a fully
+//!   traced run — pure post-processing, so it is recorded rather than
+//!   guarded (the capture cost lives in the tracing section).
 //!
 //! ```text
 //! perfsuite [--smoke] [--jobs N] [--out path]
@@ -686,6 +690,49 @@ fn lifecycle_section(off_eps: f64) -> Value {
     ])
 }
 
+/// Measures the attribution pipeline — phase sweep, critical path, and
+/// run diff — over a fully-traced Olympian run. Attribution is pure
+/// post-processing on the finished trace ring (the capture cost is what the
+/// tracing section guards), so this section records how fast the blame
+/// report can be rebuilt rather than guarding the engine hot path.
+fn attribution_section() -> Value {
+    use serving::attrib::{critical_path, diff};
+    let model = models::mini::small(4);
+    let base = EngineConfig::default();
+    let cfg = base.with_trace(serving::TraceConfig::full());
+    let mut store = ProfileStore::new();
+    store.insert(Profiler::new(&cfg).profile(&model));
+    let store = Arc::new(store);
+    let mut sched = OlympianScheduler::new(
+        Arc::clone(&store),
+        Box::new(RoundRobin::new()),
+        SimDuration::from_micros(200),
+    );
+    let report = run_experiment(&cfg, engine_clients(4, 2), &mut sched);
+    let horizon = cfg.switch_latency + cfg.launch_overhead;
+    let trace_events = report.trace.len() as u64;
+    let probe = report.attribution(horizon);
+    let runs = probe.runs.len() as u64;
+    let m = harness::run("attrib/sweep+critical+diff", || {
+        let attr = report.attribution(horizon);
+        let cp = critical_path(&attr);
+        let d = diff(&attr, &attr);
+        black_box((attr.runs.len(), cp.segments.len(), d.per_client.len()))
+    });
+    let per_sec = m.per_second();
+    let eps = per_sec * trace_events as f64;
+    println!(
+        "  -> attribution: {per_sec:.0} full pipelines/s over {trace_events} trace \
+         events / {runs} runs ({eps:.0} events/s swept)"
+    );
+    Value::Object(vec![
+        ("trace_events".into(), Value::UInt(trace_events)),
+        ("runs".into(), Value::UInt(runs)),
+        ("pipelines_per_sec".into(), Value::Float(per_sec)),
+        ("events_per_sec".into(), Value::Float(eps)),
+    ])
+}
+
 /// Returns the section plus the measured wall clock (0 in smoke mode).
 fn suite_section(smoke: bool, jobs: usize) -> (Value, f64) {
     if smoke {
@@ -815,6 +862,7 @@ fn main() -> ExitCode {
     let telemetry = telemetry_section(oly_eps);
     let faults = faults_section(oly_eps);
     let lifecycle = lifecycle_section(oly_eps);
+    let attribution = attribution_section();
     let (suite, suite_secs) = suite_section(smoke, jobs);
     let seed_reference = seed_reference_section(fifo_eps, oly_eps, suite_secs);
 
@@ -831,6 +879,7 @@ fn main() -> ExitCode {
         ("telemetry".into(), telemetry),
         ("faults".into(), faults),
         ("lifecycle".into(), lifecycle),
+        ("attribution".into(), attribution),
         ("suite".into(), suite),
         ("seed_reference".into(), seed_reference),
     ]);

@@ -5,6 +5,7 @@
 //! text (which the corresponding binary prints and saves under `results/`).
 
 pub mod ablations;
+pub mod blame;
 pub mod chaos;
 pub mod dynamic_workload;
 pub mod fig03;
@@ -74,6 +75,7 @@ pub fn registry() -> Vec<Experiment> {
         ("robustness", robustness::run),
         ("chaos", chaos::run),
         ("lifecycle", lifecycle::run),
+        ("blame", blame::run),
     ]
 }
 

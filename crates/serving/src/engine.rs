@@ -596,7 +596,7 @@ impl Engine<'_> {
                 let model = self.clients[c.0 as usize].spec.model.name().to_string();
                 self.telemetry.bind_client(c.0, &model);
             }
-            self.record(TraceKind::ClientAdmitted { client: c.0 });
+            self.record(TraceKind::ClientAdmitted { client: c.0, device: dev });
             self.start_run(c);
         }
     }
@@ -650,6 +650,7 @@ impl Engine<'_> {
     fn admission_failure(&mut self, c: ClientId, e: gpusim::MemoryError) {
         if self.cfg.queue_admission {
             if !self.admission_waiting.contains(&c) {
+                self.record(TraceKind::AdmissionQueued { client: c.0 });
                 self.admission_waiting.push_back(c);
             }
         } else {
@@ -738,7 +739,7 @@ impl Engine<'_> {
                 let model = self.clients[c.0 as usize].spec.model.name().to_string();
                 self.telemetry.bind_client(c.0, &model);
             }
-            self.record(TraceKind::ClientAdmitted { client: c.0 });
+            self.record(TraceKind::ClientAdmitted { client: c.0, device: dev });
             self.start_run(c);
         }
     }
@@ -753,6 +754,11 @@ impl Engine<'_> {
             let activations = client.spec.model.activation_bytes();
             if self.try_admit(c, dev, model_name, weights, activations) {
                 self.admission_waiting.pop_front();
+                if self.telemetry.is_on() {
+                    let model = self.clients[c.0 as usize].spec.model.name().to_string();
+                    self.telemetry.bind_client(c.0, &model);
+                }
+                self.record(TraceKind::ClientAdmitted { client: c.0, device: dev });
                 self.start_run(c);
             } else {
                 // Head-of-line blocking preserved: admission is FIFO.
@@ -786,7 +792,10 @@ impl Engine<'_> {
                 };
                 self.apply_lifecycle_effects(fx);
                 match route {
-                    Route::Wait => return,
+                    Route::Wait => {
+                        self.record(TraceKind::LifecycleWait { client: c.0 });
+                        return;
+                    }
                     Route::Issue(key) => routed = Some(key),
                 }
             }
@@ -1729,6 +1738,9 @@ impl Engine<'_> {
         // partial snapshot) before the trace ring is sealed, so burn-rate
         // alerts fired at the end of the run still land on the timeline.
         if self.telemetry.is_on() {
+            // Surface the trace ring's drop count before the final snapshot
+            // so it is visible in the last (totals) registry row.
+            self.telemetry.on_trace_dropped(self.trace.dropped());
             let gauges = self.engine_gauges();
             let alerts = self.telemetry.finalize(makespan, &gauges);
             for a in &alerts {

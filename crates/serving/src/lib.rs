@@ -31,6 +31,14 @@
 //! assert!(report.clients[0].is_finished());
 //! ```
 
+pub mod attrib {
+    //! Re-export of the latency-attribution crate: phase decomposition,
+    //! cross-request critical paths and run-diff blame over the trace a
+    //! run captured, consumed via [`RunReport::attribution`].
+    //!
+    //! [`RunReport::attribution`]: crate::RunReport::attribution
+    pub use ::attrib::*;
+}
 pub mod batching;
 mod client;
 mod config;

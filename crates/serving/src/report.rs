@@ -215,6 +215,37 @@ impl RunReport {
         crate::trace::chrome_trace_json(&self.trace, &self.trace_meta())
     }
 
+    /// Decomposes every traced run into latency phases that tile its span
+    /// exactly. `horizon` is the hand-off window charged after each token
+    /// grant — pass the engine's `switch_latency + launch_overhead`.
+    /// Meaningful only when the run captured a trace.
+    pub fn attribution(&self, horizon: SimDuration) -> crate::attrib::Attribution {
+        crate::attrib::Attribution::from_trace(&self.trace, horizon.as_nanos())
+    }
+
+    /// Chrome trace-event JSON with the attribution's phase slices and
+    /// highlighted critical path appended as a third process, next to the
+    /// client and GPU tracks the plain export carries.
+    pub fn chrome_trace_json_with_phases(
+        &self,
+        attr: &crate::attrib::Attribution,
+        path: &crate::attrib::CriticalPath,
+    ) -> String {
+        let mut doc = crate::trace::chrome_trace(&self.trace, &self.trace_meta());
+        if let microjson::Value::Object(fields) = &mut doc {
+            for (key, value) in fields.iter_mut() {
+                if key == "traceEvents" {
+                    if let microjson::Value::Array(events) = value {
+                        events.extend(crate::attrib::phase_trace_rows(attr, path));
+                    }
+                }
+            }
+        }
+        let mut out = String::new();
+        doc.write(&mut out);
+        out
+    }
+
     /// The run's telemetry as a JSON-lines time series (one self-describing
     /// document per line). Meaningful only when the run captured telemetry.
     pub fn telemetry_jsonl(&self) -> String {

@@ -393,6 +393,7 @@ struct Ids {
     c_promotions: CounterId,
     c_rollbacks: CounterId,
     c_drains: CounterId,
+    c_trace_dropped: CounterId,
     g_queue: GaugeId,
     g_pool_idle: GaugeId,
     g_starving: GaugeId,
@@ -489,6 +490,7 @@ impl TelemetryHub {
             c_promotions: registry.counter("canary_promotions"),
             c_rollbacks: registry.counter("canary_rollbacks"),
             c_drains: registry.counter("drains_started"),
+            c_trace_dropped: registry.counter("trace_dropped_events"),
             g_queue: registry.gauge("admission_queue_depth"),
             g_pool_idle: registry.gauge("pool_idle_threads"),
             g_starving: registry.gauge("starving_jobs"),
@@ -736,6 +738,19 @@ impl TelemetryHub {
         }
         let ids = self.ids();
         self.registry.inc(ids.c_warmup_runs, 1);
+    }
+
+    /// The trace ring overwrote `n` events over the whole run (reported
+    /// once at finalization, before the final snapshot). A non-zero value
+    /// flags every trace-derived attribution as computed from a truncated
+    /// stream.
+    #[inline]
+    pub fn on_trace_dropped(&mut self, n: u64) {
+        if !self.on || n == 0 {
+            return;
+        }
+        let ids = self.ids();
+        self.registry.inc(ids.c_trace_dropped, n);
     }
 
     /// A version started draining (lifecycle layer).
@@ -1048,6 +1063,16 @@ mod tests {
         assert!(r.alerts.iter().any(|a| a.kind() == "slo-burn"));
         // Alerts are stamped in non-decreasing time order.
         assert!(r.alerts.windows(2).all(|w| w[0].at() <= w[1].at()));
+    }
+
+    #[test]
+    fn trace_drop_count_lands_in_the_registry() {
+        let mut h = TelemetryHub::new(&TelemetryConfig::enabled(us(100)));
+        h.on_trace_dropped(0);
+        h.on_trace_dropped(7);
+        h.finalize(t(50), &EngineGauges::default());
+        let r = h.into_report(t(50));
+        assert_eq!(r.counter("trace_dropped_events"), Some(7));
     }
 
     #[test]

@@ -144,9 +144,18 @@ pub fn chrome_trace(trace: &Trace, meta: &TraceMeta) -> Value {
                 rows.push(row(u64::from(client), e.at.as_nanos(), None,
                     "overflow-charge".into(), "overflow", args));
             }
-            TraceKind::ClientAdmitted { client } => {
+            TraceKind::ClientAdmitted { client, device } => {
                 rows.push(row(u64::from(client), e.at.as_nanos(), None,
-                    "client-admitted".into(), "lifecycle", Vec::new()));
+                    "client-admitted".into(), "lifecycle",
+                    vec![("device".into(), Value::UInt(u64::from(device)))]));
+            }
+            TraceKind::AdmissionQueued { client } => {
+                rows.push(row(u64::from(client), e.at.as_nanos(), None,
+                    "admission-queued".into(), "lifecycle", Vec::new()));
+            }
+            TraceKind::LifecycleWait { client } => {
+                rows.push(row(u64::from(client), e.at.as_nanos(), None,
+                    "lifecycle-wait".into(), "lifecycle", Vec::new()));
             }
             TraceKind::ClientRejectedOom { client, requested, available } => {
                 rows.push(row(u64::from(client), e.at.as_nanos(), None,
@@ -339,13 +348,21 @@ pub fn chrome_trace(trace: &Trace, meta: &TraceMeta) -> Value {
         events.push(Value::Object(fields));
     }
 
+    let mut other = vec![("dropped_events".into(), Value::UInt(trace.dropped))];
+    if trace.dropped > 0 {
+        other.push((
+            "warning".into(),
+            Value::Str(format!(
+                "{} events were dropped by the flight-recorder ring; this trace \
+                 (and anything attributed from it) is truncated",
+                trace.dropped
+            )),
+        ));
+    }
     Value::Object(vec![
         ("traceEvents".into(), Value::Array(events)),
         ("displayTimeUnit".into(), Value::str("ms")),
-        (
-            "otherData".into(),
-            Value::Object(vec![("dropped_events".into(), Value::UInt(trace.dropped))]),
-        ),
+        ("otherData".into(), Value::Object(other)),
     ])
 }
 
@@ -365,7 +382,7 @@ mod tests {
 
     fn sample_trace() -> Trace {
         let mut b = TraceBuffer::new(&TraceConfig::full());
-        b.record(SimTime::ZERO, TraceKind::ClientAdmitted { client: 0 });
+        b.record(SimTime::ZERO, TraceKind::ClientAdmitted { client: 0, device: 0 });
         b.record(
             SimTime::from_micros(10),
             TraceKind::TokenGrant { job: 0, client: Some(0), reason: SwitchReason::Register },
@@ -494,6 +511,23 @@ mod tests {
         assert_eq!(rows.len(), 2);
         assert_eq!(rows[0].1, 0, "drift alert on the client track");
         assert_eq!(rows[1].1, 1, "slo alert on the scheduler track");
+    }
+
+    #[test]
+    fn ring_drops_produce_a_warning() {
+        let mut b = TraceBuffer::new(&TraceConfig::sampled().with_ring(1));
+        for i in 0..3u32 {
+            b.record(SimTime::from_micros(u64::from(i)), TraceKind::ClientFinished { client: i });
+        }
+        let meta = TraceMeta { client_labels: vec!["c0".into()], device_count: 0 };
+        let doc = chrome_trace(&b.finish(), &meta);
+        let other = doc.get("otherData").unwrap();
+        assert_eq!(other.get("dropped_events").unwrap().as_u64(), Some(2));
+        let warning = other.get("warning").unwrap().as_str().unwrap();
+        assert!(warning.contains("2 events were dropped"));
+        // A clean trace carries no warning key at all.
+        let clean = chrome_trace(&sample_trace(), &meta);
+        assert!(clean.get("otherData").unwrap().get("warning").is_none());
     }
 
     #[test]

@@ -139,6 +139,21 @@ pub enum TraceKind {
     ClientAdmitted {
         /// The admitted client.
         client: u32,
+        /// The device its activations were placed on.
+        device: u32,
+    },
+    /// A client's admission was deferred to the bounded wait queue; the
+    /// attribution layer opens an admission-wait phase here.
+    AdmissionQueued {
+        /// The parked client.
+        client: u32,
+    },
+    /// A run was deferred because the lifecycle manager is still loading or
+    /// warming the target model version; the attribution layer opens a
+    /// load-wait phase here.
+    LifecycleWait {
+        /// The waiting client.
+        client: u32,
     },
     /// A client's admission failed on GPU memory.
     ClientRejectedOom {
@@ -453,12 +468,17 @@ impl TraceKind {
             }
         };
         match self {
-            TraceKind::ClientAdmitted { client }
-            | TraceKind::ClientRejectedOom { client, .. }
+            TraceKind::ClientRejectedOom { client, .. }
             | TraceKind::ClientFinished { client }
+            | TraceKind::AdmissionQueued { client }
+            | TraceKind::LifecycleWait { client }
             | TraceKind::DriftAlert { client, .. }
             | TraceKind::AllocFault { client, .. }
             | TraceKind::BreakerTransition { client, .. } => *client = client_of(*client),
+            TraceKind::ClientAdmitted { client, device } => {
+                *client = client_of(*client);
+                *device = device_of(*device);
+            }
             TraceKind::RunRegistered { job, client }
             | TraceKind::RunCompleted { job, client }
             | TraceKind::DeadlineCancelled { job, client }
@@ -501,9 +521,11 @@ impl TraceKind {
     /// The client the event belongs to, when known.
     pub fn client(&self) -> Option<u32> {
         match *self {
-            TraceKind::ClientAdmitted { client }
+            TraceKind::ClientAdmitted { client, .. }
             | TraceKind::ClientRejectedOom { client, .. }
             | TraceKind::ClientFinished { client }
+            | TraceKind::AdmissionQueued { client }
+            | TraceKind::LifecycleWait { client }
             | TraceKind::RunRegistered { client, .. }
             | TraceKind::RunCompleted { client, .. }
             | TraceKind::DeadlineCancelled { client, .. }
@@ -551,7 +573,15 @@ impl fmt::Display for TraceEvent {
         write!(f, "[{}] ", self.at)?;
         let opt = |c: Option<u32>| c.map_or("-".to_string(), |c| format!("client{c}"));
         match self.kind {
-            TraceKind::ClientAdmitted { client } => write!(f, "client{client} admitted"),
+            TraceKind::ClientAdmitted { client, device } => {
+                write!(f, "client{client} admitted (gpu{device})")
+            }
+            TraceKind::AdmissionQueued { client } => {
+                write!(f, "client{client} queued for admission")
+            }
+            TraceKind::LifecycleWait { client } => {
+                write!(f, "client{client} waiting on lifecycle load/warmup")
+            }
             TraceKind::ClientRejectedOom { client, requested, available } => write!(
                 f,
                 "client{client} rejected (oom: {requested} B requested, {available} B free)"
@@ -732,6 +762,14 @@ impl TraceBuffer {
             }
             _ => self.events.push(event),
         }
+    }
+
+    /// Events overwritten by the ring so far. Available before
+    /// [`finish`](TraceBuffer::finish) so the engine can surface the count
+    /// through telemetry while the buffer is still live.
+    #[inline]
+    pub fn dropped(&self) -> u64 {
+        self.dropped
     }
 
     /// Finishes recording, rotating ring contents into sequence order.

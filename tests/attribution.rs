@@ -1,0 +1,165 @@
+//! End-to-end checks of the attribution layer: exact phase tiling across
+//! scheduler × fault/lifecycle cells, and byte-determinism of the blame
+//! report across worker counts.
+
+use models::LoadedModel;
+use olympian::{OlympianScheduler, ProfileStore, Profiler, RoundRobin, StoreBinder};
+use serving::attrib::{critical_path, render_text, Attribution, Phase};
+use serving::faults::{FaultConfig, FaultPlan};
+use serving::lifecycle::{DeploymentPlan, LifecycleConfig, ModelDeployment};
+use serving::{
+    run_experiment, ClientSpec, EngineConfig, FifoScheduler, RunReport, TraceConfig,
+};
+use simtime::{SimDuration, SimTime};
+use std::sync::Arc;
+use trace::TraceKind;
+
+const QUANTUM: SimDuration = SimDuration::from_micros(200);
+
+fn attribution_of(report: &RunReport) -> Attribution {
+    let cfg = EngineConfig::default();
+    report.attribution(cfg.switch_latency + cfg.launch_overhead)
+}
+
+/// A faulted run: aggressive kernel failures so retries (and their backoff
+/// phases) actually occur, plus a mid-run slowdown window.
+fn faulted_run(olympian: bool) -> RunReport {
+    let plan = FaultPlan::new()
+        .with_kernel_failures(0.2)
+        .with_slowdown(2.0, SimTime::from_millis(1), SimTime::from_millis(2));
+    let cfg = EngineConfig { seed: 11, ..EngineConfig::default() }
+        .with_trace(TraceConfig::full())
+        .with_faults(FaultConfig::new(plan));
+    let model = models::mini::tiny(4);
+    let clients: Vec<ClientSpec> = (0..3).map(|_| ClientSpec::new(model.clone(), 2)).collect();
+    if olympian {
+        let mut store = ProfileStore::new();
+        store.insert(Profiler::new(&cfg).profile(&model));
+        let mut sched =
+            OlympianScheduler::new(Arc::new(store), Box::new(RoundRobin::new()), QUANTUM);
+        run_experiment(&cfg, clients, &mut sched)
+    } else {
+        run_experiment(&cfg, clients, &mut FifoScheduler::new())
+    }
+}
+
+/// Rebadges a mini-zoo model as a named service (deployments and clients
+/// must agree on the name).
+fn service(name: &str) -> LoadedModel {
+    let m = models::mini::tiny(4);
+    LoadedModel::from_parts(
+        name,
+        None,
+        m.batch(),
+        Arc::clone(m.graph()),
+        m.weights_bytes(),
+        m.activation_bytes(),
+    )
+}
+
+/// A lifecycle run: versions load and warm on demand, so runs wait on the
+/// lifecycle manager before registering.
+fn lifecycle_run(olympian: bool) -> RunReport {
+    let services = ["svc-0", "svc-1"];
+    let mut plan = DeploymentPlan::new();
+    for name in services {
+        plan = plan.with_model(ModelDeployment::new(name.to_string(), service(name)));
+    }
+    let mut cfg =
+        EngineConfig { seed: 7, ..EngineConfig::default() }.with_trace(TraceConfig::full());
+    let store = Arc::new(ProfileStore::new());
+    let binder = StoreBinder::calibrate(&cfg, &plan, Arc::clone(&store));
+    cfg = cfg.with_lifecycle(LifecycleConfig::new(plan).with_binder(binder));
+    let clients: Vec<ClientSpec> = services
+        .iter()
+        .map(|name| ClientSpec::new(service(name), 2))
+        .collect();
+    if olympian {
+        let mut sched = OlympianScheduler::new(store, Box::new(RoundRobin::new()), QUANTUM);
+        run_experiment(&cfg, clients, &mut sched)
+    } else {
+        run_experiment(&cfg, clients, &mut FifoScheduler::new())
+    }
+}
+
+/// The tiling property every cell must satisfy: phases sum to each run's
+/// span exactly and the claimed intervals are contiguous over it.
+fn assert_exact_tiling(attr: &Attribution) {
+    assert!(!attr.runs.is_empty());
+    for r in &attr.runs {
+        let sum: u64 = r.phase_ns.iter().sum();
+        assert_eq!(sum, r.span_ns(), "phases must tile job {} exactly", r.job);
+        let mut cursor = r.start_ns;
+        for iv in &r.intervals {
+            assert_eq!(iv.start_ns, cursor, "hole in job {}", r.job);
+            cursor = iv.end_ns;
+        }
+        assert_eq!(cursor, r.end_ns, "job {} not covered to its end", r.job);
+    }
+}
+
+#[test]
+fn phases_tile_exactly_across_scheduler_and_fault_cells() {
+    for olympian in [false, true] {
+        let report = faulted_run(olympian);
+        let attr = attribution_of(&report);
+        assert_exact_tiling(&attr);
+        assert_eq!(attr.token_based, olympian);
+        let totals = attr.phase_totals_ns();
+        // The injected kernel failures schedule real retries, which must
+        // surface as a non-empty backoff phase.
+        let retried = report
+            .trace
+            .filter(|k| matches!(k, TraceKind::RetryScheduled { job, .. } if *job != u64::MAX))
+            .count();
+        if retried > 0 {
+            assert!(totals[Phase::Backoff.index()] > 0, "retries imply backoff time");
+        }
+        if !olympian {
+            assert_eq!(totals[Phase::TokenWait.index()], 0, "fifo has no token wait");
+        }
+    }
+}
+
+#[test]
+fn phases_tile_exactly_across_scheduler_and_lifecycle_cells() {
+    for olympian in [false, true] {
+        let report = lifecycle_run(olympian);
+        let attr = attribution_of(&report);
+        assert_exact_tiling(&attr);
+        let totals = attr.phase_totals_ns();
+        let waited = report
+            .trace
+            .filter(|k| matches!(k, TraceKind::LifecycleWait { .. }))
+            .count();
+        assert!(waited > 0, "on-demand versions must make runs wait on the loader");
+        assert!(totals[Phase::LoadWait.index()] > 0, "lifecycle waits imply load-wait time");
+    }
+}
+
+#[test]
+fn critical_path_blame_accounts_for_the_makespan() {
+    let report = faulted_run(true);
+    let attr = attribution_of(&report);
+    let cp = critical_path(&attr);
+    assert_eq!(cp.span_ns, attr.makespan_ns);
+    let phase_total: u64 = cp.blame_ns.iter().map(|&(_, v)| v).sum();
+    let client_total: u64 = cp.client_blame_ns.iter().sum();
+    assert_eq!(phase_total, cp.span_ns);
+    assert_eq!(client_total, cp.span_ns);
+}
+
+#[test]
+fn blame_report_is_byte_identical_across_job_counts() {
+    let render = |report: &RunReport| {
+        let attr = attribution_of(report);
+        let cp = critical_path(&attr);
+        render_text("cell", &attr, &cp, None)
+    };
+    std::env::remove_var(simpar::JOBS_ENV);
+    let serial = render(&faulted_run(true));
+    std::env::set_var(simpar::JOBS_ENV, "2");
+    let parallel = render(&faulted_run(true));
+    std::env::remove_var(simpar::JOBS_ENV);
+    assert_eq!(serial, parallel, "blame text must not depend on the worker count");
+}
