@@ -15,11 +15,14 @@
 //!                  [--seed 1] [--switch-us 1000]
 //! olympctl trace   <experiment> [--out trace.json] [--mode sampled|full]
 //! olympctl metrics <experiment> [--interval-us N] [--out telemetry.jsonl]
-//!                  [--prom metrics.prom]
+//!                  [--prom metrics.prom] [--store <dir>]
 //! olympctl blame   <experiment> [--vs <experiment>] [--out blame.json]
 //!                  [--trace phases.json]
 //! olympctl chaos   <scenario>   [--scheduler olympian|fifo|both]
 //! olympctl lifecycle <scenario>
+//! olympctl top     <experiment> [--interval-us N] [--fps N] [--rows N]
+//! olympctl query   <expr> [--dir runs] [--run A] [--vs B] [--dash out.html]
+//! olympctl import-bench <BENCH.json> [--dir runs] [--as seed]
 //! ```
 //!
 //! `trace` runs a named experiment (see `bench::traced::traced_registry`)
@@ -56,6 +59,25 @@
 //! memory-budgeted eviction and reload of versioned models, `canary`
 //! rolls out a version 2 both healthy (promoted) and regressed (rolled
 //! back).
+//!
+//! `top` replays a telemetered experiment as a live-refreshing ASCII
+//! dashboard: the run executes once (virtual time), then its time-series
+//! store is played back frame by frame — per-series sparklines growing
+//! toward each snapshot boundary, with the alert feed underneath.
+//!
+//! `query` evaluates a `tsdb` expression against runs stored in the
+//! catalog directory (`metrics --store <dir>` or `import-bench` fill
+//! it): `p99{client=*}` for nearest-rank latency quantiles,
+//! `rate:counter` for event rates, any metric name for its latest value.
+//! `--vs <run>` joins a baseline run into a delta report — regression
+//! checks over stored history alone, no re-simulation. `--dash` writes
+//! the self-contained HTML dashboard (per-series SVG sparklines,
+//! heatmaps, alert markers and — with `--vs` — the delta table).
+//!
+//! `import-bench` flattens a `BENCH_engine.json`-style document into the
+//! catalog (metric `section.key`, deeper path components as a `case`
+//! label), so perf baselines are queryable: `olympctl query
+//! 'engine.events_per_s' --run seed --vs seed`.
 
 use olympian::{
     DeficitRoundRobin, Lottery, MultiGpuScheduler, OlympianScheduler, Policy, Priority,
@@ -78,11 +100,14 @@ fn usage() -> ExitCode {
          [--model <name> --batch <n>] [--policy <fair|baseline>] [--seed <n>]\n  \
          olympctl trace <experiment> [--out <trace.json>] [--mode sampled|full]\n  \
          olympctl metrics <experiment> [--interval-us <n>] [--out <telemetry.jsonl>]\n                   \
-         [--prom <metrics.prom>]\n  \
+         [--prom <metrics.prom>] [--store <dir>]\n  \
          olympctl blame <experiment> [--vs <experiment>] [--out <blame.json>]\n                 \
          [--trace <phases.json>]\n  \
          olympctl chaos <scenario> [--scheduler <olympian|fifo|both>]\n  \
          olympctl lifecycle <scenario>\n  \
+         olympctl top <experiment> [--interval-us <n>] [--fps <n>] [--rows <n>]\n  \
+         olympctl query <expr> [--dir <runs>] [--run <a>] [--vs <b>] [--dash <out.html>]\n  \
+         olympctl import-bench <BENCH.json> [--dir <runs>] [--as <seed>]\n  \
          any command also accepts --jobs <n> (worker threads for parallel\n  \
          sweeps; default: all cores, or OLYMPIAN_JOBS)"
     );
@@ -515,6 +540,17 @@ fn cmd_metrics(experiment: &str, flags: &HashMap<String, String>) -> Result<(), 
     if let Some(prom) = flags.get("prom") {
         std::fs::write(prom, report.prometheus_text()).map_err(|e| e.to_string())?;
     }
+    if let Some(dir) = flags.get("store") {
+        let catalog = serving::tsdb::RunCatalog::open(dir).map_err(|e| e.to_string())?;
+        let store = report.tsdb();
+        let path = catalog.store_run(experiment, &store).map_err(|e| e.to_string())?;
+        println!(
+            "stored run {experiment:?} ({} series, {} points) at {}",
+            store.series_count(),
+            store.total_points(),
+            path.display()
+        );
+    }
     let t = &report.telemetry;
     println!("experiment     : {experiment}");
     println!("scheduler      : {}", report.scheduler_name);
@@ -542,6 +578,202 @@ fn cmd_metrics(experiment: &str, flags: &HashMap<String, String>) -> Result<(), 
     if let Some(prom) = flags.get("prom") {
         println!("wrote {prom}");
     }
+    Ok(())
+}
+
+fn cmd_query(expr_text: &str, flags: &HashMap<String, String>) -> Result<(), String> {
+    use serving::tsdb;
+    let expr = tsdb::Expr::parse(expr_text)?;
+    let dir = flags.get("dir").map(String::as_str).unwrap_or("runs");
+    let catalog = tsdb::RunCatalog::open(dir).map_err(|e| e.to_string())?;
+    let runs = catalog.runs();
+    if runs.is_empty() {
+        return Err(format!(
+            "no stored runs under {dir:?}; fill it with `olympctl metrics <experiment> \
+             --store {dir}` or `olympctl import-bench BENCH_engine.json --dir {dir}`"
+        ));
+    }
+    let vs = flags.get("vs").map(String::as_str);
+    let run = match flags.get("run") {
+        Some(r) => r.clone(),
+        None => catalog
+            .latest(vs)
+            .ok_or_else(|| format!("no stored run other than the baseline under {dir:?}"))?,
+    };
+    let store = catalog.load_run(&run)?;
+    let unit = expr.unit();
+    // Quantiles over the run-latency stream evaluate in ns; print µs.
+    let show = |v: f64| -> String {
+        match unit {
+            "us" => format!("{:.1} us", v / 1_000.0),
+            "/s" => format!("{v:.0} /s"),
+            _ => format!("{v}"),
+        }
+    };
+
+    println!("expr           : {expr_text}");
+    println!("catalog        : {dir} ({} runs)", runs.len());
+    println!("run            : {run}");
+    let base = match vs {
+        Some(b) => {
+            println!("baseline       : {b}");
+            Some((b, catalog.load_run(b)?))
+        }
+        None => None,
+    };
+
+    match &base {
+        None => {
+            let rows = tsdb::evaluate(&store, &expr);
+            if rows.is_empty() {
+                return Err(format!("expression matched no series in run {run:?}"));
+            }
+            let w = rows.iter().map(|r| r.key.len()).max().unwrap_or(0);
+            for r in &rows {
+                println!("{:<w$} : {}", r.key, show(r.value));
+            }
+        }
+        Some((bname, bstore)) => {
+            let rows = tsdb::diff_rows(&store, bstore, &expr);
+            if rows.is_empty() {
+                return Err(format!(
+                    "expression matched no series in {run:?} or {bname:?}"
+                ));
+            }
+            let w = rows.iter().map(|r| r.key.len()).max().unwrap_or(0);
+            let mut delta_sum = 0.0f64;
+            let mut joined = 0usize;
+            for r in &rows {
+                let t = r.target.map_or("·".to_string(), show);
+                let b = r.base.map_or("·".to_string(), show);
+                match r.delta() {
+                    Some(d) => {
+                        delta_sum += d;
+                        joined += 1;
+                        let d_txt = match unit {
+                            "us" => format!("{:+.1} us", d / 1_000.0),
+                            _ => format!("{d:+}"),
+                        };
+                        println!("{:<w$} : {t} (baseline {b}, delta {d_txt})", r.key);
+                    }
+                    None => println!("{:<w$} : {t} (baseline {b})", r.key),
+                }
+            }
+            if joined > 0 {
+                let total = match unit {
+                    "us" => format!("{:+.1} us", delta_sum / 1_000.0),
+                    _ => format!("{delta_sum:+}"),
+                };
+                println!("total delta    : {total} over {joined} series");
+            }
+        }
+    }
+
+    if let Some(path) = flags.get("dash") {
+        let html = tsdb::render_dashboard(
+            &run,
+            &store,
+            base.as_ref().map(|(n, s)| (*n, s)),
+        );
+        std::fs::write(path, html).map_err(|e| e.to_string())?;
+        println!("wrote {path}");
+    }
+    Ok(())
+}
+
+fn cmd_import_bench(path: &str, flags: &HashMap<String, String>) -> Result<(), String> {
+    use serving::tsdb;
+    let name = flags.get("as").map(String::as_str).unwrap_or("seed");
+    let dir = flags.get("dir").map(String::as_str).unwrap_or("runs");
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let doc = microjson::Value::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    let store = tsdb::catalog::import_bench(&doc);
+    if store.series_count() == 0 {
+        return Err(format!("{path}: no numeric sections to import"));
+    }
+    let catalog = tsdb::RunCatalog::open(dir).map_err(|e| e.to_string())?;
+    let stored = catalog.store_run(name, &store).map_err(|e| e.to_string())?;
+    println!(
+        "imported {path} as run {name:?}: {} series at {}",
+        store.series_count(),
+        stored.display()
+    );
+    let keys: Vec<String> =
+        store.sorted_series().iter().take(4).map(|s| store.series_key(s)).collect();
+    println!("sample series  : {}", keys.join(", "));
+    Ok(())
+}
+
+fn cmd_top(experiment: &str, flags: &HashMap<String, String>) -> Result<(), String> {
+    use serving::tsdb;
+    let interval_us: u64 = get_num(flags, "interval-us", 100)?;
+    if interval_us == 0 {
+        return Err("--interval-us: must be positive".into());
+    }
+    let fps: u64 = get_num(flags, "fps", 12)?;
+    let rows: usize = get_num(flags, "rows", 20)?;
+    let Some(f) = bench::telemetered::telemetered_experiment(experiment) else {
+        let names: Vec<&str> = bench::telemetered::telemetered_registry()
+            .iter()
+            .map(|&(n, _)| n)
+            .collect();
+        return Err(format!(
+            "unknown telemetered experiment {experiment:?}; available: {}",
+            names.join(", ")
+        ));
+    };
+    let report = f(SimDuration::from_micros(interval_us));
+    let store = report.tsdb();
+
+    // Pre-extract per-series points once; frames then just slice by time.
+    let series: Vec<(String, Vec<tsdb::Point>)> = store
+        .sorted_series()
+        .into_iter()
+        .map(|s| (store.series_key(s), s.raw().copied().collect()))
+        .take(rows)
+        .collect();
+    let boundaries: Vec<u64> =
+        report.telemetry.snapshots.iter().map(|s| s.at.as_nanos()).collect();
+    if boundaries.is_empty() {
+        return Err("the run produced no telemetry snapshots".into());
+    }
+    // Cap the replay at ~120 frames however long the run was.
+    let stride = boundaries.len().div_ceil(120).max(1);
+    const WIDTH: usize = 48;
+    let key_w = series.iter().map(|(k, _)| k.len()).max().unwrap_or(0).min(44);
+    for (i, &t) in boundaries.iter().enumerate() {
+        let last_frame = i + 1 == boundaries.len();
+        if i % stride != 0 && !last_frame {
+            continue;
+        }
+        // Clear screen + home; plain ANSI so any terminal replays it.
+        print!("\x1b[2J\x1b[H");
+        println!(
+            "olympctl top — {experiment} @ {:.3} ms (snapshot {}/{})",
+            t as f64 / 1e6,
+            i + 1,
+            boundaries.len()
+        );
+        for (key, pts) in &series {
+            let upto = pts.partition_point(|p| p.at_ns <= t);
+            let visible = &pts[..upto];
+            let window = &visible[visible.len().saturating_sub(WIDTH)..];
+            let values: Vec<f64> = window.iter().map(|p| p.value).collect();
+            let spark = metrics::table::render_sparkline(&values);
+            let last = window.last().map_or(String::from("·"), |p| format!("{}", p.value));
+            println!("{key:<key_w$} |{spark:<WIDTH$}| {last}");
+        }
+        let fired: Vec<&tsdb::AlertMark> =
+            store.alerts().iter().filter(|a| a.at_ns <= t).collect();
+        println!("alerts         : {}", fired.len());
+        for a in fired.iter().rev().take(3) {
+            println!("  [{:.3} ms] {} — {}", a.at_ns as f64 / 1e6, a.kind, a.detail);
+        }
+        if !last_frame && fps > 0 {
+            std::thread::sleep(std::time::Duration::from_millis(1000 / fps.max(1)));
+        }
+    }
+    println!("\nreplay done — {} snapshots, {} alerts", boundaries.len(), store.alerts().len());
     Ok(())
 }
 
@@ -640,18 +872,22 @@ fn main() -> ExitCode {
     let Some(cmd) = args.first() else {
         return usage();
     };
-    // `trace`, `metrics`, `chaos` and `lifecycle` take one positional
-    // argument (the experiment or scenario) before flags.
+    // `trace`, `metrics`, `chaos`, `lifecycle`, `top`, `query` and
+    // `import-bench` take one positional argument (the experiment,
+    // scenario, query expression or file) before flags.
     let (positional, flag_args) = if cmd == "trace"
         || cmd == "metrics"
         || cmd == "blame"
         || cmd == "chaos"
         || cmd == "lifecycle"
+        || cmd == "top"
+        || cmd == "query"
+        || cmd == "import-bench"
     {
         match args.get(1) {
             Some(a) if !a.starts_with("--") => (Some(a.clone()), &args[2..]),
             _ => {
-                eprintln!("error: {cmd} needs an experiment name");
+                eprintln!("error: {cmd} needs an argument");
                 return usage();
             }
         }
@@ -689,6 +925,11 @@ fn main() -> ExitCode {
         "blame" => cmd_blame(positional.as_deref().expect("positional parsed"), &flags),
         "chaos" => cmd_chaos(positional.as_deref().expect("positional parsed"), &flags),
         "lifecycle" => cmd_lifecycle(positional.as_deref().expect("positional parsed")),
+        "top" => cmd_top(positional.as_deref().expect("positional parsed"), &flags),
+        "query" => cmd_query(positional.as_deref().expect("positional parsed"), &flags),
+        "import-bench" => {
+            cmd_import_bench(positional.as_deref().expect("positional parsed"), &flags)
+        }
         _ => {
             return usage();
         }

@@ -42,6 +42,12 @@
 //!   sweep, critical path, run diff) rebuilds its report from a fully
 //!   traced run — pure post-processing, so it is recorded rather than
 //!   guarded (the capture cost lives in the tracing section).
+//! * the tsdb guardrail: how fast a telemetry-on run's report ingests into
+//!   the time-series store's tiered rings, with hard asserts that the
+//!   telemetry-off engine rate stays within noise of the PR 7 reference
+//!   (the run-log capture must cost one predicted branch when off) and
+//!   that the capture slows the telemetry-on engine by at most a few
+//!   percent of its PR 7 reference rate.
 //!
 //! ```text
 //! perfsuite [--smoke] [--jobs N] [--out path]
@@ -105,6 +111,21 @@ const PR4_ENGINE_OLYMPIAN_EPS: f64 = 4_857_083.0;
 /// the floor the engine throughput-regression guard compares against.
 const PR5_ENGINE_FIFO_EPS: f64 = 4_783_773.45;
 const PR5_ENGINE_OLYMPIAN_EPS: f64 = 4_260_753.98;
+
+/// PR 7 reference numbers (this suite's own `BENCH_engine.json` before the
+/// time-series store landed) — the baselines the tsdb guardrail compares
+/// against: the telemetry-off engine rate (the run-log capture must cost
+/// one predicted branch when telemetry is off) and the telemetry-on rate
+/// (capture plus ingest must stay within a few percent of it).
+const PR7_ENGINE_FIFO_EPS: f64 = 8_863_691.16;
+const PR7_ENGINE_OLYMPIAN_EPS: f64 = 8_334_878.22;
+const PR7_TELEMETRY_ON_EPS: f64 = 6_610_719.47;
+
+/// Guardrail: the run-log capture the store ingests may grow the relative
+/// cost of turning telemetry on (the within-process on/off throughput
+/// ratio, which cancels machine-speed drift) by at most this much over the
+/// PR 7 reference ratio.
+const TSDB_MAX_INGEST_OVERHEAD: f64 = 0.05;
 
 /// Guardrail: tracing-off throughput must stay above this fraction of the
 /// PR 1 reference. Generous, to absorb machine and run-to-run noise — the
@@ -733,6 +754,113 @@ fn attribution_section() -> Value {
     ])
 }
 
+/// Measures the time-series store: how fast a telemetry-on run's report
+/// ingests into tiered per-series rings, and what fraction of the run's own
+/// wall clock that ingest costs.
+///
+/// # Panics
+///
+/// Panics if telemetry-disabled engine throughput falls below
+/// `TRACE_OFF_NOISE_FLOOR` x the PR 7 reference (the run-log capture the
+/// store ingests must cost one predicted branch per event when telemetry is
+/// off), or if the relative cost of turning telemetry on — measured
+/// back-to-back in this process, so machine-speed drift cancels — grew more
+/// than `TSDB_MAX_INGEST_OVERHEAD` over the PR 7 reference ratio (the
+/// capture must cost a bounds check and three `Vec` pushes per completed
+/// run, nothing more). The post-hoc ingest rate itself is recorded, not
+/// guarded — like attribution, it is pure post-processing off the serving
+/// hot path.
+fn tsdb_section(off_eps: f64) -> Value {
+    use serving::tsdb::Store;
+    let model = models::mini::small(4);
+    let base = EngineConfig::default();
+    let mut store = ProfileStore::new();
+    store.insert(Profiler::new(&base).profile(&model));
+    let store = Arc::new(store);
+    let tc = telemetry::TelemetryConfig::enabled(SimDuration::from_micros(100));
+    let cfg = base.with_telemetry(tc);
+    let sched = || {
+        OlympianScheduler::new(
+            Arc::clone(&store),
+            Box::new(RoundRobin::new()),
+            SimDuration::from_micros(200),
+        )
+    };
+    // Back-to-back off/on runs: the ratio between them is immune to the
+    // machine running hotter or colder than when the references were cut.
+    let off_probe = run_experiment(&base, engine_clients(4, 2), &mut sched());
+    let off_m = harness::run("engine_olympian/telemetry=off(run-log)", || {
+        black_box(run_experiment(&base, engine_clients(4, 2), &mut sched()))
+    });
+    let report = run_experiment(&cfg, engine_clients(4, 2), &mut sched());
+    let run_m = harness::run("engine_olympian/telemetry=on(run-log)", || {
+        black_box(run_experiment(&cfg, engine_clients(4, 2), &mut sched()))
+    });
+    let off_local_eps = off_m.per_second() * off_probe.event_count as f64;
+    let on_eps = run_m.per_second() * report.event_count as f64;
+
+    let probe = Store::from_telemetry(&report.telemetry);
+    let (series, points) = (probe.series_count() as u64, probe.total_points() as u64);
+    let ingest_m = harness::run("tsdb/ingest", || {
+        black_box(Store::from_telemetry(&report.telemetry).total_points())
+    });
+    let points_per_sec = ingest_m.per_second() * points as f64;
+
+    let off_vs_pr7 = off_eps / PR7_ENGINE_OLYMPIAN_EPS;
+    // Relative cost of turning telemetry on, here and at the PR 7 cut —
+    // within-process ratios, so machine-speed drift cancels out of the
+    // comparison.
+    let on_cost = 1.0 - on_eps / off_local_eps.max(1e-9);
+    let pr7_on_cost = 1.0 - PR7_TELEMETRY_ON_EPS / PR7_ENGINE_OLYMPIAN_EPS;
+    let ingest_overhead = (on_cost - pr7_on_cost).max(0.0);
+    println!(
+        "  -> tsdb: ingest {points_per_sec:.0} points/s ({series} series, {points} \
+         points); off {off_vs_pr7:.2}x PR 7 reference, telemetry-on cost {:.1}% \
+         (PR 7 {:.1}%, capture overhead {:.1}%)",
+        on_cost * 100.0,
+        pr7_on_cost * 100.0,
+        ingest_overhead * 100.0
+    );
+    assert!(
+        off_vs_pr7 >= TRACE_OFF_NOISE_FLOOR,
+        "telemetry-disabled engine throughput {off_eps:.0} events/s fell below \
+         {TRACE_OFF_NOISE_FLOOR}x the PR 7 reference {PR7_ENGINE_OLYMPIAN_EPS:.0} — \
+         the run-log capture is no longer free when telemetry is off"
+    );
+    assert!(
+        ingest_overhead <= TSDB_MAX_INGEST_OVERHEAD,
+        "run-log capture grew the telemetry-on cost to {:.1}% of engine \
+         throughput, more than {:.0}% over the PR 7 reference {:.1}%",
+        on_cost * 100.0,
+        TSDB_MAX_INGEST_OVERHEAD * 100.0,
+        pr7_on_cost * 100.0
+    );
+    Value::Object(vec![
+        (
+            "pr7_reference_events_per_sec".into(),
+            Value::Object(vec![
+                ("fifo".into(), Value::Float(PR7_ENGINE_FIFO_EPS)),
+                ("olympian".into(), Value::Float(PR7_ENGINE_OLYMPIAN_EPS)),
+                ("telemetry_on".into(), Value::Float(PR7_TELEMETRY_ON_EPS)),
+            ]),
+        ),
+        ("off_vs_pr7".into(), Value::Float(off_vs_pr7)),
+        ("off_events_per_sec".into(), Value::Float(off_local_eps)),
+        ("on_events_per_sec".into(), Value::Float(on_eps)),
+        ("on_cost".into(), Value::Float(on_cost)),
+        ("pr7_on_cost".into(), Value::Float(pr7_on_cost)),
+        ("series".into(), Value::UInt(series)),
+        ("points".into(), Value::UInt(points)),
+        ("ingest_points_per_sec".into(), Value::Float(points_per_sec)),
+        ("ingest_overhead".into(), Value::Float(ingest_overhead)),
+        (
+            "max_ingest_overhead".into(),
+            Value::Float(TSDB_MAX_INGEST_OVERHEAD),
+        ),
+        ("noise_floor".into(), Value::Float(TRACE_OFF_NOISE_FLOOR)),
+    ])
+}
+
 /// Returns the section plus the measured wall clock (0 in smoke mode).
 fn suite_section(smoke: bool, jobs: usize) -> (Value, f64) {
     if smoke {
@@ -863,6 +991,7 @@ fn main() -> ExitCode {
     let faults = faults_section(oly_eps);
     let lifecycle = lifecycle_section(oly_eps);
     let attribution = attribution_section();
+    let tsdb = tsdb_section(oly_eps);
     let (suite, suite_secs) = suite_section(smoke, jobs);
     let seed_reference = seed_reference_section(fifo_eps, oly_eps, suite_secs);
 
@@ -880,6 +1009,7 @@ fn main() -> ExitCode {
         ("faults".into(), faults),
         ("lifecycle".into(), lifecycle),
         ("attribution".into(), attribution),
+        ("tsdb".into(), tsdb),
         ("suite".into(), suite),
         ("seed_reference".into(), seed_reference),
     ]);

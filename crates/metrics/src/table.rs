@@ -168,8 +168,14 @@ pub fn render_series(series: &[(f64, f64)]) -> String {
 const SPARK_RAMP: &[u8] = b" .:-=+*#@";
 
 /// Renders a one-line ASCII sparkline: one character per value, scaled to
-/// the sample's own `[min, max]` range (a flat series renders as the
-/// middle level).
+/// the sample's own finite `[min, max]` range.
+///
+/// Degenerate inputs degrade instead of failing: a flat series (all
+/// values equal — including a single point) renders entirely at the
+/// middle level rather than dividing by its zero range, and non-finite
+/// values (`NaN`, `±inf`) render as the middle level without entering
+/// the scaling arithmetic — the output is always plain ASCII of the
+/// input's length, never a panic.
 ///
 /// ```
 /// use metrics::table::render_sparkline;
@@ -177,29 +183,29 @@ const SPARK_RAMP: &[u8] = b" .:-=+*#@";
 /// let line = render_sparkline(&[0.0, 1.0, 2.0, 3.0]);
 /// assert_eq!(line.len(), 4);
 /// assert!(line.ends_with('@'));
+/// assert_eq!(render_sparkline(&[7.0, 7.0, 7.0]), "===");
+/// assert_eq!(render_sparkline(&[f64::NAN, 0.0, 4.0]), "= @");
 /// ```
-///
-/// # Panics
-///
-/// Panics if any value is not finite.
 pub fn render_sparkline(values: &[f64]) -> String {
-    assert!(
-        values.iter().all(|v| v.is_finite()),
-        "sparkline values must be finite"
-    );
-    let Some(min) = values.iter().copied().reduce(f64::min) else {
-        return String::new();
+    let mid = SPARK_RAMP[SPARK_RAMP.len() / 2] as char;
+    let mut finite = values.iter().copied().filter(|v| v.is_finite());
+    let Some(first) = finite.next() else {
+        // Empty input or nothing finite to scale against.
+        return values.iter().map(|_| mid).collect();
     };
-    let max = values.iter().copied().reduce(f64::max).expect("non-empty");
+    let (min, max) = finite.fold((first, first), |(lo, hi), v| (lo.min(v), hi.max(v)));
     let range = max - min;
     let top = (SPARK_RAMP.len() - 1) as f64;
     values
         .iter()
         .map(|v| {
+            if !v.is_finite() {
+                return mid;
+            }
             let level = if range == 0.0 {
                 SPARK_RAMP.len() / 2
             } else {
-                (((v - min) / range) * top).round() as usize
+                ((((v - min) / range) * top).round() as usize).min(SPARK_RAMP.len() - 1)
             };
             SPARK_RAMP[level] as char
         })
@@ -312,14 +318,40 @@ mod tests {
     fn sparkline_flat_and_empty() {
         assert_eq!(render_sparkline(&[]), "");
         let flat = render_sparkline(&[5.0; 4]);
-        assert_eq!(flat.len(), 4);
-        assert!(flat.chars().all(|c| c == flat.chars().next().unwrap()));
+        assert_eq!(flat, "====", "flat series renders the mid band");
     }
 
     #[test]
-    #[should_panic(expected = "finite")]
-    fn sparkline_rejects_nan() {
-        render_sparkline(&[1.0, f64::NAN]);
+    fn sparkline_single_point_is_mid_band() {
+        assert_eq!(render_sparkline(&[3.25]), "=");
+        assert_eq!(render_sparkline(&[0.0]), "=");
+    }
+
+    #[test]
+    fn sparkline_nonfinite_degrades_to_mid_band() {
+        // NaN and infinities render as the mid level and never reach the
+        // scaling arithmetic; finite neighbours still scale normally.
+        assert_eq!(render_sparkline(&[1.0, f64::NAN]), "==");
+        assert_eq!(render_sparkline(&[f64::NAN, f64::INFINITY]), "==");
+        let line = render_sparkline(&[0.0, f64::NEG_INFINITY, 8.0]);
+        assert_eq!(line, " =@");
+        assert!(line.is_ascii());
+    }
+
+    #[test]
+    fn sparkline_output_is_nan_free_ascii_of_input_length() {
+        let inputs: &[&[f64]] = &[
+            &[],
+            &[f64::NAN],
+            &[f64::NAN, f64::NAN],
+            &[1.0, 2.0, f64::INFINITY, -1.0],
+            &[-0.0, 0.0],
+        ];
+        for vals in inputs {
+            let line = render_sparkline(vals);
+            assert_eq!(line.chars().count(), vals.len());
+            assert!(line.chars().all(|c| SPARK_RAMP.contains(&(c as u8))));
+        }
     }
 
     #[test]

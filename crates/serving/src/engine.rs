@@ -912,7 +912,7 @@ impl Engine<'_> {
             }
         }
         self.record(TraceKind::RunCompleted { job: job_id.0, client: c.0 });
-        self.telemetry.on_run_complete(c.0, self.now - started_at);
+        self.telemetry.on_run_complete(c.0, self.now - started_at, self.now);
         {
             let cold = &self.job_cold[slot];
             let client = &mut self.clients[c.0 as usize];

@@ -62,6 +62,14 @@ mod report;
 mod scheduler;
 pub mod shard;
 pub mod telemetry;
+pub mod tsdb {
+    //! Re-export of the embedded time-series store: tiered downsampling
+    //! over telemetry, the query layer, the persistent run catalog and
+    //! dashboard rendering, consumed via [`RunReport::tsdb`].
+    //!
+    //! [`RunReport::tsdb`]: crate::RunReport::tsdb
+    pub use ::tsdb::*;
+}
 pub mod trace;
 pub mod workload;
 

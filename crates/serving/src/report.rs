@@ -258,6 +258,15 @@ impl RunReport {
         crate::telemetry::prometheus_text(&self.telemetry)
     }
 
+    /// The run's telemetry ingested into an embedded time-series store:
+    /// every counter/gauge/histogram-digest snapshot, per-client GPU
+    /// time, the exact per-run latency log and the alert stream, ready
+    /// for range/rate/quantile queries, catalog persistence and
+    /// dashboards. Empty when the run captured no telemetry.
+    pub fn tsdb(&self) -> crate::tsdb::Store {
+        crate::tsdb::Store::from_telemetry(&self.telemetry)
+    }
+
     /// Mean scheduling-interval duration in milliseconds, if any.
     pub fn mean_interval_ms(&self) -> Option<f64> {
         if self.scheduling_intervals.is_empty() {

@@ -168,26 +168,62 @@ fn push_prom_number(out: &mut String, v: f64) {
     out.push_str(&format!("{v}"));
 }
 
+/// Escapes a HELP docstring per the 0.0.4 text format: backslash and
+/// line feed only (quotes are legal in HELP text).
+pub fn escape_help(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Escapes a label value per the 0.0.4 text format: backslash, double
+/// quote and line feed.
+pub fn escape_label(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+fn push_prom_header(out: &mut String, name: &str, kind: &str, help: &str) {
+    out.push_str(&format!("# HELP olympian_{name} {}\n", escape_help(help)));
+    out.push_str(&format!("# TYPE olympian_{name} {kind}\n"));
+}
+
 /// Renders the final registry state as Prometheus text exposition
 /// (version 0.0.4): counters, gauges, summary-style histogram quantiles
-/// and per-client GPU attribution.
+/// and per-client GPU attribution. Label values and HELP strings are
+/// escaped per the format (`\\`, `\"`, `\n`), so adversarial model names
+/// cannot break the line structure.
 pub fn prometheus_text(r: &TelemetryReport) -> String {
     let mut out = String::new();
     let Some(last) = r.last() else {
         return out;
     };
     for (name, v) in r.counter_names.iter().zip(last.counters) {
-        out.push_str(&format!("# TYPE olympian_{name} counter\n"));
+        push_prom_header(&mut out, name, "counter", &format!("Telemetry counter {name}."));
         out.push_str(&format!("olympian_{name} {v}\n"));
     }
     for (name, v) in r.gauge_names.iter().zip(last.gauges) {
-        out.push_str(&format!("# TYPE olympian_{name} gauge\n"));
+        push_prom_header(&mut out, name, "gauge", &format!("Telemetry gauge {name}."));
         out.push_str(&format!("olympian_{name} "));
         push_prom_number(&mut out, *v);
         out.push('\n');
     }
     for (name, h) in r.hist_names.iter().zip(last.hists) {
-        out.push_str(&format!("# TYPE olympian_{name} summary\n"));
+        push_prom_header(&mut out, name, "summary", &format!("Telemetry histogram {name}."));
         out.push_str(&format!("olympian_{name}{{quantile=\"0.5\"}} "));
         push_prom_number(&mut out, h.p50);
         out.push('\n');
@@ -197,7 +233,12 @@ pub fn prometheus_text(r: &TelemetryReport) -> String {
         out.push_str(&format!("olympian_{name}_sum {}\n", h.sum));
         out.push_str(&format!("olympian_{name}_count {}\n", h.count));
     }
-    out.push_str("# TYPE olympian_client_gpu_ns gauge\n");
+    push_prom_header(
+        &mut out,
+        "client_gpu_ns",
+        "gauge",
+        "Cumulative GPU time attributed to each client.",
+    );
     for (client, gpu) in last.client_gpu_ns.iter().enumerate() {
         let model = r
             .client_models
@@ -205,7 +246,8 @@ pub fn prometheus_text(r: &TelemetryReport) -> String {
             .map(String::as_str)
             .unwrap_or("unknown");
         out.push_str(&format!(
-            "olympian_client_gpu_ns{{client=\"{client}\",model=\"{model}\"}} {gpu}\n"
+            "olympian_client_gpu_ns{{client=\"{client}\",model=\"{}\"}} {gpu}\n",
+            escape_label(model)
         ));
     }
     out
@@ -223,6 +265,10 @@ mod tests {
         SimDuration::from_micros(v)
     }
 
+    fn t(v: u64) -> SimTime {
+        SimTime::from_micros(v)
+    }
+
     fn busy_report() -> TelemetryReport {
         let cfg = TelemetryConfig::enabled(us(100))
             .with_slo(SloSpec::new("m", us(100), 0.1))
@@ -233,7 +279,7 @@ mod tests {
         let g = EngineGauges::default();
         for i in 0..6u64 {
             h.on_quantum(0, us(320), SimTime::from_micros(i * 80 + 10));
-            h.on_run_complete(0, us(400));
+            h.on_run_complete(0, us(400), t(400));
             h.tick(SimTime::from_micros((i + 1) * 80), &g);
         }
         h.finalize(SimTime::from_micros(480), &g);
@@ -288,6 +334,68 @@ mod tests {
             assert!(name.starts_with("olympian_"), "bad metric name {name}");
             value.parse::<f64>().unwrap_or_else(|_| panic!("bad value {value}"));
         }
+    }
+
+    /// Inverse of the 0.0.4 label-value escaping, for the round-trip
+    /// check below.
+    fn unescape_label(s: &str) -> String {
+        let mut out = String::new();
+        let mut chars = s.chars();
+        while let Some(c) = chars.next() {
+            if c != '\\' {
+                out.push(c);
+                continue;
+            }
+            match chars.next() {
+                Some('\\') => out.push('\\'),
+                Some('"') => out.push('"'),
+                Some('n') => out.push('\n'),
+                Some(other) => {
+                    out.push('\\');
+                    out.push(other);
+                }
+                None => out.push('\\'),
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn adversarial_label_values_roundtrip() {
+        const EVIL: &str = "mo\\del \"v2\"\nwith newline";
+        let cfg = TelemetryConfig::enabled(us(100));
+        let mut h = TelemetryHub::new(&cfg);
+        h.bind_client(0, EVIL);
+        h.on_quantum(0, us(50), SimTime::from_micros(10));
+        h.on_run_complete(0, us(60), t(60));
+        h.finalize(SimTime::from_micros(100), &EngineGauges::default());
+        let r = h.into_report(SimTime::from_micros(100));
+        let text = prometheus_text(&r);
+
+        // The exposition stays line-structured: every line is a comment
+        // or `name[{labels}] value` — the raw newline never leaks.
+        let gpu_line = text
+            .lines()
+            .find(|l| l.starts_with("olympian_client_gpu_ns{"))
+            .expect("per-client gpu line");
+        let (_, rest) = gpu_line.split_once("model=\"").unwrap();
+        let (escaped, _) = rest.rsplit_once("\"}").unwrap();
+        assert_eq!(escaped, "mo\\\\del \\\"v2\\\"\\nwith newline");
+        assert_eq!(unescape_label(escaped), EVIL, "escape/unescape must round-trip");
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            assert!(line.rsplit_once(' ').is_some(), "metric line shape broke: {line:?}");
+        }
+    }
+
+    #[test]
+    fn help_lines_escape_and_precede_types() {
+        let r = busy_report();
+        let text = prometheus_text(&r);
+        let help = text.find("# HELP olympian_runs_completed").expect("HELP line");
+        let ty = text.find("# TYPE olympian_runs_completed").expect("TYPE line");
+        assert!(help < ty, "HELP must precede TYPE");
+        assert_eq!(escape_help("a\\b\nc\"d"), "a\\\\b\\nc\"d");
+        assert_eq!(escape_label("a\\b\nc\"d"), "a\\\\b\\nc\\\"d");
     }
 
     #[test]

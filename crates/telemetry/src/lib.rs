@@ -36,7 +36,7 @@ pub mod registry;
 pub mod slo;
 
 pub use drift::{DriftConfig, DriftDetector, DriftSignal};
-pub use export::{json_lines, prometheus_text};
+pub use export::{escape_help, escape_label, json_lines, prometheus_text};
 pub use registry::{CounterId, GaugeId, HistogramId, HistogramSnapshot, MetricsRegistry};
 pub use slo::{BurnSignal, BurnWindows, SloMonitor, SloSpec};
 
@@ -315,6 +315,38 @@ impl SnapshotSeries {
     }
 }
 
+/// The exact per-run completion log in struct-of-arrays layout: one row
+/// per completed run, in completion order. The registry's log-linear
+/// latency histogram is cheap but lossy (bucket-midpoint quantiles); this
+/// log is the loss-free stream the `tsdb` layer ingests so stored runs
+/// reproduce nearest-rank quantiles — and blame deltas — exactly.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RunLog {
+    /// Completion time per run.
+    pub at: Vec<SimTime>,
+    /// Completing client per run.
+    pub client: Vec<u32>,
+    /// Registration-to-completion latency per run.
+    pub latency: Vec<SimDuration>,
+}
+
+impl RunLog {
+    /// Number of logged runs.
+    pub fn len(&self) -> usize {
+        self.at.len()
+    }
+
+    /// Whether no run was logged.
+    pub fn is_empty(&self) -> bool {
+        self.at.is_empty()
+    }
+
+    /// Rows as `(at, client, latency)`, completion order.
+    pub fn iter(&self) -> impl Iterator<Item = (SimTime, u32, SimDuration)> + '_ {
+        (0..self.len()).map(|i| (self.at[i], self.client[i], self.latency[i]))
+    }
+}
+
 /// The finished telemetry of one run.
 #[derive(Debug, Clone, Default)]
 pub struct TelemetryReport {
@@ -338,6 +370,8 @@ pub struct TelemetryReport {
     pub snapshots: SnapshotSeries,
     /// Alerts in time order.
     pub alerts: Vec<Alert>,
+    /// Exact per-run completion log, completion order.
+    pub run_log: RunLog,
 }
 
 impl TelemetryReport {
@@ -438,6 +472,7 @@ pub struct TelemetryHub {
     /// boundaries so the snapshot path stays allocation-free.
     shares_scratch: Vec<f64>,
     alerts: Vec<Alert>,
+    run_log: RunLog,
 }
 
 impl TelemetryHub {
@@ -463,6 +498,7 @@ impl TelemetryHub {
                 snapshots: SnapshotSeries::default(),
                 shares_scratch: Vec::new(),
                 alerts: Vec::new(),
+                run_log: RunLog::default(),
             };
         }
         let mut registry = MetricsRegistry::new();
@@ -527,6 +563,7 @@ impl TelemetryHub {
             snapshots: SnapshotSeries::default(),
             shares_scratch: Vec::new(),
             alerts: Vec::new(),
+            run_log: RunLog::default(),
         }
     }
 
@@ -817,15 +854,19 @@ impl TelemetryHub {
         Some(alert)
     }
 
-    /// A run completed with the given latency: feeds the latency histogram
-    /// and the owning model's SLO window.
-    pub fn on_run_complete(&mut self, client: u32, latency: SimDuration) {
+    /// A run completed with the given latency at virtual time `at`: feeds
+    /// the latency histogram, the exact run log and the owning model's
+    /// SLO window.
+    pub fn on_run_complete(&mut self, client: u32, latency: SimDuration, at: SimTime) {
         if !self.on {
             return;
         }
         let ids = self.ids();
         self.registry.inc(ids.c_runs_completed, 1);
         self.registry.observe(ids.h_latency, latency.as_nanos() / 1_000);
+        self.run_log.at.push(at);
+        self.run_log.client.push(client);
+        self.run_log.latency.push(latency);
         let Some(state) = self.clients.get(client as usize) else { return };
         if let Some(slo) = state.slo {
             let breach = latency > self.slo_specs[slo as usize].objective;
@@ -932,6 +973,7 @@ impl TelemetryHub {
             slos: self.slo_specs,
             snapshots: self.snapshots,
             alerts: self.alerts,
+            run_log: self.run_log,
         }
     }
 }
@@ -955,7 +997,7 @@ mod tests {
         assert_eq!(h.next_due(), SimTime::MAX);
         h.bind_client(0, "m");
         assert_eq!(h.on_quantum(0, us(100), t(10)), None);
-        h.on_run_complete(0, us(50));
+        h.on_run_complete(0, us(50), t(50));
         assert!(h.tick(t(1_000_000), &EngineGauges::default()).is_empty());
         assert!(h.finalize(t(1_000_000), &EngineGauges::default()).is_empty());
         let r = h.into_report(t(1_000_000));
@@ -1017,8 +1059,8 @@ mod tests {
         h.on_handoff(us(80));
         assert!(h.on_quantum(0, us(200), t(50)).is_none(), "no drift config");
         h.on_quantum(1, us(100), t(60));
-        h.on_run_complete(0, us(700)); // breach of the 500µs objective
-        h.on_run_complete(1, us(100)); // no SLO bound to "other"
+        h.on_run_complete(0, us(700), t(700)); // breach of the 500µs objective
+        h.on_run_complete(1, us(100), t(800)); // no SLO bound to "other"
         h.finalize(t(90), &EngineGauges { queue_depth: 2, ..Default::default() });
         let r = h.into_report(t(90));
         assert_eq!(r.counter("clients_admitted"), Some(2));
@@ -1051,7 +1093,7 @@ mod tests {
                 drift_alerts += 1;
             }
             // Every run breaches the 100µs objective.
-            h.on_run_complete(0, us(400));
+            h.on_run_complete(0, us(400), t(400));
             h.tick(t((i + 1) * 50), &g);
         }
         h.finalize(t(500), &g);

@@ -1,0 +1,237 @@
+//! The run catalog: a directory of persisted `tsdb-run/v1` documents
+//! plus a `catalog.json` index, so finished runs (and imported
+//! `BENCH_engine.json` baselines) become queryable history.
+//!
+//! Layout under the catalog directory:
+//!
+//! ```text
+//! runs/
+//!   catalog.json      {"schema":"tsdb-catalog/v1","runs":["smoke",...]}
+//!   smoke.json        a tsdb-run/v1 document
+//!   drifted.json
+//! ```
+//!
+//! The index preserves *insertion order* — deliberately not timestamps,
+//! which would make the files differ run-to-run and break the
+//! byte-identity the determinism matrix enforces. "Latest" means "most
+//! recently stored", which is what `--vs baseline` workflows want.
+
+use crate::Store;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Schema tag of the catalog index.
+pub const CATALOG_SCHEMA: &str = "tsdb-catalog/v1";
+
+/// A directory-backed catalog of stored runs.
+#[derive(Debug, Clone)]
+pub struct RunCatalog {
+    dir: PathBuf,
+}
+
+impl RunCatalog {
+    /// Opens (creating if needed) a catalog at `dir`.
+    pub fn open(dir: impl AsRef<Path>) -> io::Result<RunCatalog> {
+        fs::create_dir_all(dir.as_ref())?;
+        Ok(RunCatalog { dir: dir.as_ref().to_path_buf() })
+    }
+
+    /// The catalog directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Stored run names, insertion order. Empty when no index exists yet.
+    pub fn runs(&self) -> Vec<String> {
+        let Ok(text) = fs::read_to_string(self.dir.join("catalog.json")) else {
+            return Vec::new();
+        };
+        let Ok(doc) = microjson::Value::parse(&text) else { return Vec::new() };
+        if doc.get("schema").and_then(|v| v.as_str()) != Some(CATALOG_SCHEMA) {
+            return Vec::new();
+        }
+        doc.get("runs")
+            .and_then(|v| v.as_array())
+            .unwrap_or(&[])
+            .iter()
+            .filter_map(|v| v.as_str().map(str::to_string))
+            .collect()
+    }
+
+    /// The most recently stored run, skipping `except` (so "diff the
+    /// latest run against this baseline" defaults sensibly).
+    pub fn latest(&self, except: Option<&str>) -> Option<String> {
+        self.runs().into_iter().rev().find(|r| Some(r.as_str()) != except)
+    }
+
+    /// Persists a store under `name` (re-storing a name overwrites its
+    /// file and keeps its original index position). Returns the file
+    /// path. Names are restricted to `[A-Za-z0-9._-]` so they map to
+    /// safe file names.
+    pub fn store_run(&self, name: &str, store: &Store) -> io::Result<PathBuf> {
+        validate_name(name).map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e))?;
+        let path = self.run_path(name);
+        let mut text = String::new();
+        store.to_json(name).write(&mut text);
+        text.push('\n');
+        fs::write(&path, text)?;
+
+        let mut runs = self.runs();
+        if !runs.iter().any(|r| r == name) {
+            runs.push(name.to_string());
+        }
+        let index = microjson::Value::Object(vec![
+            ("schema".into(), microjson::Value::str(CATALOG_SCHEMA)),
+            (
+                "runs".into(),
+                microjson::Value::Array(runs.into_iter().map(microjson::Value::str).collect()),
+            ),
+        ]);
+        let mut itext = String::new();
+        index.write(&mut itext);
+        itext.push('\n');
+        fs::write(self.dir.join("catalog.json"), itext)?;
+        Ok(path)
+    }
+
+    /// Loads a stored run back into a [`Store`].
+    pub fn load_run(&self, name: &str) -> Result<Store, String> {
+        validate_name(name)?;
+        let path = self.run_path(name);
+        let text = fs::read_to_string(&path)
+            .map_err(|e| format!("cannot read run {name:?} at {}: {e}", path.display()))?;
+        let doc = microjson::Value::parse(&text).map_err(|e| format!("run {name:?}: {e}"))?;
+        Store::from_json(&doc)
+    }
+
+    /// Path of a run's document.
+    pub fn run_path(&self, name: &str) -> PathBuf {
+        self.dir.join(format!("{name}.json"))
+    }
+}
+
+fn validate_name(name: &str) -> Result<(), String> {
+    let ok = !name.is_empty()
+        && name.chars().all(|c| c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-'))
+        && !name.starts_with('.');
+    if ok {
+        Ok(())
+    } else {
+        Err(format!("invalid run name {name:?} (use [A-Za-z0-9._-], not starting with '.')"))
+    }
+}
+
+/// Flattens a `BENCH_engine.json`-style benchmark document into a store,
+/// so perf trajectory becomes queryable history alongside real runs.
+///
+/// Mapping: every numeric leaf at path `section.key` becomes a point on
+/// metric `section.key`; deeper paths `section.mid....key` become metric
+/// `section.key` with the middle components as a `case` label (so
+/// `engine.fifo.events_per_sec` and `engine.olympian.events_per_sec`
+/// land on one metric, split by `case`). A trailing `_per_sec` is
+/// normalized to `_per_s`. Strings and booleans are skipped. All points
+/// are stamped at t=0 — a benchmark document is one observation.
+pub fn import_bench(doc: &microjson::Value) -> Store {
+    let mut store = Store::new();
+    let microjson::Value::Object(sections) = doc else { return store };
+    for (section, body) in sections {
+        flatten(&mut store, section, &[], body);
+    }
+    store
+}
+
+fn flatten(store: &mut Store, section: &str, mid: &[&str], v: &microjson::Value) {
+    match v {
+        microjson::Value::Object(fields) => {
+            for (k, child) in fields {
+                let mut path: Vec<&str> = mid.to_vec();
+                path.push(k);
+                flatten(store, section, &path, child);
+            }
+        }
+        microjson::Value::UInt(_) | microjson::Value::Int(_) | microjson::Value::Float(_) => {
+            let Some(value) = v.as_f64() else { return };
+            let Some((leaf, mids)) = mid.split_last() else { return };
+            let leaf = match leaf.strip_suffix("_per_sec") {
+                Some(stem) => format!("{stem}_per_s"),
+                None => leaf.to_string(),
+            };
+            let metric = format!("{section}.{leaf}");
+            if mids.is_empty() {
+                store.push(&metric, &[], 0, value);
+            } else {
+                let case = mids.join(".");
+                store.push(&metric, &[("case", &case)], 0, value);
+            }
+        }
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("tsdb-catalog-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn store_load_roundtrip_and_index_order() {
+        let dir = tmpdir("roundtrip");
+        let cat = RunCatalog::open(&dir).unwrap();
+        assert!(cat.runs().is_empty());
+        assert_eq!(cat.latest(None), None);
+
+        let mut a = Store::new();
+        a.push("m", &[("k", "v")], 5, 1.5);
+        cat.store_run("smoke", &a).unwrap();
+        let mut b = Store::new();
+        b.push("m", &[], 7, 2.0);
+        cat.store_run("drifted", &b).unwrap();
+        // Re-storing keeps the original index slot.
+        cat.store_run("smoke", &a).unwrap();
+
+        assert_eq!(cat.runs(), vec!["smoke", "drifted"]);
+        assert_eq!(cat.latest(None).as_deref(), Some("drifted"));
+        assert_eq!(cat.latest(Some("drifted")).as_deref(), Some("smoke"));
+
+        let back = cat.load_run("smoke").unwrap();
+        assert_eq!(back.series_count(), 1);
+        assert_eq!(back.sorted_series()[0].totals().last, 1.5);
+
+        assert!(cat.store_run("../escape", &a).is_err());
+        assert!(cat.load_run("missing").is_err());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn import_bench_flattens_with_case_labels() {
+        let doc = microjson::Value::parse(
+            r#"{"schema":"BENCH_engine/v1","engine":{"fifo":{"events_per_sec":100.5,"events":7},
+                "olympian":{"events_per_sec":90.25}},"queue":{"pushes_per_sec":3.5},
+                "mode":"release"}"#,
+        )
+        .unwrap();
+        let store = import_bench(&doc);
+        let keys: Vec<String> =
+            store.sorted_series().iter().map(|s| store.series_key(s)).collect();
+        assert_eq!(
+            keys,
+            vec![
+                "engine.events{case=\"fifo\"}",
+                "engine.events_per_s{case=\"fifo\"}",
+                "engine.events_per_s{case=\"olympian\"}",
+                "queue.pushes_per_s",
+            ]
+        );
+        let e = crate::Expr::parse("engine.events_per_s").unwrap();
+        let rows = crate::evaluate(&store, &e);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].value, 100.5);
+        assert_eq!(rows[1].value, 90.25);
+    }
+}

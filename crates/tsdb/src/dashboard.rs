@@ -1,0 +1,342 @@
+//! The dashboard exporter: one self-contained HTML file per run —
+//! inline SVG sparkline per series, a per-metric heatmap when a metric
+//! fans out over label sets, alert markers on every timeline, and a
+//! run-vs-baseline delta table when a baseline store is supplied.
+//!
+//! No external assets, no scripts, no wall-clock timestamps: the file is
+//! a pure function of the store(s), so dashboards inherit the store's
+//! byte-determinism and diff cleanly in CI artifacts.
+
+use crate::{Point, Series, Store};
+
+const SVG_W: f64 = 640.0;
+const SVG_H: f64 = 80.0;
+const PAD: f64 = 6.0;
+
+/// Renders the dashboard for `run`, optionally against a named baseline.
+pub fn render_dashboard(run: &str, store: &Store, baseline: Option<(&str, &Store)>) -> String {
+    let mut out = String::with_capacity(64 * 1024);
+    out.push_str("<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\"><title>");
+    out.push_str(&esc(run));
+    out.push_str(" · tsdb</title><style>\n");
+    out.push_str(
+        "body{font:14px/1.4 monospace;background:#111;color:#ddd;margin:24px}\
+         h1,h2{font-weight:normal}h1{color:#fff}h2{color:#9cf;margin:4px 0}\
+         .card{background:#1a1a1a;border:1px solid #333;border-radius:6px;\
+         padding:10px 14px;margin:10px 0}.stats{color:#888}\
+         table{border-collapse:collapse;margin:8px 0}\
+         td,th{border:1px solid #333;padding:3px 10px;text-align:right}\
+         th{color:#9cf}td.key{text-align:left}\
+         .pos{color:#f88}.neg{color:#8f8}.alert{color:#fc6}\n",
+    );
+    out.push_str("</style></head><body>\n");
+
+    let series = store.sorted_series();
+    out.push_str(&format!(
+        "<h1>run {}</h1>\n<p class=\"stats\">{} series · {} retained points · {} alerts</p>\n",
+        esc(run),
+        series.len(),
+        store.total_points(),
+        store.alerts().len()
+    ));
+
+    if !store.alerts().is_empty() {
+        out.push_str("<div class=\"card\"><h2>alerts</h2><table><tr><th>t (us)</th><th>kind</th><th>detail</th></tr>\n");
+        for a in store.alerts() {
+            out.push_str(&format!(
+                "<tr><td>{}</td><td class=\"alert\">{}</td><td class=\"key\">{}</td></tr>\n",
+                a.at_ns / 1_000,
+                esc(&a.kind),
+                esc(&a.detail)
+            ));
+        }
+        out.push_str("</table></div>\n");
+    }
+
+    if let Some((base_name, base)) = baseline {
+        out.push_str(&delta_table(run, store, base_name, base));
+    }
+
+    // Heatmaps first: one per metric that fans out over >1 label set.
+    let mut m = 0;
+    while m < series.len() {
+        let end = series[m..]
+            .iter()
+            .position(|s| s.metric != series[m].metric)
+            .map_or(series.len(), |off| m + off);
+        if end - m > 1 {
+            out.push_str(&heatmap(&series[m..end]));
+        }
+        m = end;
+    }
+
+    for s in &series {
+        out.push_str(&series_card(store, s));
+    }
+
+    out.push_str("</body></html>\n");
+    out
+}
+
+/// One series card: title, lifetime stats, inline SVG sparkline with
+/// alert markers.
+fn series_card(store: &Store, s: &Series) -> String {
+    let t = s.totals();
+    let mut out = format!(
+        "<div class=\"card\"><h2>{}</h2><p class=\"stats\">count {} · min {} · max {} · last {}</p>\n",
+        esc(&store.series_key(s)),
+        t.count,
+        fmt(if t.count == 0 { 0.0 } else { t.min }),
+        fmt(if t.count == 0 { 0.0 } else { t.max }),
+        fmt(t.last)
+    );
+    out.push_str(&sparkline_svg(store, s));
+    out.push_str("</div>\n");
+    out
+}
+
+/// The inline SVG sparkline of a series' retained raw window. Exactly
+/// one `class="series"` SVG is emitted per series — the CI dashboard
+/// check counts on it.
+fn sparkline_svg(store: &Store, s: &Series) -> String {
+    let pts: Vec<Point> = s.raw().copied().collect();
+    let mut out = format!(
+        "<svg class=\"series\" viewBox=\"0 0 {SVG_W} {SVG_H}\" width=\"{SVG_W}\" height=\"{SVG_H}\">"
+    );
+    if pts.is_empty() {
+        out.push_str("</svg>\n");
+        return out;
+    }
+    let (t0, t1) = (pts[0].at_ns, pts[pts.len() - 1].at_ns);
+    let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    for p in &pts {
+        lo = lo.min(p.value);
+        hi = hi.max(p.value);
+    }
+    let x = |t: u64| -> f64 {
+        if t1 == t0 {
+            SVG_W / 2.0
+        } else {
+            PAD + (t - t0) as f64 / (t1 - t0) as f64 * (SVG_W - 2.0 * PAD)
+        }
+    };
+    // Flat series draw a mid-band line rather than dividing by the zero
+    // range — same convention as `metrics::render_sparkline`.
+    let y = |v: f64| -> f64 {
+        if hi == lo {
+            SVG_H / 2.0
+        } else {
+            SVG_H - PAD - (v - lo) / (hi - lo) * (SVG_H - 2.0 * PAD)
+        }
+    };
+    for a in store.alerts() {
+        if a.at_ns >= t0 && a.at_ns <= t1 {
+            let ax = x(a.at_ns);
+            out.push_str(&format!(
+                "<line x1=\"{ax:.1}\" y1=\"0\" x2=\"{ax:.1}\" y2=\"{SVG_H}\" stroke=\"#fc6\" stroke-dasharray=\"2,3\"><title>{}</title></line>",
+                esc(&a.kind)
+            ));
+        }
+    }
+    let mut path = String::new();
+    for (i, p) in pts.iter().enumerate() {
+        if i > 0 {
+            path.push(' ');
+        }
+        path.push_str(&format!("{:.1},{:.1}", x(p.at_ns), y(p.value)));
+    }
+    if pts.len() == 1 {
+        out.push_str(&format!(
+            "<circle cx=\"{:.1}\" cy=\"{:.1}\" r=\"2.5\" fill=\"#9cf\"/>",
+            x(pts[0].at_ns),
+            y(pts[0].value)
+        ));
+    } else {
+        out.push_str(&format!(
+            "<polyline points=\"{path}\" fill=\"none\" stroke=\"#9cf\" stroke-width=\"1.5\"/>"
+        ));
+    }
+    out.push_str("</svg>\n");
+    out
+}
+
+/// A heatmap over every label-set variant of one metric: one row per
+/// series, columns binned over the shared time range, cell intensity
+/// normalized over the metric's value range.
+fn heatmap(group: &[&Series]) -> String {
+    const COLS: usize = 64;
+    let cell_w = SVG_W / COLS as f64;
+    let cell_h = 14.0;
+    let h = cell_h * group.len() as f64;
+    let (mut t0, mut t1) = (u64::MAX, 0u64);
+    let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    for s in group {
+        for p in s.raw() {
+            t0 = t0.min(p.at_ns);
+            t1 = t1.max(p.at_ns);
+            lo = lo.min(p.value);
+            hi = hi.max(p.value);
+        }
+    }
+    if t0 > t1 {
+        return String::new();
+    }
+    let mut out = format!(
+        "<div class=\"card\"><h2>{} × {} series</h2><svg class=\"heatmap\" viewBox=\"0 0 {SVG_W} {h}\" width=\"{SVG_W}\" height=\"{h}\">",
+        esc(&group[0].metric),
+        group.len()
+    );
+    for (row, s) in group.iter().enumerate() {
+        // Bin the retained points; a cell takes the max of its bin.
+        let mut bins = vec![f64::NEG_INFINITY; COLS];
+        for p in s.raw() {
+            let col = if t1 == t0 {
+                0
+            } else {
+                (((p.at_ns - t0) as f64 / (t1 - t0) as f64) * (COLS as f64 - 1.0)) as usize
+            };
+            bins[col] = bins[col].max(p.value);
+        }
+        for (col, &v) in bins.iter().enumerate() {
+            if v == f64::NEG_INFINITY {
+                continue;
+            }
+            let norm = if hi == lo { 0.5 } else { (v - lo) / (hi - lo) };
+            let shade = 30 + (norm * 200.0) as u32;
+            out.push_str(&format!(
+                "<rect x=\"{:.1}\" y=\"{:.1}\" width=\"{cell_w:.1}\" height=\"{cell_h}\" fill=\"rgb({shade},{},{})\"/>",
+                col as f64 * cell_w,
+                row as f64 * cell_h,
+                40 + shade / 3,
+                230 - shade.min(200),
+            ));
+        }
+    }
+    out.push_str("</svg></div>\n");
+    out
+}
+
+/// The run-vs-baseline table: lifetime `last` values joined by series
+/// key, with signed deltas.
+fn delta_table(run: &str, store: &Store, base_name: &str, base: &Store) -> String {
+    let mut keys: Vec<String> = store
+        .sorted_series()
+        .iter()
+        .map(|s| store.series_key(s))
+        .chain(base.sorted_series().iter().map(|s| base.series_key(s)))
+        .collect();
+    keys.sort();
+    keys.dedup();
+    let last_of = |st: &Store, key: &str| -> Option<f64> {
+        st.sorted_series()
+            .into_iter()
+            .find(|s| st.series_key(s) == key)
+            .map(|s| s.totals().last)
+    };
+    let mut out = format!(
+        "<div class=\"card\"><h2>{} vs {}</h2><table><tr><th>series</th><th>{}</th><th>{}</th><th>delta</th></tr>\n",
+        esc(run),
+        esc(base_name),
+        esc(run),
+        esc(base_name)
+    );
+    for key in keys {
+        let t = last_of(store, &key);
+        let b = last_of(base, &key);
+        let delta = match (t, b) {
+            (Some(t), Some(b)) => {
+                let d = t - b;
+                let class = if d > 0.0 { "pos" } else { "neg" };
+                format!("<td class=\"{class}\">{}</td>", fmt_signed(d))
+            }
+            _ => "<td>·</td>".to_string(),
+        };
+        out.push_str(&format!(
+            "<tr><td class=\"key\">{}</td><td>{}</td><td>{}</td>{delta}</tr>\n",
+            esc(&key),
+            t.map_or("·".into(), fmt),
+            b.map_or("·".into(), fmt),
+        ));
+    }
+    out.push_str("</table></div>\n");
+    out
+}
+
+fn fmt(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 1e15 {
+        format!("{v:.0}")
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+fn fmt_signed(v: f64) -> String {
+    if v >= 0.0 {
+        format!("+{}", fmt(v))
+    } else {
+        fmt(v)
+    }
+}
+
+/// Minimal HTML escaping for text nodes and attribute values.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo() -> Store {
+        let mut s = Store::new();
+        for i in 0..40u64 {
+            s.push("lat_us", &[("client", "0")], i * 1_000, 100.0 + i as f64);
+            s.push("lat_us", &[("client", "1")], i * 1_000, 90.0 + (i % 7) as f64);
+            s.push("flat", &[], i * 1_000, 5.0);
+        }
+        s.mark_alert(20_000, "drift", "client 0 <drifting> & \"fast\"".into());
+        s
+    }
+
+    #[test]
+    fn one_series_svg_per_series_plus_heatmaps() {
+        let store = demo();
+        let html = render_dashboard("smoke", &store, None);
+        assert_eq!(html.matches("class=\"series\"").count(), store.series_count());
+        // lat_us fans out over two label sets -> exactly one heatmap.
+        assert_eq!(html.matches("class=\"heatmap\"").count(), 1);
+        assert!(html.contains("&lt;drifting&gt;"));
+        assert!(html.contains("&quot;fast&quot;"));
+        assert!(html.starts_with("<!DOCTYPE html>"));
+        assert!(html.trim_end().ends_with("</html>"));
+    }
+
+    #[test]
+    fn baseline_adds_delta_table() {
+        let a = demo();
+        let mut b = demo();
+        b.push("lat_us", &[("client", "0")], 50_000, 250.0);
+        let html = render_dashboard("drifted", &b, Some(("smoke", &a)));
+        assert!(html.contains("drifted vs smoke"));
+        assert!(html.contains("+111")); // 250 vs 139 last-value delta
+    }
+
+    #[test]
+    fn deterministic_and_single_point_safe() {
+        let mut s = Store::new();
+        s.push("one", &[], 7, 3.0);
+        let html = render_dashboard("r", &s, None);
+        assert!(html.contains("<circle"));
+        assert_eq!(html, render_dashboard("r", &s, None));
+    }
+}
