@@ -35,6 +35,7 @@ fn ctx() -> JobCtx<'static> {
         priority: 0,
         device: 0,
         now: SimTime::ZERO,
+        deadline: None,
     }
 }
 

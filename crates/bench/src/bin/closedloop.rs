@@ -1,0 +1,8 @@
+//! Renders the closed-loop SLO control report. See `bench::figs::closedloop`.
+
+fn main() {
+    let out = bench::figs::closedloop::run();
+    print!("{out}");
+    let path = bench::save_result("closedloop.txt", &out);
+    eprintln!("(saved to {})", path.display());
+}

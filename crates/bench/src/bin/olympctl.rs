@@ -19,6 +19,7 @@
 //! olympctl blame   <experiment> [--vs <experiment>] [--out blame.json]
 //!                  [--trace phases.json]
 //! olympctl chaos   <scenario>   [--scheduler olympian|fifo|both]
+//! olympctl control <scenario>   [--policy edf|laxity] [--out report.txt]
 //! olympctl lifecycle <scenario>
 //! olympctl top     <experiment> [--interval-us N] [--fps N] [--rows N]
 //! olympctl query   <expr> [--dir runs] [--run A] [--vs B] [--dash out.html]
@@ -53,6 +54,13 @@
 //! `bench::figs::chaos::scenarios`) with the full recovery stack on —
 //! retries with backoff, circuit breaking and the token-hold watchdog —
 //! against its fault-free twin, and prints the resilience comparison.
+//!
+//! `control` runs a closed-loop control-plane scenario (see
+//! `bench::figs::closedloop`): the `drifted` scenario replays the same
+//! regressed-device workload open-loop (telemetry only) and closed-loop
+//! (deadline-aware hand-off, laxity cancellation, in-run recalibration and
+//! the degradation ladder) and prints the SLO comparison, ending with the
+//! machine-readable `summary:` line CI validates.
 //!
 //! `lifecycle` runs a named model-lifecycle scenario (see
 //! `bench::figs::lifecycle::scenarios`): `churn` exercises
@@ -104,6 +112,7 @@ fn usage() -> ExitCode {
          olympctl blame <experiment> [--vs <experiment>] [--out <blame.json>]\n                 \
          [--trace <phases.json>]\n  \
          olympctl chaos <scenario> [--scheduler <olympian|fifo|both>]\n  \
+         olympctl control <scenario> [--policy <edf|laxity>] [--out <report.txt>]\n  \
          olympctl lifecycle <scenario>\n  \
          olympctl top <experiment> [--interval-us <n>] [--fps <n>] [--rows <n>]\n  \
          olympctl query <expr> [--dir <runs>] [--run <a>] [--vs <b>] [--dash <out.html>]\n  \
@@ -827,6 +836,26 @@ fn cmd_chaos(name: &str, flags: &HashMap<String, String>) -> Result<(), String> 
     Ok(())
 }
 
+fn cmd_control(name: &str, flags: &HashMap<String, String>) -> Result<(), String> {
+    let policy_s = flags.get("policy").map(String::as_str).unwrap_or("edf");
+    let policy = controlplane::ControlPolicy::parse(policy_s)
+        .ok_or_else(|| format!("--policy: expected edf|laxity, got {policy_s:?}"))?;
+    let report = match name {
+        "drifted" => bench::figs::closedloop::run_with_policy(policy),
+        other => {
+            return Err(format!(
+                "unknown control scenario {other:?}; available: drifted"
+            ))
+        }
+    };
+    print!("{report}");
+    if let Some(path) = flags.get("out") {
+        std::fs::write(path, &report).map_err(|e| e.to_string())?;
+        println!("wrote {path}");
+    }
+    Ok(())
+}
+
 fn cmd_lifecycle(name: &str) -> Result<(), String> {
     match bench::figs::lifecycle::scenario_report(name) {
         Some(report) => {
@@ -879,6 +908,7 @@ fn main() -> ExitCode {
         || cmd == "metrics"
         || cmd == "blame"
         || cmd == "chaos"
+        || cmd == "control"
         || cmd == "lifecycle"
         || cmd == "top"
         || cmd == "query"
@@ -924,6 +954,7 @@ fn main() -> ExitCode {
         "metrics" => cmd_metrics(positional.as_deref().expect("positional parsed"), &flags),
         "blame" => cmd_blame(positional.as_deref().expect("positional parsed"), &flags),
         "chaos" => cmd_chaos(positional.as_deref().expect("positional parsed"), &flags),
+        "control" => cmd_control(positional.as_deref().expect("positional parsed"), &flags),
         "lifecycle" => cmd_lifecycle(positional.as_deref().expect("positional parsed")),
         "top" => cmd_top(positional.as_deref().expect("positional parsed"), &flags),
         "query" => cmd_query(positional.as_deref().expect("positional parsed"), &flags),

@@ -48,6 +48,11 @@
 //!   (the run-log capture must cost one predicted branch when off) and
 //!   that the capture slows the telemetry-on engine by at most a few
 //!   percent of its PR 7 reference rate.
+//! * the control-plane guardrail: engine throughput with the control plane
+//!   off (`cfg.control = None`) and with the full closed loop ticking, with
+//!   a hard assert that the off-mode rate stays within noise of the PR 8
+//!   reference (an uncontrolled engine must pay one predicted branch, not a
+//!   control loop).
 //!
 //! ```text
 //! perfsuite [--smoke] [--jobs N] [--out path]
@@ -120,6 +125,12 @@ const PR5_ENGINE_OLYMPIAN_EPS: f64 = 4_260_753.98;
 const PR7_ENGINE_FIFO_EPS: f64 = 8_863_691.16;
 const PR7_ENGINE_OLYMPIAN_EPS: f64 = 8_334_878.22;
 const PR7_TELEMETRY_ON_EPS: f64 = 6_610_719.47;
+
+/// PR 8 reference numbers (this suite's own `BENCH_engine.json` before the
+/// control plane landed) — the baseline the control-off guardrail compares
+/// against.
+const PR8_ENGINE_FIFO_EPS: f64 = 10_654_045.47;
+const PR8_ENGINE_OLYMPIAN_EPS: f64 = 10_002_699.59;
 
 /// Guardrail: the run-log capture the store ingests may grow the relative
 /// cost of turning telemetry on (the within-process on/off throughput
@@ -861,6 +872,65 @@ fn tsdb_section(off_eps: f64) -> Value {
     ])
 }
 
+/// Measures the Olympian engine config with the control plane ticking —
+/// deadline binding, laxity scans, and the degradation ladder all live —
+/// and asserts the off rate (measured by `engine_section`, since
+/// `cfg.control` defaults to `None`) is within noise of the PR 8 reference.
+///
+/// # Panics
+///
+/// Panics if control-disabled engine throughput falls below
+/// `TRACE_OFF_NOISE_FLOOR` x the PR 8 reference — an uncontrolled engine
+/// must pay one predicted branch per event, not a control loop.
+fn control_section(off_eps: f64) -> Value {
+    let model = models::mini::small(4);
+    let base = EngineConfig::default();
+    let mut store = ProfileStore::new();
+    store.insert(Profiler::new(&base).profile(&model));
+    let store = Arc::new(store);
+    let cfg = base.with_control(
+        controlplane::ControlConfig::new()
+            .with_cost(olympian::StoreCostOracle::new(Arc::clone(&store))),
+    );
+    let sched = || {
+        OlympianScheduler::new(
+            Arc::clone(&store),
+            Box::new(RoundRobin::new()),
+            SimDuration::from_micros(200),
+        )
+    };
+    let probe = run_experiment(&cfg, engine_clients(4, 2), &mut sched());
+    let m = harness::run("engine_olympian/control=on", || {
+        black_box(run_experiment(&cfg, engine_clients(4, 2), &mut sched()))
+    });
+    let on_eps = m.per_second() * probe.event_count as f64;
+    let off_vs_pr8 = off_eps / PR8_ENGINE_OLYMPIAN_EPS;
+    println!(
+        "  -> control: off {off_eps:.0} events/s ({off_vs_pr8:.2}x PR 8 reference), \
+         closed-loop {on_eps:.0}"
+    );
+    assert!(
+        off_vs_pr8 >= TRACE_OFF_NOISE_FLOOR,
+        "control-disabled engine throughput {off_eps:.0} events/s fell below \
+         {TRACE_OFF_NOISE_FLOOR}x the PR 8 reference {PR8_ENGINE_OLYMPIAN_EPS:.0} — \
+         the control plane is no longer free when off"
+    );
+    Value::Object(vec![
+        (
+            "pr8_reference_events_per_sec".into(),
+            Value::Object(vec![
+                ("fifo".into(), Value::Float(PR8_ENGINE_FIFO_EPS)),
+                ("olympian".into(), Value::Float(PR8_ENGINE_OLYMPIAN_EPS)),
+            ]),
+        ),
+        ("off_events_per_sec".into(), Value::Float(off_eps)),
+        ("on_events_per_sec".into(), Value::Float(on_eps)),
+        ("off_vs_pr8".into(), Value::Float(off_vs_pr8)),
+        ("noise_floor".into(), Value::Float(TRACE_OFF_NOISE_FLOOR)),
+        ("on_cost".into(), Value::Float(1.0 - on_eps / off_eps.max(1e-9))),
+    ])
+}
+
 /// Returns the section plus the measured wall clock (0 in smoke mode).
 fn suite_section(smoke: bool, jobs: usize) -> (Value, f64) {
     if smoke {
@@ -992,6 +1062,7 @@ fn main() -> ExitCode {
     let lifecycle = lifecycle_section(oly_eps);
     let attribution = attribution_section();
     let tsdb = tsdb_section(oly_eps);
+    let control = control_section(oly_eps);
     let (suite, suite_secs) = suite_section(smoke, jobs);
     let seed_reference = seed_reference_section(fifo_eps, oly_eps, suite_secs);
 
@@ -1010,6 +1081,7 @@ fn main() -> ExitCode {
         ("lifecycle".into(), lifecycle),
         ("attribution".into(), attribution),
         ("tsdb".into(), tsdb),
+        ("control".into(), control),
         ("suite".into(), suite),
         ("seed_reference".into(), seed_reference),
     ]);

@@ -12,13 +12,14 @@
 //! baseline's finish-time spread collapses under the same faults.
 
 use crate::figs::fair;
-use crate::{banner, build_store_for, default_config};
+use crate::{banner, build_store, build_store_for, default_config};
+use controlplane::ControlConfig;
 use metrics::table::render_table;
 use metrics::{max_min_ratio, try_jain_fairness};
 use serving::faults::{FaultConfig, FaultPlan};
 use serving::{run_experiment, ClientOutcome, ClientSpec, FifoScheduler, RunReport, TraceConfig};
 use simtime::{SimDuration, SimTime};
-use telemetry::TelemetryConfig;
+use telemetry::{BurnWindows, SloSpec, TelemetryConfig};
 
 /// Survivor Jain fairness under faults must stay within this fraction of
 /// the fault-free run's Jain index.
@@ -78,6 +79,11 @@ pub fn scenarios() -> Vec<Scenario> {
                 .with_slowdown(2.0, ms(2), ms(4))
                 .with_stall(ms(6), ms(7)),
         },
+        Scenario {
+            name: "drift",
+            caption: "sustained 1.4x device regression during [1ms, 50ms)",
+            plan: FaultPlan::new().with_slowdown(1.4, ms(1), ms(50)),
+        },
     ]
 }
 
@@ -112,6 +118,64 @@ pub fn chaos_report(plan: Option<&FaultPlan>, olympian: bool) -> RunReport {
     } else {
         run_experiment(&cfg, clients, &mut FifoScheduler::new())
     }
+}
+
+/// The control-plane axis of the `drift` scenario: the same sustained-
+/// slowdown workload twice, degradation ladder {off, on}, with a latency
+/// objective calibrated on the fault-free twin (p50 × 1.15). The off cell
+/// is PR 3 observability — burn alerts pile up, nothing acts. In the on
+/// cell the repeated burn episodes walk the ladder up to Shedding
+/// (shrinking batch hints on the way), and the quiet tail after the
+/// slowdown window walks it back down. Every client is admitted at time
+/// zero — before the first burn — so the Shedding rung has no admissions
+/// left to reject: the ladder degrades the work it already accepted
+/// instead of dropping clients, which is exactly the ≤10% shed bound the
+/// suite asserts.
+///
+/// Returns `(control_off, control_on)`.
+pub fn control_axis() -> (RunReport, RunReport) {
+    let s = scenario("drift").expect("registered scenario");
+    let clients = workload();
+    let model_name = clients[0].model.name().to_string();
+
+    // Objective from the fault-free fair-shared twin.
+    let fresh = default_config().with_telemetry(TelemetryConfig::enabled(CADENCE));
+    let probe_store = build_store_for(&fresh, &clients);
+    let mut probe_sched = fair(probe_store, QUANTUM);
+    let probe = run_experiment(&fresh, clients.clone(), &mut probe_sched);
+    let p50 = probe
+        .telemetry
+        .hist("run_latency_us")
+        .expect("telemetered probe")
+        .p50;
+    let objective = SimDuration::from_micros((p50 * 1.15).ceil() as u64);
+
+    let cell = |control: bool| -> RunReport {
+        let clients = workload();
+        let full_batch = clients[0].model.batch();
+        let divisor = ControlConfig::new().batch_divisor;
+        // Healthy-device profiles, covering the Degraded-rung shrunk batch
+        // so ladder escalations re-register without a profile miss.
+        let profiled = [
+            models::mini::small(full_batch),
+            models::mini::small((full_batch / divisor).max(1)),
+        ];
+        let store = build_store(&default_config(), &profiled);
+        let mut cfg = default_config()
+            .with_trace(TraceConfig::sampled())
+            .with_telemetry(
+                TelemetryConfig::enabled(CADENCE)
+                    .with_slo(SloSpec::new(&model_name, objective, 0.05))
+                    .with_burn(BurnWindows { short: 1, long: 2, threshold: 2.0 }),
+            )
+            .with_faults(FaultConfig::new(s.plan.clone()));
+        if control {
+            cfg = cfg.with_control(ControlConfig::new());
+        }
+        let mut sched = fair(store, QUANTUM).with_watchdog(WATCHDOG_QUANTA);
+        run_experiment(&cfg, clients, &mut sched)
+    };
+    (cell(false), cell(true))
 }
 
 /// Headline numbers of one chaos run.
@@ -242,6 +306,38 @@ pub fn run() -> String {
          defend, so its finish-time spread widens instead.\n",
         if all_pass { "PASS" } else { "FAIL" }
     ));
+
+    // The control-plane axis: the drift scenario with the degradation
+    // ladder off vs on.
+    let (off, on) = control_axis();
+    let off_o = outcome(&off);
+    let on_o = outcome(&on);
+    let ctr = |r: &RunReport, n: &str| r.telemetry.counter(n).unwrap_or(0);
+    let sheds = ctr(&on, "clients_admission_shed");
+    let ctl_pass = on_o.wedged == 0
+        && sheds as usize * 10 <= CLIENTS
+        && on_o.jain / base_oly.jain >= JAIN_BAND
+        && on_o.p99_us / base_oly.p99_us <= P99_BAND;
+    out.push_str(&format!(
+        "\ncontrol axis (drift scenario, ladder off vs on): {}\n\
+         off: finished {}/{CLIENTS}, p99 {:.0} us, burn alerts {}, transitions 0 (by construction)\n\
+         on:  finished {}/{CLIENTS}, p99 {:.0} us, transitions {}, batch shrinks {}, sheds {} \
+         (bound: <= {}), wedged {}\n\
+         The ladder climbs to Shedding under sustained burn, shrinks batch hints on the \
+         way, and steps back down over the quiet tail; everything it accepted still \
+         finishes inside the resilience band.\n",
+        if ctl_pass { "PASS" } else { "FAIL" },
+        off_o.finished,
+        off_o.p99_us,
+        ctr(&off, "alerts_slo_burn"),
+        on_o.finished,
+        on_o.p99_us,
+        ctr(&on, "control_transitions"),
+        ctr(&on, "control_batch_shrinks"),
+        sheds,
+        CLIENTS / 10,
+        on_o.wedged,
+    ));
     out
 }
 
@@ -256,6 +352,48 @@ mod tests {
             assert!(scenario(s.name).is_some());
         }
         assert!(scenario("no-such-chaos").is_none());
+    }
+
+    #[test]
+    fn control_axis_sheds_nothing_and_holds_the_band() {
+        let base = outcome(&chaos_report(None, true));
+        let (off, on) = control_axis();
+        let off_o = outcome(&off);
+        let on_o = outcome(&on);
+
+        // The off cell is PR 3 observability: the burn is detected, nothing
+        // acts on it.
+        assert!(off.telemetry.counter("alerts_slo_burn").unwrap_or(0) >= 1);
+        assert_eq!(off.telemetry.counter("control_transitions").unwrap_or(0), 0);
+        assert_eq!(off_o.finished, CLIENTS);
+
+        // The on cell walks the ladder up under sustained burn and back
+        // down over the quiet tail, shrinking batch hints in between.
+        let transitions = on.telemetry.counter("control_transitions").unwrap_or(0);
+        assert!(transitions >= 2, "up and back down, got {transitions}");
+        assert!(on.telemetry.counter("control_batch_shrinks").unwrap_or(0) >= 1);
+
+        // The robustness bound: at most 10% of clients shed, nobody
+        // wedged, survivors inside the resilience band.
+        let sheds = on.telemetry.counter("clients_admission_shed").unwrap_or(0) as usize;
+        assert!(sheds * 10 <= CLIENTS, "{sheds} sheds of {CLIENTS} clients");
+        assert_eq!(on_o.wedged, 0, "no client may wedge");
+        assert_eq!(on_o.finished, CLIENTS, "everyone admitted still finishes");
+        assert!(
+            on_o.jain / base.jain >= JAIN_BAND,
+            "jain {:.4} vs fault-free {:.4}",
+            on_o.jain,
+            base.jain
+        );
+        assert!(
+            on_o.p99_us / base.p99_us <= P99_BAND,
+            "p99 {:.0} vs fault-free {:.0}",
+            on_o.p99_us,
+            base.p99_us
+        );
+
+        // Ladder transitions land on the trace as typed control events.
+        assert!(on.chrome_trace_json().contains("\"control-healthy-to-degraded\""));
     }
 
     #[test]

@@ -1,0 +1,375 @@
+//! Closed-loop SLO control on a regressed device, against the open loop.
+//!
+//! Both cells replay the PR 3 incident, deepened: profiles (and the
+//! latency objective) are calibrated on the fresh device, then the
+//! workload runs on a device that silently regressed 2.3x — enough that
+//! the slot freed by deadline-ordered serialization no longer covers the
+//! slowdown, so *something* has to give. The **open loop** is the PR 3
+//! deployment — fair sharing with telemetry that *detects* the burn but
+//! acts on nothing, so every run breaches the objective until the clients
+//! drain. The **closed loop** runs the PR 9 control plane: a
+//! deadline-aware hand-off policy serializes runs against their deadlines,
+//! the laxity scan cancels the one session whose deadline has become
+//! infeasible *before* it is ever granted the token (and before its
+//! deadline timer would fire), and the drift alert rebinds a rescaled
+//! profile mid-run so laxity estimates track the real device. The
+//! survivors' p99 stays inside the objective the fresh device promised;
+//! nothing in the open loop does.
+//!
+//! The report ends with a latency-attribution diff (open vs closed), which
+//! pins the p99 gap on execute/token-wait — GPU time the open loop spent
+//! interleaving runs that were all going to miss.
+
+use crate::figs::fair;
+use crate::{banner, build_store, default_config, format_finish_times};
+use controlplane::{ControlConfig, ControlPolicy};
+use olympian::{DeadlinePolicy, OlympianScheduler, StoreCostOracle};
+use serving::{attrib, run_experiment, ClientSpec, RunReport, TraceConfig};
+use simtime::SimDuration;
+use std::sync::Arc;
+use telemetry::{BurnWindows, DriftConfig, SloSpec, TelemetryConfig};
+
+/// Snapshot cadence of both cells.
+pub const INTERVAL: SimDuration = SimDuration::from_micros(100);
+/// The open loop's scheduling quantum (and the objective probe's).
+const QUANTUM: SimDuration = SimDuration::from_micros(200);
+/// Clients in the workload.
+const CLIENTS: usize = 3;
+/// Sequential batches per client.
+const BATCHES: u32 = 10;
+/// How much the device slowed down after profiling. Deadline-ordered
+/// serialization absorbs a ~1.4x regression outright (it eliminates the
+/// fair loop's hand-off overhead); at 2.3x the last client in deadline
+/// order is infeasible and the control plane must spend it.
+const REGRESSION: f64 = 2.3;
+
+/// Both cells of the experiment plus the calibrated objective.
+pub struct Cells {
+    /// The latency objective calibrated on the fresh device (p50 × 1.15).
+    pub objective: SimDuration,
+    /// Fair sharing on the regressed device, telemetry only.
+    pub open: RunReport,
+    /// Deadline policy + control plane on the regressed device.
+    pub closed: RunReport,
+}
+
+/// p99 of completed-run latency, in microseconds. Cancelled runs never
+/// complete, so they are absent by construction — the histogram is the
+/// experience of the requests that were actually served.
+pub fn p99_latency_us(report: &RunReport) -> f64 {
+    report
+        .telemetry
+        .hist("run_latency_us")
+        .expect("telemetered run")
+        .p99
+}
+
+/// The regressed-device variant of a config: same memory and SM count,
+/// every duration stretched [`REGRESSION`]x relative to what the profiles
+/// promise.
+fn regress(cfg: &serving::EngineConfig) -> gpusim::DeviceProfile {
+    gpusim::DeviceProfile::custom(
+        "regressed",
+        REGRESSION,
+        cfg.device.memory_bytes(),
+        cfg.device.sm_count(),
+        0.0,
+    )
+}
+
+/// Runs both cells under the given hand-off policy.
+pub fn run_cells(policy: ControlPolicy) -> Cells {
+    let clients = vec![ClientSpec::new(models::mini::small(4), BATCHES); CLIENTS];
+    let model_name = clients[0].model.name().to_string();
+    let full_batch = clients[0].model.batch();
+    let fresh = default_config();
+
+    // The store covers the full batch and the Degraded-rung shrunk batch
+    // (batch / divisor), so a ladder escalation can re-register jobs at
+    // the smaller hint without a profile miss. Each cell gets its own
+    // store: the closed loop rebinds profiles in-run, and that override
+    // must not leak into the open cell's thresholds.
+    let divisor = ControlConfig::new().batch_divisor;
+    let profiled = [
+        models::mini::small(full_batch),
+        models::mini::small((full_batch / divisor).max(1)),
+    ];
+    let open_store = build_store(&fresh, &profiled);
+    let closed_store = build_store(&fresh, &profiled);
+
+    // Calibrate the objective on the fresh device: median run latency of a
+    // fair-shared probe, plus a 15% margin. The fresh device meets it; the
+    // regressed one cannot without intervention.
+    let probe_cfg = fresh.with_telemetry(TelemetryConfig::enabled(INTERVAL));
+    let mut probe_sched = fair(Arc::clone(&open_store), QUANTUM);
+    let probe = run_experiment(&probe_cfg, clients.clone(), &mut probe_sched);
+    let fresh_p50_us = probe
+        .telemetry
+        .hist("run_latency_us")
+        .expect("latency histogram")
+        .p50;
+    let objective = SimDuration::from_micros((fresh_p50_us * 1.15).ceil() as u64);
+
+    // The drift reference must match the shape of the quanta the detector
+    // observes. EDF holds the token for whole runs, so its expected
+    // observation is the fresh whole-run GPU duration; least-laxity rotates
+    // like fair sharing, so its observations are quantum-sized like the
+    // open loop's. A mismatched reference would clamp the rebind scale to
+    // the floor instead of the honest regression factor.
+    let drift_ref = match policy {
+        ControlPolicy::Edf => {
+            open_store
+                .resolve(&model_name, full_batch)
+                .expect("profiled")
+                .gpu_duration
+        }
+        ControlPolicy::Laxity => QUANTUM,
+    };
+
+    let slo = SloSpec::new(&model_name, objective, 0.05);
+    let burn = BurnWindows { short: 1, long: 2, threshold: 2.0 };
+
+    let mut open_cfg = default_config();
+    open_cfg.device = regress(&open_cfg);
+    let open_cfg = open_cfg.with_trace(TraceConfig::sampled()).with_telemetry(
+        TelemetryConfig::enabled(INTERVAL)
+            .with_slo(slo.clone())
+            .with_burn(burn)
+            .with_drift(DriftConfig::new(QUANTUM, 0.25)),
+    );
+    let mut open_sched = fair(Arc::clone(&open_store), QUANTUM);
+    let open = run_experiment(&open_cfg, clients.clone(), &mut open_sched);
+
+    let closed_clients: Vec<ClientSpec> = clients
+        .iter()
+        .map(|c| c.clone().with_run_deadline(objective))
+        .collect();
+    let mut closed_cfg = default_config();
+    closed_cfg.device = regress(&closed_cfg);
+    let closed_cfg = closed_cfg
+        .with_trace(TraceConfig::sampled())
+        .with_telemetry(
+            TelemetryConfig::enabled(INTERVAL)
+                .with_slo(slo)
+                .with_burn(burn)
+                .with_drift(DriftConfig::new(drift_ref, 0.25)),
+        )
+        .with_control(
+            ControlConfig::new()
+                .with_policy(policy)
+                .with_cost(StoreCostOracle::new(Arc::clone(&closed_store))),
+        );
+    let deadline_policy = match policy {
+        ControlPolicy::Edf => DeadlinePolicy::edf(),
+        ControlPolicy::Laxity => DeadlinePolicy::laxity(),
+    };
+    let mut closed_sched =
+        OlympianScheduler::new(closed_store, Box::new(deadline_policy), QUANTUM);
+    let closed = run_experiment(&closed_cfg, closed_clients, &mut closed_sched);
+
+    Cells { objective, open, closed }
+}
+
+/// A cell's control/telemetry counters, zero when absent.
+fn counter(report: &RunReport, name: &str) -> u64 {
+    report.telemetry.counter(name).unwrap_or(0)
+}
+
+/// Completed runs a cell served.
+fn completed_runs(report: &RunReport) -> u64 {
+    report.telemetry.hist("run_latency_us").map_or(0, |h| h.count)
+}
+
+/// One cell section of the report.
+fn cell_section(label: &str, report: &RunReport, objective: SimDuration) -> String {
+    let p99 = p99_latency_us(report);
+    let obj_us = objective.as_nanos() as f64 / 1_000.0;
+    let verdict = if completed_runs(report) == 0 {
+        "NO RUNS SERVED"
+    } else if p99 <= obj_us {
+        "WITHIN SLO"
+    } else {
+        "SLO MISS"
+    };
+    let mut out = format_finish_times(label, report);
+    out.push_str(&format!(
+        "p99 run latency = {p99:.0}us vs objective {obj_us:.0}us -> {verdict}\n\
+         slo breaches = {}, burn alerts = {}, drift alerts = {}\n\
+         control: transitions={} rebinds={} laxity-cancels={} sheds={} batch-shrinks={}\n",
+        counter(report, "slo_breaches"),
+        counter(report, "alerts_slo_burn"),
+        counter(report, "alerts_drift"),
+        counter(report, "control_transitions"),
+        counter(report, "control_profile_rebinds"),
+        counter(report, "control_laxity_cancels"),
+        counter(report, "clients_admission_shed"),
+        counter(report, "control_batch_shrinks"),
+    ));
+    out.push_str("client outcomes:\n");
+    for c in &report.clients {
+        out.push_str(&format!("  client {:>2}: {}\n", c.client.0, c.outcome));
+    }
+    out
+}
+
+/// Renders the closed-loop report under the given policy.
+pub fn run_with_policy(policy: ControlPolicy) -> String {
+    let mut out = banner(
+        "closedloop",
+        "closed-loop SLO control on a regressed device vs the PR 3 open loop",
+    );
+    let cells = run_cells(policy);
+    let obj_us = cells.objective.as_nanos() as f64 / 1_000.0;
+    out.push_str(&format!(
+        "\nworkload: {CLIENTS} clients x mini-small(4) x {BATCHES} batches; device \
+         regressed {REGRESSION}x after profiling\n\
+         objective: fresh fair-shared p50 x 1.15 = {obj_us:.0}us\n\
+         closed loop: policy={policy}, per-run deadline = objective, control plane on\n",
+    ));
+
+    out.push_str(&cell_section("open loop (fair, no control)", &cells.open, cells.objective));
+    out.push_str(&cell_section(
+        &format!("closed loop ({policy} + control plane)"),
+        &cells.closed,
+        cells.objective,
+    ));
+
+    let open_p99 = p99_latency_us(&cells.open);
+    let closed_p99 = p99_latency_us(&cells.closed);
+    // The headline claim IS the experiment: regenerating the figure
+    // re-proves it rather than silently printing a regression. (Under the
+    // laxity policy the claim is degenerate: equal deadlines make
+    // least-laxity rotate like fair sharing, so under this much overload
+    // it cancels every session — closed_runs below keeps the summary
+    // honest about how many requests the claim covers.)
+    assert!(
+        closed_p99 <= obj_us && obj_us < open_p99,
+        "closed loop must hold the objective the open loop burns: \
+         closed {closed_p99:.0}us, objective {obj_us:.0}us, open {open_p99:.0}us"
+    );
+    out.push_str(&format!(
+        "\nsummary: objective_us={obj_us:.0} open_p99_us={open_p99:.0} \
+         closed_p99_us={closed_p99:.0} open_runs={} closed_runs={} \
+         closed_within_slo=true open_within_slo=false \
+         laxity_cancels={} rebinds={} sheds={}\n",
+        completed_runs(&cells.open),
+        completed_runs(&cells.closed),
+        counter(&cells.closed, "control_laxity_cancels"),
+        counter(&cells.closed, "control_profile_rebinds"),
+        counter(&cells.closed, "clients_admission_shed"),
+    ));
+
+    // Where did the open loop's extra p99 go? Attribute both traces and
+    // blame the diff (open = target, closed = baseline).
+    let horizon = default_config().switch_latency + default_config().launch_overhead;
+    let open_attr = cells.open.attribution(horizon);
+    let closed_attr = cells.closed.attribution(horizon);
+    let cp = attrib::critical_path(&open_attr);
+    let d = attrib::diff(&open_attr, &closed_attr);
+    out.push('\n');
+    out.push_str(&attrib::render_text("open-loop", &open_attr, &cp, Some(("closed-loop", &d))));
+
+    out.push_str(
+        "\nShape: with deadlines bound, the hand-off policy serializes runs \
+         against their deadlines instead of interleaving three clients that \
+         would all miss; the laxity scan cancels the one infeasible session \
+         while it is still parked (before the deadline timer would fire), and \
+         the drift alert rebinds a rescaled profile mid-run so later \
+         estimates track the regressed device. The ladder never escalates — \
+         the served requests never breach, so there is no burn — which is \
+         the point: the closed loop spends one client's deadline budget to \
+         keep every request it serves inside the objective.\n",
+    );
+    out
+}
+
+/// Renders the default (EDF) closed-loop report, saved as
+/// `results/closedloop.txt`.
+pub fn run() -> String {
+    run_with_policy(ControlPolicy::Edf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serving::ClientOutcome;
+
+    #[test]
+    fn closed_loop_holds_the_objective_the_open_loop_burns() {
+        let cells = run_cells(ControlPolicy::Edf);
+        let obj_us = cells.objective.as_nanos() as f64 / 1_000.0;
+        let open_p99 = p99_latency_us(&cells.open);
+        let closed_p99 = p99_latency_us(&cells.closed);
+        assert!(
+            closed_p99 <= obj_us,
+            "closed p99 {closed_p99:.0}us must meet the {obj_us:.0}us objective"
+        );
+        assert!(
+            open_p99 > obj_us,
+            "open p99 {open_p99:.0}us must breach the {obj_us:.0}us objective"
+        );
+
+        // The open loop only observes the burn.
+        assert!(counter(&cells.open, "slo_breaches") > 0);
+        assert!(counter(&cells.open, "alerts_slo_burn") > 0);
+        assert_eq!(counter(&cells.open, "control_laxity_cancels"), 0);
+        assert!(cells.open.all_finished());
+
+        // The closed loop acts: the infeasible session is cancelled by the
+        // laxity scan and the stale profile is rebound mid-run; the served
+        // requests never breach, so the ladder never escalates.
+        assert!(counter(&cells.closed, "control_laxity_cancels") >= 1);
+        assert!(counter(&cells.closed, "control_profile_rebinds") >= 1);
+        assert_eq!(counter(&cells.closed, "slo_breaches"), 0);
+        assert_eq!(counter(&cells.closed, "control_transitions"), 0);
+        assert_eq!(counter(&cells.closed, "clients_admission_shed"), 0);
+        let cancelled = cells
+            .closed
+            .clients
+            .iter()
+            .filter(|c| matches!(c.outcome, ClientOutcome::DeadlineExceeded(_)))
+            .count();
+        assert_eq!(cancelled, 1, "exactly one session is infeasible");
+        assert_eq!(cells.closed.finished_count(), CLIENTS - 1);
+
+        // The cancellation and rebind land on the trace as typed events.
+        let json = cells.closed.chrome_trace_json();
+        assert!(json.contains("\"laxity-cancel\""));
+        assert!(json.contains("\"profile-rebind\""));
+    }
+
+    #[test]
+    fn report_carries_the_machine_readable_summary() {
+        let out = run();
+        assert!(out.contains("summary: objective_us="));
+        assert!(out.contains("closed_within_slo=true open_within_slo=false"));
+        assert!(out.contains("WITHIN SLO"));
+        assert!(out.contains("SLO MISS"));
+        assert!(out.contains("latency attribution: open-loop"));
+        assert!(out.contains("blame vs baseline: closed-loop"));
+    }
+
+    #[test]
+    fn laxity_policy_sheds_the_whole_overload_instead_of_burning() {
+        // Least-laxity with equal deadlines degenerates to fair rotation,
+        // so under a 2.3x overload every session's laxity goes negative —
+        // the textbook LLF domino miss. The control plane's answer is to
+        // cancel all of them early rather than serve three guaranteed
+        // breaches: zero runs complete, and therefore zero runs breach.
+        let cells = run_cells(ControlPolicy::Laxity);
+        assert_eq!(cells.closed.scheduler_name, "olympian-laxity");
+        assert_eq!(cells.closed.finished_count(), 0);
+        assert_eq!(counter(&cells.closed, "slo_breaches"), 0);
+        let cancelled = cells
+            .closed
+            .clients
+            .iter()
+            .filter(|c| matches!(c.outcome, ClientOutcome::DeadlineExceeded(_)))
+            .count();
+        assert_eq!(cancelled, CLIENTS, "every session is infeasible under LLF");
+        // The report stays honest about serving nothing.
+        let out = run_with_policy(ControlPolicy::Laxity);
+        assert!(out.contains("NO RUNS SERVED"));
+        assert!(out.contains("closed_runs=0"));
+    }
+}

@@ -7,6 +7,7 @@
 pub mod ablations;
 pub mod blame;
 pub mod chaos;
+pub mod closedloop;
 pub mod dynamic_workload;
 pub mod fig03;
 pub mod fig04;
@@ -76,6 +77,7 @@ pub fn registry() -> Vec<Experiment> {
         ("chaos", chaos::run),
         ("lifecycle", lifecycle::run),
         ("blame", blame::run),
+        ("closedloop", closedloop::run),
     ]
 }
 

@@ -345,6 +345,42 @@ impl LifecycleManager {
         Route::Wait
     }
 
+    /// Like [`route`](Self::route), but resolves the request to the
+    /// *cheapest* resident version — the Serving version with the smallest
+    /// total GPU time — instead of the canary split. The control plane's
+    /// degradation ladder routes through this while elevated, trading
+    /// answer fidelity for GPU time. Falls back to [`route`](Self::route)
+    /// when no version is serving.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `model` is not managed by this deployment plan.
+    pub fn route_cheapest(
+        &mut self,
+        model: &str,
+        client: u32,
+        now: SimTime,
+        pool: &mut MemoryPool,
+        fx: &mut Effects,
+    ) -> Route {
+        let mi = *self.by_name.get(model).expect("route for unmanaged model");
+        let pick = self.models[mi]
+            .versions
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| v.state == VersionState::Serving)
+            .min_by_key(|(i, v)| (v.model.graph().total_gpu_time(), *i))
+            .map(|(i, _)| i);
+        let Some(pick) = pick else {
+            return self.route(model, client, now, pool, fx);
+        };
+        let v = &mut self.models[mi].versions[pick];
+        v.inflight += 1;
+        v.wake_pending = v.wake_pending.saturating_sub(1);
+        v.last_used = now;
+        Route::Issue(VersionKey { model: mi as u32, version: pick as u32 + 1 })
+    }
+
     /// Records a run completion against `key`. `latency` is `None` for
     /// cancelled runs (excluded from canary statistics). Advances the
     /// canary decision, completes drains and retries pending loads.

@@ -41,9 +41,11 @@
 //! assert!(report.switch_count > 0);
 //! ```
 
+pub mod deadline;
 pub mod drift;
 pub mod lifecycle;
 pub mod multi;
+pub mod oracle;
 pub mod policy;
 pub mod profile;
 pub mod profiler;
@@ -51,8 +53,10 @@ pub mod scheduler;
 pub mod server;
 pub mod threaded;
 
+pub use deadline::{DeadlineMode, DeadlinePolicy};
 pub use lifecycle::StoreBinder;
 pub use multi::MultiGpuScheduler;
+pub use oracle::StoreCostOracle;
 pub use policy::{DeficitRoundRobin, Lottery, Policy, Priority, RoundRobin, WeightedFair};
 pub use profile::{ModelProfile, ProfileStore};
 pub use profiler::{LinearCostModel, OverheadQCurve, Profiler};

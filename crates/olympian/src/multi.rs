@@ -212,6 +212,7 @@ mod tests {
             priority: 0,
             device,
             now: SimTime::ZERO,
+            deadline: None,
         }
     }
 

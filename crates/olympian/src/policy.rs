@@ -9,6 +9,7 @@
 //! introduce.
 
 use serving::JobId;
+use simtime::{SimDuration, SimTime};
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -34,6 +35,23 @@ pub trait Policy: fmt::Debug + Send {
 
     /// Short policy name, used in scheduler/report names.
     fn name(&self) -> &str;
+
+    /// Binds a job's run deadline and expected whole-run GPU duration (from
+    /// its resolved profile) at registration, before [`Policy::admit`].
+    /// Deadline-aware policies (PR 9's EDF / least-laxity) order grants by
+    /// this state; every other policy ignores it — the default is a no-op.
+    fn bind_deadline(
+        &mut self,
+        _job: JobId,
+        _deadline: Option<SimTime>,
+        _expected_gpu: SimDuration,
+    ) {
+    }
+
+    /// Reports a job's profiled-cost progress, in parts-per-million of its
+    /// total cost, after each completed GPU node. Least-laxity uses this to
+    /// estimate remaining work; the default is a no-op.
+    fn note_progress(&mut self, _job: JobId, _completed_ppm: u64) {}
 }
 
 fn ring_next(ring: &[JobId], after: JobId) -> Option<JobId> {

@@ -158,6 +158,12 @@ pub struct ProfileStore {
     /// the store is shared `Arc<ProfileStore>` by the time versions load,
     /// so registration must work through `&self`. Never persisted.
     dynamic: std::sync::Mutex<HashMap<(String, u64), Arc<ModelProfile>>>,
+    /// Online recalibration layer: rescaled copies installed by
+    /// [`override_scaled`](Self::override_scaled) when drift is detected.
+    /// Checked *first* by [`resolve`](Self::resolve) — a rebind must win
+    /// over the stale base measurement it corrects. Interior mutability
+    /// for the same reason as `dynamic`; never persisted.
+    overrides: std::sync::Mutex<HashMap<(String, u64), Arc<ModelProfile>>>,
 }
 
 impl ProfileStore {
@@ -212,13 +218,70 @@ impl ProfileStore {
             .remove(&(model.to_string(), batch));
     }
 
-    /// Resolves a profile: an exact measurement if one exists, otherwise a
-    /// live dynamically registered one, otherwise a prediction from the
-    /// model's linear fit, otherwise `None`.
+    /// Installs a recalibrated copy of the `(model, batch)` profile whose
+    /// GPU duration is the *base* profile's duration scaled by
+    /// `scale_ppm` parts-per-million (clamped to at least 1 ns). Returns
+    /// false when no base profile resolves.
+    ///
+    /// The scale is always applied to the original measurement, never to a
+    /// previous override, so repeated drift alerts converge on the observed
+    /// rate instead of compounding. Node costs are untouched: drift models
+    /// a *device* running slower, which stretches `D_j` while the profiled
+    /// cost totals (TensorFlow cost-model units) stay what they were.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the override lock is poisoned.
+    pub fn override_scaled(&self, model: &str, batch: u64, scale_ppm: u64) -> bool {
+        let Some(base) = self.resolve_base(model, batch) else {
+            return false;
+        };
+        let scaled_ns = ((base.gpu_duration.as_nanos() as u128 * scale_ppm as u128)
+            / 1_000_000) as u64;
+        let mut rebound = (*base).clone();
+        rebound.gpu_duration = SimDuration::from_nanos(scaled_ns.max(1));
+        self.overrides
+            .lock()
+            .expect("override lock poisoned")
+            .insert((model.to_string(), batch), Arc::new(rebound));
+        true
+    }
+
+    /// Drops the recalibration override for `(model, batch)`, if any, so
+    /// [`resolve`](Self::resolve) serves the base profile again.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the override lock is poisoned.
+    pub fn clear_override(&self, model: &str, batch: u64) {
+        self.overrides
+            .lock()
+            .expect("override lock poisoned")
+            .remove(&(model.to_string(), batch));
+    }
+
+    /// Resolves a profile: a live recalibration override if one is
+    /// installed, otherwise an exact measurement, otherwise a live
+    /// dynamically registered one, otherwise a prediction from the model's
+    /// linear fit, otherwise `None`.
     ///
     /// Predictions are memoized would-be — they are cheap enough (one pass
     /// over the node table) that this returns a fresh `Arc` each call.
     pub fn resolve(&self, model: &str, batch: u64) -> Option<Arc<ModelProfile>> {
+        if let Some(p) = self
+            .overrides
+            .lock()
+            .expect("override lock poisoned")
+            .get(&(model.to_string(), batch))
+        {
+            return Some(Arc::clone(p));
+        }
+        self.resolve_base(model, batch)
+    }
+
+    /// [`resolve`](Self::resolve) without the recalibration layer: the
+    /// measurement (or prediction) as profiled offline.
+    pub fn resolve_base(&self, model: &str, batch: u64) -> Option<Arc<ModelProfile>> {
         if let Some(p) = self.get(model, batch) {
             return Some(p);
         }
@@ -385,6 +448,51 @@ mod tests {
         let loaded = ProfileStore::load(buf.as_slice()).unwrap();
         assert_eq!(loaded.len(), 1);
         assert!(loaded.resolve("svc@v3", 4).is_none());
+    }
+
+    #[test]
+    fn override_scaled_wins_resolve_and_scales_from_base() {
+        let store = {
+            let mut s = ProfileStore::new();
+            s.insert(sample("m", 4)); // gpu_duration 10 ns
+            s
+        };
+        assert!(store.override_scaled("m", 4, 1_400_000), "base exists");
+        assert_eq!(
+            store.resolve("m", 4).unwrap().gpu_duration,
+            SimDuration::from_nanos(14)
+        );
+        // Costs are untouched; only the duration stretches.
+        assert_eq!(store.resolve("m", 4).unwrap().total_cost, 15);
+        // A second rebind scales the *base*, not the previous override.
+        assert!(store.override_scaled("m", 4, 2_000_000));
+        assert_eq!(
+            store.resolve("m", 4).unwrap().gpu_duration,
+            SimDuration::from_nanos(20)
+        );
+        // The base layer still serves the original measurement.
+        assert_eq!(
+            store.resolve_base("m", 4).unwrap().gpu_duration,
+            SimDuration::from_nanos(10)
+        );
+        store.clear_override("m", 4);
+        assert_eq!(
+            store.resolve("m", 4).unwrap().gpu_duration,
+            SimDuration::from_nanos(10)
+        );
+        // No base profile: the rebind reports failure.
+        assert!(!store.override_scaled("ghost", 1, 1_500_000));
+    }
+
+    #[test]
+    fn override_duration_never_collapses_to_zero() {
+        let mut s = ProfileStore::new();
+        s.insert(sample("m", 1)); // 10 ns
+        assert!(s.override_scaled("m", 1, 1)); // would be 0 ns unclamped
+        assert_eq!(
+            s.resolve("m", 1).unwrap().gpu_duration,
+            SimDuration::from_nanos(1)
+        );
     }
 
     #[test]

@@ -28,6 +28,10 @@ struct JobAccount {
     profile: Arc<ModelProfile>,
     threshold: u64,
     cumulated: u64,
+    /// Lifetime profiled cost spent by the job, never decremented (unlike
+    /// `cumulated`, which resets each quantum). Progress feed for
+    /// laxity-aware policies.
+    spent: u64,
 }
 
 /// Olympian's GPU scheduler.
@@ -162,12 +166,15 @@ impl Scheduler for OlympianScheduler {
             self.jobs.iter().all(|(j, _)| *j != job),
             "job ids are unique per run"
         );
+        self.policy
+            .bind_deadline(job, ctx.deadline, profile.gpu_duration);
         self.jobs.push((
             job,
             JobAccount {
                 profile,
                 threshold,
                 cumulated: 0,
+                spent: 0,
             },
         ));
         let next = self.policy.admit(job, ctx.weight, ctx.priority, self.token);
@@ -198,7 +205,13 @@ impl Scheduler for OlympianScheduler {
         };
         // Overflow rule (Figures 10/15): the cost is charged to the job
         // that launched the kernel even if it no longer holds the token.
-        account.cumulated += account.profile.node_cost(node);
+        let cost = account.profile.node_cost(node);
+        account.cumulated += cost;
+        account.spent += cost;
+        let ppm = ((account.spent as u128 * 1_000_000)
+            / account.profile.total_cost.max(1) as u128)
+            .min(1_000_000) as u64;
+        self.policy.note_progress(job, ppm);
         if self.token == Some(job) {
             self.last_progress = now;
         }
@@ -321,6 +334,7 @@ mod tests {
             priority: 0,
             device: 0,
             now: SimTime::from_nanos(now_ns),
+            deadline: None,
         }
     }
 

@@ -79,6 +79,12 @@ pub struct EngineConfig {
     /// admission is the classic one-shot memory check; the lifecycle
     /// hooks collapse to one predicted branch each.
     pub lifecycle: Option<lifecycle::LifecycleConfig>,
+    /// Closed-loop control plane (see [`controlplane`]): deadline-aware
+    /// token policies, a burn-rate-driven degradation ladder and online
+    /// profile recalibration. `None` by default — every control hook then
+    /// collapses to one predicted branch, the same zero-cost-when-off
+    /// discipline as faults and lifecycle.
+    pub control: Option<controlplane::ControlConfig>,
     /// Hard cap on simulated events — a watchdog against scheduling bugs.
     pub max_events: u64,
     /// Worker threads for [`run_sharded_experiment`]: how many OS threads
@@ -114,6 +120,7 @@ impl Default for EngineConfig {
             telemetry: telemetry::TelemetryConfig::off(),
             faults: None,
             lifecycle: None,
+            control: None,
             max_events: 500_000_000,
             shards: 1,
         }
@@ -150,6 +157,9 @@ impl EngineConfig {
                 "lifecycle management currently assumes a single device"
             );
             lc.validate();
+        }
+        if let Some(ctl) = &self.control {
+            ctl.validate();
         }
     }
 
@@ -197,6 +207,14 @@ impl EngineConfig {
     /// weights.
     pub fn with_lifecycle(&self, lifecycle: lifecycle::LifecycleConfig) -> EngineConfig {
         EngineConfig { lifecycle: Some(lifecycle), ..self.clone() }
+    }
+
+    /// A copy with the closed-loop control plane configured (see
+    /// [`controlplane`]): the engine runs a periodic control tick that
+    /// drives the degradation ladder, cancels laxity-negative runs early
+    /// and recalibrates drifting profiles in place.
+    pub fn with_control(&self, control: controlplane::ControlConfig) -> EngineConfig {
+        EngineConfig { control: Some(control), ..self.clone() }
     }
 
     /// A copy with the online cost profiler enabled (Figure 6's condition).

@@ -70,6 +70,9 @@ enum Event {
     /// A lifecycle transition is due: a version publish, a load
     /// completion or a warm-up run boundary.
     LifecycleTick,
+    /// The control plane's periodic tick: degradation-ladder cool-down and
+    /// laxity-negative run cancellation.
+    ControlTick,
 }
 
 /// Live fault-injection state for one run: the seeded injector plus the
@@ -116,6 +119,14 @@ struct LifecycleRuntime {
     mgr: LifecycleManager,
     /// Versions of in-flight jobs, keyed by `JobId.0`.
     job_versions: HashMap<u64, VersionKey>,
+}
+
+/// Live control-plane state for one run: the static configuration plus the
+/// degradation-ladder state machine. Held in an `Option` so the
+/// uncontrolled hot path pays one predicted branch per hook.
+struct ControlRuntime {
+    cfg: controlplane::ControlConfig,
+    machine: controlplane::DegradeMachine,
 }
 
 /// Hot half of a job slot: every field the per-node dispatch and
@@ -293,6 +304,7 @@ pub(crate) struct Engine<'a> {
     telemetry_due: SimTime,
     faults: Option<FaultRuntime>,
     lifecycle: Option<LifecycleRuntime>,
+    control: Option<ControlRuntime>,
     trace: TraceBuffer,
     telemetry: TelemetryHub,
     intervals: Vec<SimDuration>,
@@ -378,6 +390,10 @@ pub(crate) fn build_engine<'a>(
             .unwrap_or_else(|e| panic!("invalid lifecycle config: {e}")),
         job_versions: HashMap::new(),
     });
+    let control = cfg.control.as_ref().map(|c| ControlRuntime {
+        cfg: c.clone(),
+        machine: c.machine(),
+    });
     let telemetry = TelemetryHub::new(&cfg.telemetry);
     let telemetry_due = telemetry.next_due();
     let mut engine = Engine {
@@ -402,6 +418,7 @@ pub(crate) fn build_engine<'a>(
         telemetry_due,
         faults,
         lifecycle,
+        control,
         trace: TraceBuffer::new(&cfg.trace),
         telemetry,
         intervals: Vec::with_capacity(256),
@@ -419,6 +436,11 @@ pub(crate) fn build_engine<'a>(
     for i in 0..engine.clients.len() {
         let at = engine.clients[i].spec.start_at;
         engine.queue.schedule(at, Event::ClientStart(ClientId(i as u32)));
+    }
+    if let Some(rt) = &engine.control {
+        engine
+            .queue
+            .schedule(SimTime::ZERO + rt.cfg.tick, Event::ControlTick);
     }
     engine
 }
@@ -544,6 +566,7 @@ impl Engine<'_> {
                 }
                 Event::RetryAdmit(c) => self.retry_admit(c),
                 Event::LifecycleTick => self.lifecycle_tick(),
+                Event::ControlTick => self.control_tick(),
                 Event::PoolGrant(n) => {
                     self.pool_idle += n;
                     self.wake_starving();
@@ -555,6 +578,20 @@ impl Engine<'_> {
     // ---- client lifecycle -------------------------------------------------
 
     fn client_start(&mut self, c: ClientId) {
+        // Admission gate: in the ladder's Shedding state new sessions are
+        // refused outright — the cheapest load to serve is load never
+        // admitted.
+        if self
+            .control
+            .as_ref()
+            .is_some_and(|rt| rt.machine.state() == controlplane::DegradeState::Shedding)
+        {
+            self.record(TraceKind::AdmissionShed { client: c.0 });
+            self.telemetry.on_admission_shed();
+            self.clients[c.0 as usize].outcome =
+                Some(ClientOutcome::AdmissionShed { at: self.now });
+            return;
+        }
         let cfg = self.cfg.clone();
         let client = &mut self.clients[c.0 as usize];
         client.gang_limit = if cfg.min_effective_gang == cfg.max_gang {
@@ -779,16 +816,32 @@ impl Engine<'_> {
             };
             if managed {
                 let mut fx = LcEffects::default();
+                // Past Healthy, clients of a managed model are resolved to
+                // its cheapest resident version — trading answer fidelity
+                // for GPU time while the ladder is elevated.
+                let degraded = self.control.as_ref().is_some_and(|rt| {
+                    rt.machine.state() != controlplane::DegradeState::Healthy
+                });
                 let route = {
                     let client = &self.clients[c.0 as usize];
                     let rt = self.lifecycle.as_mut().unwrap();
-                    rt.mgr.route(
-                        client.spec.model.name(),
-                        c.0,
-                        self.now,
-                        &mut self.memories[0],
-                        &mut fx,
-                    )
+                    if degraded {
+                        rt.mgr.route_cheapest(
+                            client.spec.model.name(),
+                            c.0,
+                            self.now,
+                            &mut self.memories[0],
+                            &mut fx,
+                        )
+                    } else {
+                        rt.mgr.route(
+                            client.spec.model.name(),
+                            c.0,
+                            self.now,
+                            &mut self.memories[0],
+                            &mut fx,
+                        )
+                    }
                 };
                 self.apply_lifecycle_effects(fx);
                 match route {
@@ -810,7 +863,20 @@ impl Engine<'_> {
             }
             None => Arc::clone(self.clients[c.0 as usize].spec.model.graph()),
         };
+        // Degradation ladder: past Healthy, runs are metered at a shrunk
+        // batch hint — the resolved profile's smaller costs buy shorter
+        // quanta and earlier thresholds while the graph itself is
+        // unchanged.
+        let divisor = self.control.as_ref().and_then(|rt| {
+            (rt.machine.state() != controlplane::DegradeState::Healthy)
+                .then_some(rt.cfg.batch_divisor)
+        });
         let client = &self.clients[c.0 as usize];
+        let full_batch = client.spec.model.batch();
+        let batch = match divisor {
+            Some(d) => (full_batch / d).max(1),
+            None => full_batch,
+        };
         let ctx = JobCtx {
             client: c,
             model_name: match routed {
@@ -819,16 +885,25 @@ impl Engine<'_> {
                 }
                 None => client.spec.model.name(),
             },
-            batch: client.spec.model.batch(),
+            batch,
             weight: client.spec.weight,
             priority: client.spec.priority,
             device: client.device,
             now: self.now,
+            deadline: client.spec.run_deadline.map(|d| self.now + d),
         };
         match self.scheduler.register(job_id, &ctx) {
             Ok(verdict) => {
                 self.telemetry.on_run_start();
                 self.record(TraceKind::RunRegistered { job: job_id.0, client: c.0 });
+                if batch != full_batch {
+                    self.record(TraceKind::BatchShrink {
+                        client: c.0,
+                        from: full_batch,
+                        to: batch,
+                    });
+                    self.telemetry.on_batch_shrink();
+                }
                 let slot = match self.free_slots.pop() {
                     Some(s) => {
                         self.job_hot[s as usize].reset(c, &graph);
@@ -1166,6 +1241,125 @@ impl Engine<'_> {
         }
     }
 
+    // ---- control plane ----------------------------------------------------
+
+    /// One control-plane tick: steps the degradation ladder's cool-down,
+    /// cancels laxity-negative runs early, and re-arms the tick while any
+    /// session is still undecided.
+    fn control_tick(&mut self) {
+        let now = self.now;
+        let (tick, transition, laxity_on) = {
+            let Some(rt) = self.control.as_mut() else {
+                return;
+            };
+            (rt.cfg.tick, rt.machine.on_tick(now), rt.cfg.laxity_cancel)
+        };
+        if let Some(tr) = transition {
+            self.note_control_transition(tr);
+        }
+        if laxity_on {
+            // Early cancellation: a run whose expected remaining GPU work
+            // no longer fits before its deadline is torn down now instead
+            // of at the deadline, freeing its quanta for runs that can
+            // still make it.
+            for (job, c, deficit_us) in self.laxity_doomed() {
+                self.record(TraceKind::LaxityCancel {
+                    job: job.0,
+                    client: c.0,
+                    deficit_us,
+                });
+                self.telemetry.on_laxity_cancel();
+                self.teardown_job(job, c, ClientOutcome::DeadlineExceeded(now));
+            }
+        }
+        if self.clients.iter().any(|c| c.outcome.is_none()) {
+            self.queue.schedule(now + tick, Event::ControlTick);
+        }
+    }
+
+    /// Runs that cannot meet their deadline any more, in client-index
+    /// order: `(job, client, deficit in µs)`. The estimate charges each
+    /// run its bound profile's whole-run GPU duration minus the GPU time
+    /// it already received.
+    fn laxity_doomed(&self) -> Vec<(JobId, ClientId, u64)> {
+        let Some(cost) = self.control.as_ref().and_then(|rt| rt.cfg.cost.clone()) else {
+            return Vec::new();
+        };
+        let mut doomed = Vec::new();
+        for (i, client) in self.clients.iter().enumerate() {
+            let (Some(job), Some(budget)) = (client.current_job, client.spec.run_deadline)
+            else {
+                continue;
+            };
+            let Some(slot) = self.live_slot(job) else {
+                continue;
+            };
+            let Some(total) =
+                cost.expected_gpu_ns(client.spec.model.name(), client.spec.model.batch())
+            else {
+                continue;
+            };
+            let deadline = self.job_cold[slot].started_at + budget;
+            let received = self.job_hot[slot].gpu_busy.as_nanos();
+            let eta = self.now + SimDuration::from_nanos(total.saturating_sub(received));
+            if eta > deadline {
+                doomed.push((job, ClientId(i as u32), (eta - deadline).as_nanos() / 1_000));
+            }
+        }
+        doomed
+    }
+
+    /// Lands a degradation-ladder transition on the trace and telemetry.
+    fn note_control_transition(&mut self, tr: controlplane::Transition) {
+        self.record(TraceKind::ControlTransition {
+            from: tr.from.as_str(),
+            to: tr.to.as_str(),
+        });
+        self.telemetry.on_control_transition();
+    }
+
+    /// The control plane's alert reactions: an SLO burn escalates the
+    /// degradation ladder (and resets the burn latch so a *sustained* burn
+    /// keeps escalating), a drift alert recalibrates the drifting model's
+    /// profile in place — no run is stopped; the next threshold computation
+    /// simply sees the rescaled profile.
+    fn control_on_alert(&mut self, alert: &Alert) {
+        match alert {
+            Alert::SloBurn { at, slo, .. } => {
+                let transition = {
+                    let rt = self.control.as_mut().expect("control hook with control on");
+                    rt.machine.on_burn(*at)
+                };
+                self.telemetry.reset_burn_latch(*slo);
+                if let Some(tr) = transition {
+                    self.note_control_transition(tr);
+                }
+            }
+            Alert::Drift { client, observed_us, expected_us, .. } => {
+                let rebound = {
+                    let rt = self.control.as_ref().expect("control hook with control on");
+                    if !rt.cfg.recalibrate || *expected_us <= 0.0 {
+                        return;
+                    }
+                    let Some(cost) = rt.cfg.cost.as_ref() else {
+                        return;
+                    };
+                    let scale_ppm = controlplane::clamp_rebind_ppm(
+                        ((observed_us / expected_us) * 1e6).round() as u64,
+                    );
+                    let spec = &self.clients[*client as usize].spec;
+                    cost.rebind_scaled(spec.model.name(), spec.model.batch(), scale_ppm)
+                        .then_some(scale_ppm)
+                };
+                if let Some(scale_ppm) = rebound {
+                    self.record(TraceKind::ProfileRebind { client: *client, scale_ppm });
+                    self.telemetry.on_profile_rebind();
+                }
+            }
+            _ => {}
+        }
+    }
+
     // ---- scheduling plumbing ---------------------------------------------
 
     #[inline]
@@ -1204,6 +1398,9 @@ impl Engine<'_> {
     /// it shows up on the Perfetto timeline next to the quanta and runs
     /// that caused it.
     fn record_alert(&mut self, alert: &Alert) {
+        if self.control.is_some() {
+            self.control_on_alert(alert);
+        }
         let kind = match alert {
             Alert::Drift { client, observed_us, expected_us, deviation, .. } => {
                 TraceKind::DriftAlert {

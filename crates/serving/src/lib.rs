@@ -42,6 +42,14 @@ pub mod attrib {
 pub mod batching;
 mod client;
 mod config;
+pub mod control {
+    //! Re-export of the control-plane crate: deadline-aware scheduling
+    //! support, the burn-rate degradation ladder and online recalibration
+    //! consumed via [`EngineConfig::with_control`].
+    //!
+    //! [`EngineConfig::with_control`]: crate::EngineConfig::with_control
+    pub use ::controlplane::*;
+}
 mod engine;
 pub mod faults {
     //! Re-export of the fault-injection crate: plans, retry policies and

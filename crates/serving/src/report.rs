@@ -37,6 +37,13 @@ pub enum ClientOutcome {
         /// Breaker trips accumulated before shedding.
         trips: u32,
     },
+    /// The control plane's degradation ladder was in its Shedding state
+    /// when the client arrived: admission was refused outright to protect
+    /// the clients already inside their SLOs.
+    AdmissionShed {
+        /// When admission was refused.
+        at: SimTime,
+    },
     /// The run ended with this client unable to make progress (typically
     /// worker-thread starvation under gang-holding schedulers, §4.3).
     Stalled,
@@ -58,6 +65,9 @@ impl std::fmt::Display for ClientOutcome {
             }
             ClientOutcome::CircuitOpen { at, trips } => {
                 write!(f, "circuit open at {at} ({trips} trips)")
+            }
+            ClientOutcome::AdmissionShed { at } => {
+                write!(f, "admission shed at {at}")
             }
             ClientOutcome::Stalled => write!(f, "stalled"),
         }

@@ -45,6 +45,10 @@ pub struct JobCtx<'a> {
     pub device: u32,
     /// Registration time.
     pub now: SimTime,
+    /// Absolute completion deadline, when the client declared one.
+    /// Deadline-aware policies order token grants by it; everyone else
+    /// ignores it.
+    pub deadline: Option<SimTime>,
 }
 
 /// Token movement reported by a scheduler call.
@@ -230,6 +234,7 @@ mod tests {
             priority: 0,
             device: 0,
             now: SimTime::ZERO,
+            deadline: None,
         };
         assert_eq!(s.register(JobId(1), &ctx).unwrap(), Verdict::Unchanged);
         assert!(s.may_run(JobId(1)));

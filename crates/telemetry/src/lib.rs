@@ -428,6 +428,11 @@ struct Ids {
     c_rollbacks: CounterId,
     c_drains: CounterId,
     c_trace_dropped: CounterId,
+    c_control_transitions: CounterId,
+    c_admission_shed: CounterId,
+    c_batch_shrinks: CounterId,
+    c_profile_rebinds: CounterId,
+    c_laxity_cancels: CounterId,
     g_queue: GaugeId,
     g_pool_idle: GaugeId,
     g_starving: GaugeId,
@@ -527,6 +532,11 @@ impl TelemetryHub {
             c_rollbacks: registry.counter("canary_rollbacks"),
             c_drains: registry.counter("drains_started"),
             c_trace_dropped: registry.counter("trace_dropped_events"),
+            c_control_transitions: registry.counter("control_transitions"),
+            c_admission_shed: registry.counter("clients_admission_shed"),
+            c_batch_shrinks: registry.counter("control_batch_shrinks"),
+            c_profile_rebinds: registry.counter("control_profile_rebinds"),
+            c_laxity_cancels: registry.counter("control_laxity_cancels"),
             g_queue: registry.gauge("admission_queue_depth"),
             g_pool_idle: registry.gauge("pool_idle_threads"),
             g_starving: registry.gauge("starving_jobs"),
@@ -788,6 +798,70 @@ impl TelemetryHub {
         }
         let ids = self.ids();
         self.registry.inc(ids.c_trace_dropped, n);
+    }
+
+    /// The control plane's degradation ladder changed rungs (control
+    /// layer).
+    #[inline]
+    pub fn on_control_transition(&mut self) {
+        if !self.on {
+            return;
+        }
+        let ids = self.ids();
+        self.registry.inc(ids.c_control_transitions, 1);
+    }
+
+    /// A new admission was rejected by the Shedding rung (control layer).
+    #[inline]
+    pub fn on_admission_shed(&mut self) {
+        if !self.on {
+            return;
+        }
+        let ids = self.ids();
+        self.registry.inc(ids.c_admission_shed, 1);
+    }
+
+    /// A run's batch hint was shrunk by the Degraded rung (control layer).
+    #[inline]
+    pub fn on_batch_shrink(&mut self) {
+        if !self.on {
+            return;
+        }
+        let ids = self.ids();
+        self.registry.inc(ids.c_batch_shrinks, 1);
+    }
+
+    /// A drift alert triggered an in-run profile rebind (control layer).
+    #[inline]
+    pub fn on_profile_rebind(&mut self) {
+        if !self.on {
+            return;
+        }
+        let ids = self.ids();
+        self.registry.inc(ids.c_profile_rebinds, 1);
+    }
+
+    /// A laxity-negative run was cancelled early (control layer).
+    #[inline]
+    pub fn on_laxity_cancel(&mut self) {
+        if !self.on {
+            return;
+        }
+        let ids = self.ids();
+        self.registry.inc(ids.c_laxity_cancels, 1);
+    }
+
+    /// Acknowledges a burn alert on objective `slo`, resetting that
+    /// monitor's rising-edge latch so a burn that persists through the
+    /// control plane's countermeasure fires again at the next boundary.
+    #[inline]
+    pub fn reset_burn_latch(&mut self, slo: u32) {
+        if !self.on {
+            return;
+        }
+        if let Some(m) = self.monitors.get_mut(slo as usize) {
+            m.reset_latch();
+        }
     }
 
     /// A version started draining (lifecycle layer).

@@ -176,6 +176,22 @@ impl SloMonitor {
         }
         None
     }
+
+    /// Whether the alert latch is currently set (an alert fired and the
+    /// short window has not recovered since).
+    pub fn is_latched(&self) -> bool {
+        self.latched
+    }
+
+    /// Clears the alert latch without waiting for the short window to
+    /// recover. The rising-edge latch exists so a passive observer sees one
+    /// alert per sustained burn; an *active* consumer (the PR 9 control
+    /// plane) acknowledges each alert by resetting the latch, so a burn
+    /// that persists through its countermeasure fires again at the next
+    /// boundary and the degradation ladder keeps escalating.
+    pub fn reset_latch(&mut self) {
+        self.latched = false;
+    }
 }
 
 #[cfg(test)]
@@ -253,6 +269,38 @@ mod tests {
             }
         }
         assert_eq!(refired, 1, "alert did not re-arm after recovery");
+    }
+
+    #[test]
+    fn reset_latch_lets_a_sustained_burn_fire_repeatedly() {
+        // Regression test for the control-plane consumer: without the
+        // reset, a sustained burn is a single rising edge and the ladder
+        // could never observe repeated episodes.
+        let w = BurnWindows { short: 2, long: 4, threshold: 2.0 };
+        let mut m = SloMonitor::new(w, 0.1);
+        let mut fired = 0;
+        for _ in 0..6 {
+            m.observe(true);
+            m.observe(false);
+            if m.rotate().is_some() {
+                fired += 1;
+                assert!(m.is_latched());
+                m.reset_latch();
+                assert!(!m.is_latched());
+            }
+        }
+        assert_eq!(fired, 6, "acknowledged alerts must re-fire while burning");
+        // The passive behaviour is unchanged when nobody resets.
+        let mut passive = SloMonitor::new(w, 0.1);
+        let mut passive_fired = 0;
+        for _ in 0..6 {
+            passive.observe(true);
+            passive.observe(false);
+            if passive.rotate().is_some() {
+                passive_fired += 1;
+            }
+        }
+        assert_eq!(passive_fired, 1);
     }
 
     #[test]

@@ -297,6 +297,33 @@ pub fn chrome_trace(trace: &Trace, meta: &TraceMeta) -> Value {
                         ("inflight".into(), Value::UInt(u64::from(inflight))),
                     ]));
             }
+            TraceKind::ControlTransition { from, to } => {
+                rows.push(row(scheduler_tid, e.at.as_nanos(), None,
+                    format!("control-{from}-to-{to}"), "control", Vec::new()));
+            }
+            TraceKind::AdmissionShed { client } => {
+                rows.push(row(u64::from(client), e.at.as_nanos(), None,
+                    "admission-shed".into(), "control", Vec::new()));
+            }
+            TraceKind::BatchShrink { client, from, to } => {
+                rows.push(row(u64::from(client), e.at.as_nanos(), None,
+                    "batch-shrink".into(), "control",
+                    vec![
+                        ("from".into(), Value::UInt(from)),
+                        ("to".into(), Value::UInt(to)),
+                    ]));
+            }
+            TraceKind::ProfileRebind { client, scale_ppm } => {
+                rows.push(row(u64::from(client), e.at.as_nanos(), None,
+                    "profile-rebind".into(), "control",
+                    vec![("scale_ppm".into(), Value::UInt(scale_ppm))]));
+            }
+            TraceKind::LaxityCancel { job, client, deficit_us } => {
+                let mut args = job_arg(job);
+                args.push(("deficit_us".into(), Value::UInt(deficit_us)));
+                rows.push(row(u64::from(client), e.at.as_nanos(), None,
+                    "laxity-cancel".into(), "control", args));
+            }
         }
     }
 

@@ -437,6 +437,48 @@ pub enum TraceKind {
         /// Runs still in flight at this instant.
         inflight: u32,
     },
+    /// The control plane's degradation ladder changed rungs (control
+    /// layer).
+    ControlTransition {
+        /// The rung left, kebab-case ("healthy"/"degraded"/"shedding").
+        from: &'static str,
+        /// The rung entered.
+        to: &'static str,
+    },
+    /// A new admission was rejected by the Shedding rung (control layer).
+    AdmissionShed {
+        /// The rejected client.
+        client: u32,
+    },
+    /// A run's batch hint was shrunk by the Degraded rung before scheduler
+    /// registration (control layer).
+    BatchShrink {
+        /// The affected client.
+        client: u32,
+        /// The client's configured batch hint.
+        from: u64,
+        /// The shrunk hint the run registered with.
+        to: u64,
+    },
+    /// A drift alert triggered an in-run rebind of a freshly scaled
+    /// profile (control layer).
+    ProfileRebind {
+        /// The drifting client whose model was rebound.
+        client: u32,
+        /// GPU-duration scale applied, parts-per-million (1e6 = unchanged).
+        scale_ppm: u64,
+    },
+    /// A laxity-negative run was cancelled early by the control loop —
+    /// its expected remaining GPU work could no longer fit before its
+    /// deadline (control layer).
+    LaxityCancel {
+        /// The cancelled job.
+        job: u64,
+        /// Its owner.
+        client: u32,
+        /// How far past the deadline the run would have landed, µs.
+        deficit_us: u64,
+    },
 }
 
 impl TraceKind {
@@ -474,7 +516,10 @@ impl TraceKind {
             | TraceKind::LifecycleWait { client }
             | TraceKind::DriftAlert { client, .. }
             | TraceKind::AllocFault { client, .. }
-            | TraceKind::BreakerTransition { client, .. } => *client = client_of(*client),
+            | TraceKind::BreakerTransition { client, .. }
+            | TraceKind::AdmissionShed { client }
+            | TraceKind::BatchShrink { client, .. }
+            | TraceKind::ProfileRebind { client, .. } => *client = client_of(*client),
             TraceKind::ClientAdmitted { client, device } => {
                 *client = client_of(*client);
                 *device = device_of(*device);
@@ -487,7 +532,8 @@ impl TraceKind {
             | TraceKind::YieldBlock { job, client }
             | TraceKind::YieldUnblock { job, client }
             | TraceKind::RetryScheduled { job, client, .. }
-            | TraceKind::WatchdogRevoke { job, client, .. } => {
+            | TraceKind::WatchdogRevoke { job, client, .. }
+            | TraceKind::LaxityCancel { job, client, .. } => {
                 *client = client_of(*client);
                 j(job);
             }
@@ -514,7 +560,8 @@ impl TraceKind {
             | TraceKind::Evict { .. }
             | TraceKind::CanaryPromote { .. }
             | TraceKind::CanaryRollback { .. }
-            | TraceKind::Drain { .. } => {}
+            | TraceKind::Drain { .. }
+            | TraceKind::ControlTransition { .. } => {}
         }
     }
 
@@ -542,7 +589,11 @@ impl TraceKind {
             | TraceKind::AllocFault { client, .. }
             | TraceKind::RetryScheduled { client, .. }
             | TraceKind::BreakerTransition { client, .. }
-            | TraceKind::WatchdogRevoke { client, .. } => Some(client),
+            | TraceKind::WatchdogRevoke { client, .. }
+            | TraceKind::AdmissionShed { client }
+            | TraceKind::BatchShrink { client, .. }
+            | TraceKind::ProfileRebind { client, .. }
+            | TraceKind::LaxityCancel { client, .. } => Some(client),
             TraceKind::TokenRevoke { client, .. } | TraceKind::TokenGrant { client, .. } => client,
             TraceKind::SloBurnAlert { .. }
             | TraceKind::DeviceStall { .. }
@@ -551,7 +602,8 @@ impl TraceKind {
             | TraceKind::Evict { .. }
             | TraceKind::CanaryPromote { .. }
             | TraceKind::CanaryRollback { .. }
-            | TraceKind::Drain { .. } => None,
+            | TraceKind::Drain { .. }
+            | TraceKind::ControlTransition { .. } => None,
         }
     }
 }
@@ -685,6 +737,21 @@ impl fmt::Display for TraceEvent {
             }
             TraceKind::Drain { model, version, inflight } => {
                 write!(f, "drain m{model}@v{version} ({inflight} in flight)")
+            }
+            TraceKind::ControlTransition { from, to } => {
+                write!(f, "control transition {from} -> {to}")
+            }
+            TraceKind::AdmissionShed { client } => {
+                write!(f, "admission shed client{client}")
+            }
+            TraceKind::BatchShrink { client, from, to } => {
+                write!(f, "batch shrink client{client} ({from} -> {to})")
+            }
+            TraceKind::ProfileRebind { client, scale_ppm } => {
+                write!(f, "profile rebind client{client} (scale {scale_ppm}ppm)")
+            }
+            TraceKind::LaxityCancel { job, client, deficit_us } => {
+                write!(f, "laxity cancel job{job} (client{client}, deficit {deficit_us}us)")
             }
         }
     }
@@ -961,6 +1028,47 @@ mod tests {
                 .client(),
             None
         );
+        assert_eq!(
+            TraceKind::ControlTransition { from: "healthy", to: "degraded" }.client(),
+            None
+        );
+        assert_eq!(TraceKind::AdmissionShed { client: 7 }.client(), Some(7));
+        assert_eq!(TraceKind::BatchShrink { client: 3, from: 4, to: 2 }.client(), Some(3));
+        assert_eq!(
+            TraceKind::ProfileRebind { client: 5, scale_ppm: 1_400_000 }.client(),
+            Some(5)
+        );
+        assert_eq!(
+            TraceKind::LaxityCancel { job: 2, client: 1, deficit_us: 900 }.client(),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn control_events_render_and_remap() {
+        let e = TraceEvent {
+            seq: 0,
+            at: SimTime::from_micros(100),
+            kind: TraceKind::LaxityCancel { job: 4, client: 2, deficit_us: 750 },
+        };
+        assert_eq!(
+            e.to_string(),
+            "[0.000100s] laxity cancel job4 (client2, deficit 750us)"
+        );
+        let t = TraceEvent {
+            seq: 1,
+            at: SimTime::from_micros(101),
+            kind: TraceKind::ControlTransition { from: "degraded", to: "shedding" },
+        };
+        assert_eq!(t.to_string(), "[0.000101s] control transition degraded -> shedding");
+        // Remap lifts the group-local ids; the ladder transition carries
+        // none and passes through unchanged.
+        let mut k = TraceKind::LaxityCancel { job: 4, client: 2, deficit_us: 750 };
+        k.remap_ids(&|c| c + 10, &|d| d, &|j| j + 100);
+        assert_eq!(k, TraceKind::LaxityCancel { job: 104, client: 12, deficit_us: 750 });
+        let mut s = TraceKind::BatchShrink { client: 1, from: 4, to: 2 };
+        s.remap_ids(&|c| c + 10, &|d| d, &|j| j);
+        assert_eq!(s, TraceKind::BatchShrink { client: 11, from: 4, to: 2 });
     }
 
     #[test]
