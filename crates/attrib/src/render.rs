@@ -379,10 +379,7 @@ mod tests {
         let mut text = String::new();
         doc.write(&mut text);
         let back = Value::parse(&text).unwrap();
-        assert_eq!(
-            back.get("phase_totals_us").unwrap().get("execute").is_some(),
-            true
-        );
+        assert!(back.get("phase_totals_us").unwrap().get("execute").is_some());
     }
 
     #[test]

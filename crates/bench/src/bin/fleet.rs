@@ -1,0 +1,8 @@
+//! Renders the fleet-orchestration report. See `bench::figs::fleet`.
+
+fn main() {
+    let out = bench::figs::fleet::run();
+    print!("{out}");
+    let path = bench::save_result("fleet.txt", &out);
+    eprintln!("(saved to {})", path.display());
+}

@@ -21,6 +21,7 @@
 //! olympctl chaos   <scenario>   [--scheduler olympian|fifo|both]
 //! olympctl control <scenario>   [--policy edf|laxity] [--out report.txt]
 //! olympctl lifecycle <scenario>
+//! olympctl fleet   <scenario>   [--out report.txt]
 //! olympctl top     <experiment> [--interval-us N] [--fps N] [--rows N]
 //! olympctl query   <expr> [--dir runs] [--run A] [--vs B] [--dash out.html]
 //! olympctl import-bench <BENCH.json> [--dir runs] [--as seed]
@@ -61,6 +62,12 @@
 //! (deadline-aware hand-off, laxity cancellation, in-run recalibration and
 //! the degradation ladder) and prints the SLO comparison, ending with the
 //! machine-readable `summary:` line CI validates.
+//!
+//! `fleet` runs a named fleet-orchestration scenario (see
+//! `bench::figs::fleet::scenarios`): the same Zipf-skewed arrival trace
+//! through static hash placement and through cost-aware routing plus the
+//! min-cost-flow reconfiguration loop, printing the tail-latency
+//! comparison and the machine-readable `summary:` line CI validates.
 //!
 //! `lifecycle` runs a named model-lifecycle scenario (see
 //! `bench::figs::lifecycle::scenarios`): `churn` exercises
@@ -114,6 +121,7 @@ fn usage() -> ExitCode {
          olympctl chaos <scenario> [--scheduler <olympian|fifo|both>]\n  \
          olympctl control <scenario> [--policy <edf|laxity>] [--out <report.txt>]\n  \
          olympctl lifecycle <scenario>\n  \
+         olympctl fleet <scenario> [--out <report.txt>]\n  \
          olympctl top <experiment> [--interval-us <n>] [--fps <n>] [--rows <n>]\n  \
          olympctl query <expr> [--dir <runs>] [--run <a>] [--vs <b>] [--dash <out.html>]\n  \
          olympctl import-bench <BENCH.json> [--dir <runs>] [--as <seed>]\n  \
@@ -875,6 +883,29 @@ fn cmd_lifecycle(name: &str) -> Result<(), String> {
     }
 }
 
+fn cmd_fleet(name: &str, flags: &HashMap<String, String>) -> Result<(), String> {
+    match bench::figs::fleet::scenario_report(name) {
+        Some(report) => {
+            print!("{report}");
+            if let Some(path) = flags.get("out") {
+                std::fs::write(path, &report).map_err(|e| e.to_string())?;
+                println!("wrote {path}");
+            }
+            Ok(())
+        }
+        None => {
+            let names: Vec<&str> = bench::figs::fleet::scenarios()
+                .iter()
+                .map(|s| s.name)
+                .collect();
+            Err(format!(
+                "unknown fleet scenario {name:?}; available: {}",
+                names.join(", ")
+            ))
+        }
+    }
+}
+
 fn print_run(report: &serving::RunReport, sched: &OlympianScheduler) {
     print_report(report);
     println!("token switches : {}", sched.switches());
@@ -910,6 +941,7 @@ fn main() -> ExitCode {
         || cmd == "chaos"
         || cmd == "control"
         || cmd == "lifecycle"
+        || cmd == "fleet"
         || cmd == "top"
         || cmd == "query"
         || cmd == "import-bench"
@@ -956,6 +988,7 @@ fn main() -> ExitCode {
         "chaos" => cmd_chaos(positional.as_deref().expect("positional parsed"), &flags),
         "control" => cmd_control(positional.as_deref().expect("positional parsed"), &flags),
         "lifecycle" => cmd_lifecycle(positional.as_deref().expect("positional parsed")),
+        "fleet" => cmd_fleet(positional.as_deref().expect("positional parsed"), &flags),
         "top" => cmd_top(positional.as_deref().expect("positional parsed"), &flags),
         "query" => cmd_query(positional.as_deref().expect("positional parsed"), &flags),
         "import-bench" => {

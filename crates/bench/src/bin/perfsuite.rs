@@ -53,6 +53,11 @@
 //!   a hard assert that the off-mode rate stays within noise of the PR 8
 //!   reference (an uncontrolled engine must pay one predicted branch, not a
 //!   control loop).
+//! * the cluster guardrail: engine throughput with the fleet orchestrator
+//!   off (`cfg.cluster = None`) and with a two-device fleet routing every
+//!   run, with a hard assert that the off-mode rate stays within noise of
+//!   the PR 9 reference (a single-pool engine must pay one predicted
+//!   branch, not a router).
 //!
 //! ```text
 //! perfsuite [--smoke] [--jobs N] [--out path]
@@ -131,6 +136,12 @@ const PR7_TELEMETRY_ON_EPS: f64 = 6_610_719.47;
 /// against.
 const PR8_ENGINE_FIFO_EPS: f64 = 10_654_045.47;
 const PR8_ENGINE_OLYMPIAN_EPS: f64 = 10_002_699.59;
+
+/// PR 9 reference numbers (this suite's own `BENCH_engine.json` before the
+/// fleet orchestrator landed) — the baseline the cluster-off guardrail
+/// compares against.
+const PR9_ENGINE_FIFO_EPS: f64 = 8_315_513.87;
+const PR9_ENGINE_OLYMPIAN_EPS: f64 = 8_367_731.23;
 
 /// Guardrail: the run-log capture the store ingests may grow the relative
 /// cost of turning telemetry on (the within-process on/off throughput
@@ -931,6 +942,66 @@ fn control_section(off_eps: f64) -> Value {
     ])
 }
 
+/// Measures the engine with a two-device fleet routing every run through
+/// per-device lifecycle managers, and asserts the off rate (measured by
+/// `engine_section`, since `cfg.cluster` defaults to `None`) is within
+/// noise of the PR 9 reference.
+///
+/// # Panics
+///
+/// Panics if cluster-disabled engine throughput falls below
+/// `TRACE_OFF_NOISE_FLOOR` x the PR 9 reference — a single-pool engine must
+/// pay one predicted branch per event, not a router.
+fn cluster_section(off_eps: f64) -> Value {
+    use serving::lifecycle::{DeploymentPlan, LifecycleConfig, ModelDeployment};
+    let model = models::mini::small(4);
+    let plan = DeploymentPlan::new()
+        .with_model(ModelDeployment::new(model.name(), model.clone()));
+    let cc = serving::cluster::ClusterConfig::new(
+        vec![
+            gpusim::DeviceProfile::gtx_1080_ti(),
+            gpusim::DeviceProfile::titan_x(),
+        ],
+        LifecycleConfig::new(plan),
+    )
+    .with_tick(SimDuration::from_millis(1));
+    let cfg = EngineConfig::default().with_cluster(cc);
+    let probe = run_experiment(&cfg, engine_clients(4, 2), &mut FifoScheduler::new());
+    let m = harness::run("engine_fifo/cluster=on", || {
+        black_box(run_experiment(
+            &cfg,
+            engine_clients(4, 2),
+            &mut FifoScheduler::new(),
+        ))
+    });
+    let on_eps = m.per_second() * probe.event_count as f64;
+    let off_vs_pr9 = off_eps / PR9_ENGINE_OLYMPIAN_EPS;
+    println!(
+        "  -> cluster: off {off_eps:.0} events/s ({off_vs_pr9:.2}x PR 9 reference), \
+         two-device fleet {on_eps:.0}"
+    );
+    assert!(
+        off_vs_pr9 >= TRACE_OFF_NOISE_FLOOR,
+        "cluster-disabled engine throughput {off_eps:.0} events/s fell below \
+         {TRACE_OFF_NOISE_FLOOR}x the PR 9 reference {PR9_ENGINE_OLYMPIAN_EPS:.0} — \
+         the fleet orchestrator is no longer free when off"
+    );
+    Value::Object(vec![
+        (
+            "pr9_reference_events_per_sec".into(),
+            Value::Object(vec![
+                ("fifo".into(), Value::Float(PR9_ENGINE_FIFO_EPS)),
+                ("olympian".into(), Value::Float(PR9_ENGINE_OLYMPIAN_EPS)),
+            ]),
+        ),
+        ("off_events_per_sec".into(), Value::Float(off_eps)),
+        ("on_events_per_sec".into(), Value::Float(on_eps)),
+        ("off_vs_pr9".into(), Value::Float(off_vs_pr9)),
+        ("noise_floor".into(), Value::Float(TRACE_OFF_NOISE_FLOOR)),
+        ("on_cost".into(), Value::Float(1.0 - on_eps / off_eps.max(1e-9))),
+    ])
+}
+
 /// Returns the section plus the measured wall clock (0 in smoke mode).
 fn suite_section(smoke: bool, jobs: usize) -> (Value, f64) {
     if smoke {
@@ -1063,6 +1134,7 @@ fn main() -> ExitCode {
     let attribution = attribution_section();
     let tsdb = tsdb_section(oly_eps);
     let control = control_section(oly_eps);
+    let cluster = cluster_section(oly_eps);
     let (suite, suite_secs) = suite_section(smoke, jobs);
     let seed_reference = seed_reference_section(fifo_eps, oly_eps, suite_secs);
 
@@ -1082,6 +1154,7 @@ fn main() -> ExitCode {
         ("attribution".into(), attribution),
         ("tsdb".into(), tsdb),
         ("control".into(), control),
+        ("cluster".into(), cluster),
         ("suite".into(), suite),
         ("seed_reference".into(), seed_reference),
     ]);

@@ -22,6 +22,7 @@ pub mod fig18;
 pub mod fig19;
 pub mod fig20;
 pub mod fig21;
+pub mod fleet;
 pub mod lifecycle;
 pub mod motivation;
 pub mod multi_gpu;
@@ -78,6 +79,7 @@ pub fn registry() -> Vec<Experiment> {
         ("lifecycle", lifecycle::run),
         ("blame", blame::run),
         ("closedloop", closedloop::run),
+        ("fleet", fleet::run),
     ]
 }
 

@@ -640,6 +640,70 @@ mod tests {
     }
 
     #[test]
+    fn profile_constructor_table() {
+        // One row per constructor: (profile, name, speed, memory, SMs, gap).
+        let rows: Vec<(DeviceProfile, &str, f64, u64, u32, SimDuration)> = vec![
+            (
+                DeviceProfile::gtx_1080_ti(),
+                "gtx-1080-ti",
+                1.0,
+                11 * 1024 * 1024 * 1024,
+                28,
+                SimDuration::from_micros(6),
+            ),
+            (
+                DeviceProfile::titan_x(),
+                "titan-x",
+                1.22,
+                12 * 1024 * 1024 * 1024,
+                24,
+                SimDuration::from_micros(7),
+            ),
+            (
+                DeviceProfile::custom("lab", 2.5, 1 << 30, 16, 0.0),
+                "lab",
+                2.5,
+                1 << 30,
+                16,
+                SimDuration::ZERO,
+            ),
+        ];
+        for (p, name, speed, mem, sms, gap) in rows {
+            assert_eq!(p.name(), name);
+            assert_eq!(p.speed_factor(), speed, "{name} speed factor");
+            assert_eq!(p.memory_bytes(), mem, "{name} memory");
+            assert_eq!(p.sm_count(), sms, "{name} SM count");
+            assert_eq!(p.kernel_gap(), gap, "{name} kernel gap");
+        }
+        // The speed factor is relative to the 1080 Ti: the Titan X is
+        // slower per kernel (multiplier above 1.0), not faster.
+        assert!(DeviceProfile::titan_x().speed_factor() > 1.0);
+        assert_eq!(DeviceProfile::gtx_1080_ti().speed_factor(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "speed factor must be positive")]
+    fn custom_profile_rejects_zero_speed() {
+        let _ = DeviceProfile::custom("bad", 0.0, 1 << 20, 4, 0.0);
+    }
+
+    #[test]
+    fn profile_transfer_time_table() {
+        // Weight transfer is bytes / (gbps · 1e9): one row per fleet-
+        // relevant size at the lifecycle default of 12 GB/s.
+        let rows: Vec<(u64, f64, u64)> = vec![
+            (12_000_000_000, 12.0, 1_000_000_000), // 12 GB at 12 GB/s = 1 s
+            (64 << 20, 12.0, 5_592_405),           // 64 MiB ≈ 5.6 ms
+            (0, 12.0, 0),
+            (1_000_000_000, 4.0, 250_000_000), // 1 GB at 4 GB/s = 250 ms
+        ];
+        for (bytes, gbps, want_ns) in rows {
+            let got = crate::MemoryPool::transfer_time(bytes, gbps).as_nanos();
+            assert_eq!(got, want_ns, "{bytes} bytes at {gbps} GB/s");
+        }
+    }
+
+    #[test]
     #[should_panic(expected = "drains")]
     fn utilization_mid_kernel_panics() {
         let mut gpu = device();

@@ -303,6 +303,110 @@ impl LifecycleManager {
         self.models[key.model as usize].versions[key.version as usize - 1].state
     }
 
+    /// Number of managed deployments (dense indices `0..model_count()`).
+    pub fn model_count(&self) -> usize {
+        self.models.len()
+    }
+
+    /// Deployment index of `model`, if managed. Indices are declaration
+    /// order, so they agree across every manager built from the same plan
+    /// (the fleet invariant the cluster router relies on).
+    pub fn model_index(&self, model: &str) -> Option<usize> {
+        self.by_name.get(model).copied()
+    }
+
+    /// The serving version of deployment `mi`, if any.
+    pub fn serving_version(&self, mi: usize) -> Option<VersionKey> {
+        self.models[mi]
+            .serving
+            .map(|vi| VersionKey { model: mi as u32, version: vi as u32 + 1 })
+    }
+
+    /// True when the aspired version of deployment `mi` is already on its
+    /// way to serving (Loading or Warming): an arrival routed here will
+    /// wait, but pays no *new* transfer.
+    pub fn is_loading(&self, mi: usize) -> bool {
+        let m = &self.models[mi];
+        matches!(
+            m.versions[m.aspired].state,
+            VersionState::Loading | VersionState::Warming
+        )
+    }
+
+    /// Weight bytes of the aspired version of deployment `mi` — what a
+    /// fresh load here would transfer.
+    pub fn aspired_weights_bytes(&self, mi: usize) -> u64 {
+        let m = &self.models[mi];
+        m.versions[m.aspired].model.weights_bytes()
+    }
+
+    /// The effective load bandwidth (GB/s), for router transfer estimates.
+    pub fn load_gbps(&self) -> f64 {
+        self.load_gbps
+    }
+
+    /// True when clients are parked waiting for deployment `mi`.
+    pub fn has_waiters(&self, mi: usize) -> bool {
+        !self.models[mi].waiters.is_empty()
+    }
+
+    /// Asks for the aspired version of deployment `mi` to become resident
+    /// (the cluster reconfiguration "load/migrate-in" command). Starts the
+    /// load when the version is `Unloaded` and returns `true`; returns
+    /// `false` when it is already resident, loading, or draining (a drain
+    /// must finish before a reload).
+    pub fn request_load(
+        &mut self,
+        mi: usize,
+        now: SimTime,
+        pool: &mut MemoryPool,
+        fx: &mut Effects,
+    ) -> bool {
+        let a = self.models[mi].aspired;
+        if self.models[mi].versions[a].state != VersionState::Unloaded {
+            return false;
+        }
+        self.start_load(mi, a, now, pool, fx);
+        true
+    }
+
+    /// Asks for deployment `mi` to stop serving on this device (the
+    /// cluster reconfiguration "drain/migrate-out" command). Refuses —
+    /// returning `false` — when nothing is serving, when clients are
+    /// parked or woken-but-not-yet-issued here (they must issue first),
+    /// or while a canary is deciding. Otherwise begins the drain and
+    /// returns `true`; the weights free once in-flight runs finish.
+    pub fn request_drain(
+        &mut self,
+        mi: usize,
+        now: SimTime,
+        pool: &mut MemoryPool,
+        fx: &mut Effects,
+    ) -> bool {
+        let m = &self.models[mi];
+        let Some(s) = m.serving else { return false };
+        if m.versions[s].state != VersionState::Serving {
+            return false; // already draining, waiting out in-flight runs
+        }
+        if !m.waiters.is_empty() || m.versions[s].wake_pending > 0 || m.candidate.is_some() {
+            return false;
+        }
+        self.begin_drain(mi, s, pool, fx);
+        self.pump_pending(now, pool, fx);
+        true
+    }
+
+    /// Returns one wake credit on deployment `mi`'s serving version: a
+    /// client woken by this manager re-routed to a different device, so
+    /// the reservation held for its issue must not pin the version
+    /// against eviction forever. No-op when nothing is serving.
+    pub fn cancel_wake_credit(&mut self, mi: usize) {
+        if let Some(s) = self.models[mi].serving {
+            let v = &mut self.models[mi].versions[s];
+            v.wake_pending = v.wake_pending.saturating_sub(1);
+        }
+    }
+
     /// Routes one new run of `model` for `client`. Either issues a version
     /// (serving version, or the canary candidate for every `stride`-th run
     /// while a canary is active) or parks the client until a version
@@ -316,8 +420,15 @@ impl LifecycleManager {
         fx: &mut Effects,
     ) -> Route {
         let mi = *self.by_name.get(model).expect("route for unmanaged model");
-        let m = &self.models[mi];
-        if let Some(s) = m.serving {
+        if let Some(s) = self.models[mi].serving {
+            // Demand can return while the replica drains: the weights are
+            // still resident (they free only at unload), so serving this
+            // run here is strictly cheaper than finishing the drain and
+            // paying the transfer again. Routing cancels the drain.
+            if self.models[mi].versions[s].state == VersionState::Draining {
+                self.models[mi].versions[s].state = VersionState::Serving;
+            }
+            let m = &self.models[mi];
             debug_assert_eq!(m.versions[s].state, VersionState::Serving);
             let pick = match m.candidate {
                 Some(c) if m.versions[c].state == VersionState::Serving => {
@@ -337,8 +448,8 @@ impl LifecycleManager {
             v.last_used = now;
             return Route::Issue(VersionKey { model: mi as u32, version: pick as u32 + 1 });
         }
-        let target = m.aspired;
-        if m.versions[target].state == VersionState::Unloaded {
+        let target = self.models[mi].aspired;
+        if self.models[mi].versions[target].state == VersionState::Unloaded {
             self.start_load(mi, target, now, pool, fx);
         }
         self.models[mi].waiters.push_back(client);
@@ -1007,6 +1118,132 @@ mod tests {
         assert_eq!(
             sim.mgr.state(VersionKey { model: 0, version: 1 }),
             VersionState::Serving
+        );
+    }
+
+    #[test]
+    fn eviction_tie_breaks_to_smallest_model_version_pair() {
+        // Two identical idle versions with equal reload cost AND equal
+        // last-used instant: the staleness-per-cost scores tie exactly, so
+        // the victim must come from the deterministic (model, version)
+        // order — the dense-vector scan, never hash-map iteration. Pin it:
+        // the victim is the smallest pair, here model 0 ("a").
+        let plan = DeploymentPlan::new()
+            .with_model(ModelDeployment::new("a", renamed("a", models::mini::tiny(4))))
+            .with_model(ModelDeployment::new("b", renamed("b", models::mini::tiny(4))))
+            .with_model(ModelDeployment::new("c", renamed("c", models::mini::tiny(4))));
+        let budget = 2 * (1 << 20) + (64 << 10);
+        let mut sim = Sim::new(LifecycleConfig::new(plan), budget);
+        sim.run_until(SimTime::ZERO);
+        let (ka, kb) = (
+            VersionKey { model: 0, version: 1 },
+            VersionKey { model: 1, version: 1 },
+        );
+        assert_eq!(sim.route("a", 0), Route::Wait);
+        sim.drain_ticks();
+        assert_eq!(sim.route("a", 0), Route::Issue(ka));
+        sim.now += SimDuration::from_millis(1);
+        assert_eq!(sim.route("b", 1), Route::Wait);
+        sim.drain_ticks();
+        assert_eq!(sim.route("b", 1), Route::Issue(kb));
+        // Finish both at the same instant: equal last_used, equal weights
+        // (equal transfer cost) — a perfect tie.
+        sim.now += SimDuration::from_millis(1);
+        sim.finish(ka, SimDuration::from_micros(50));
+        sim.finish(kb, SimDuration::from_micros(50));
+        sim.now += SimDuration::from_millis(1);
+        assert_eq!(sim.route("c", 2), Route::Wait);
+        let victim = sim
+            .events
+            .iter()
+            .find_map(|e| match e {
+                LifecycleEvent::Evicted { key, .. } => Some(*key),
+                _ => None,
+            })
+            .expect("the third load must evict someone");
+        assert_eq!(victim, ka, "tied scores must evict the smallest (model, version)");
+        assert_eq!(sim.mgr.state(kb), VersionState::Serving);
+    }
+
+    #[test]
+    fn request_load_and_drain_drive_residency() {
+        let plan = DeploymentPlan::new()
+            .with_model(ModelDeployment::new("a", renamed("a", models::mini::tiny(4))))
+            .with_model(ModelDeployment::new("b", renamed("b", models::mini::tiny(4))));
+        let mut sim = Sim::new(LifecycleConfig::new(plan), 64 << 20);
+        sim.run_until(SimTime::ZERO);
+        let mi = sim.mgr.model_index("a").expect("managed");
+        assert_eq!(sim.mgr.model_count(), 2);
+        assert!(sim.mgr.serving_version(mi).is_none());
+        // request_load starts the transfer; a second request is a no-op.
+        let mut fx = Effects::default();
+        assert!(sim.mgr.request_load(mi, sim.now, &mut sim.pool, &mut fx));
+        assert!(!sim.mgr.request_load(mi, sim.now, &mut sim.pool, &mut fx));
+        assert!(sim.mgr.is_loading(mi));
+        sim.absorb(fx);
+        sim.drain_ticks();
+        let ka = VersionKey { model: 0, version: 1 };
+        assert_eq!(sim.mgr.serving_version(mi), Some(ka));
+        // In-flight runs do not refuse a drain, they only delay the
+        // unload: issue one, drain, and the weights free at completion.
+        assert_eq!(sim.route("a", 0), Route::Issue(ka));
+        let mut fx = Effects::default();
+        assert!(sim.mgr.request_drain(mi, sim.now, &mut sim.pool, &mut fx));
+        assert!(!sim.mgr.request_drain(mi, sim.now, &mut sim.pool, &mut fx), "already draining");
+        sim.absorb(fx);
+        assert_eq!(sim.mgr.state(ka), VersionState::Draining);
+        sim.finish(ka, SimDuration::from_micros(50));
+        assert_eq!(sim.mgr.state(ka), VersionState::Unloaded);
+        assert_eq!(sim.mgr.resident_bytes(), 0);
+    }
+
+    #[test]
+    fn routing_during_a_drain_cancels_it() {
+        let plan = DeploymentPlan::new()
+            .with_model(ModelDeployment::new("a", renamed("a", models::mini::tiny(4))));
+        let mut sim = Sim::new(LifecycleConfig::new(plan), 64 << 20);
+        sim.run_until(SimTime::ZERO);
+        let mi = sim.mgr.model_index("a").expect("managed");
+        let mut fx = Effects::default();
+        assert!(sim.mgr.request_load(mi, sim.now, &mut sim.pool, &mut fx));
+        sim.absorb(fx);
+        sim.drain_ticks();
+        let ka = VersionKey { model: 0, version: 1 };
+        // One run in flight keeps the drain pending rather than unloading.
+        assert_eq!(sim.route("a", 0), Route::Issue(ka));
+        let mut fx = Effects::default();
+        assert!(sim.mgr.request_drain(mi, sim.now, &mut sim.pool, &mut fx));
+        sim.absorb(fx);
+        assert_eq!(sim.mgr.state(ka), VersionState::Draining);
+        // New demand arrives before the last run finishes: the route
+        // issues against the still-resident weights and cancels the drain.
+        assert_eq!(sim.route("a", 1), Route::Issue(ka));
+        assert_eq!(sim.mgr.state(ka), VersionState::Serving);
+        sim.finish(ka, SimDuration::from_micros(50));
+        sim.finish(ka, SimDuration::from_micros(50));
+        assert_eq!(sim.mgr.state(ka), VersionState::Serving, "no unload after the cancel");
+        assert!(sim.mgr.resident_bytes() > 0);
+    }
+
+    #[test]
+    fn drain_refused_while_wake_credit_outstanding() {
+        let mut sim = Sim::new(LifecycleConfig::new(one_model_plan()), 64 << 20);
+        sim.run_until(SimTime::ZERO);
+        assert_eq!(sim.route("svc", 0), Route::Wait);
+        sim.drain_ticks();
+        // Client 0 was woken but has not re-issued: its credit pins the
+        // version, so a reconfiguration drain must be refused.
+        assert_eq!(sim.woken, vec![0]);
+        let mut fx = Effects::default();
+        assert!(!sim.mgr.request_drain(0, sim.now, &mut sim.pool, &mut fx));
+        // The engine re-routes the woken client to another device and
+        // cancels the credit; now the drain goes through.
+        sim.mgr.cancel_wake_credit(0);
+        assert!(sim.mgr.request_drain(0, sim.now, &mut sim.pool, &mut fx));
+        sim.absorb(fx);
+        assert_eq!(
+            sim.mgr.state(VersionKey { model: 0, version: 1 }),
+            VersionState::Unloaded
         );
     }
 

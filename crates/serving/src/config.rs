@@ -85,6 +85,15 @@ pub struct EngineConfig {
     /// collapses to one predicted branch, the same zero-cost-when-off
     /// discipline as faults and lifecycle.
     pub control: Option<controlplane::ControlConfig>,
+    /// Fleet orchestration (see [`crate::cluster`]): N heterogeneous
+    /// devices each with its own lifecycle manager and memory budget, a
+    /// cost-aware per-arrival router and a periodic min-cost-flow
+    /// reconfiguration loop. `None` by default — the engine then runs the
+    /// classic single-pool path and every cluster hook collapses to one
+    /// predicted branch. Mutually exclusive with `lifecycle` (the cluster
+    /// owns its per-device managers) and with `extra_devices` (the device
+    /// list comes from the cluster config).
+    pub cluster: Option<cluster::ClusterConfig>,
     /// Hard cap on simulated events — a watchdog against scheduling bugs.
     pub max_events: u64,
     /// Worker threads for [`run_sharded_experiment`]: how many OS threads
@@ -121,6 +130,7 @@ impl Default for EngineConfig {
             faults: None,
             lifecycle: None,
             control: None,
+            cluster: None,
             max_events: 500_000_000,
             shards: 1,
         }
@@ -160,6 +170,17 @@ impl EngineConfig {
         }
         if let Some(ctl) = &self.control {
             ctl.validate();
+        }
+        if let Some(cc) = &self.cluster {
+            assert!(
+                self.lifecycle.is_none(),
+                "cluster mode owns its per-device lifecycle managers; do not also set lifecycle"
+            );
+            assert!(
+                self.extra_devices.len() + 1 == cc.devices.len(),
+                "cluster mode derives the device list from the cluster config; use with_cluster"
+            );
+            cc.validate();
         }
     }
 
@@ -207,6 +228,27 @@ impl EngineConfig {
     /// weights.
     pub fn with_lifecycle(&self, lifecycle: lifecycle::LifecycleConfig) -> EngineConfig {
         EngineConfig { lifecycle: Some(lifecycle), ..self.clone() }
+    }
+
+    /// A copy with fleet orchestration configured (see [`crate::cluster`]):
+    /// the engine instantiates one GPU per profile in the cluster config,
+    /// each with its own lifecycle manager and memory budget, routes every
+    /// arriving run to the cheapest device and runs the periodic
+    /// min-cost-flow reconfiguration loop. The engine's device list is
+    /// derived from the cluster's profiles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cluster config has no devices.
+    pub fn with_cluster(&self, cluster: cluster::ClusterConfig) -> EngineConfig {
+        assert!(!cluster.devices.is_empty(), "cluster needs at least one device");
+        EngineConfig {
+            device: cluster.devices[0].clone(),
+            extra_devices: cluster.devices[1..].to_vec(),
+            cluster: Some(cluster),
+            lifecycle: None,
+            ..self.clone()
+        }
     }
 
     /// A copy with the closed-loop control plane configured (see
@@ -264,6 +306,31 @@ mod tests {
         assert_eq!(q.driver_bias_spread, 0.0);
         assert_eq!(q.cpu_jitter, 0.0);
         q.validate();
+    }
+
+    #[test]
+    fn with_cluster_derives_the_device_list() {
+        let cc = cluster::ClusterConfig::new(
+            vec![DeviceProfile::gtx_1080_ti(), DeviceProfile::titan_x()],
+            lifecycle::LifecycleConfig::new(lifecycle::DeploymentPlan::new()),
+        );
+        let cfg = EngineConfig::default().with_cluster(cc);
+        assert_eq!(cfg.device_count(), 2);
+        assert_eq!(cfg.device.name(), "gtx-1080-ti");
+        assert_eq!(cfg.extra_devices[0].name(), "titan-x");
+        cfg.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "do not also set lifecycle")]
+    fn cluster_and_lifecycle_are_mutually_exclusive() {
+        let cc = cluster::ClusterConfig::new(
+            vec![DeviceProfile::gtx_1080_ti()],
+            lifecycle::LifecycleConfig::new(lifecycle::DeploymentPlan::new()),
+        );
+        let mut cfg = EngineConfig::default().with_cluster(cc);
+        cfg.lifecycle = Some(lifecycle::LifecycleConfig::new(lifecycle::DeploymentPlan::new()));
+        cfg.validate();
     }
 
     #[test]

@@ -41,6 +41,14 @@ pub mod attrib {
 }
 pub mod batching;
 mod client;
+pub mod cluster {
+    //! Re-export of the fleet-orchestration crate: heterogeneous device
+    //! placement, cost-aware request routing and two-cadence min-cost-flow
+    //! reconfiguration, consumed via [`EngineConfig::with_cluster`].
+    //!
+    //! [`EngineConfig::with_cluster`]: crate::EngineConfig::with_cluster
+    pub use ::cluster::*;
+}
 mod config;
 pub mod control {
     //! Re-export of the control-plane crate: deadline-aware scheduling

@@ -71,7 +71,10 @@ pub fn run_sharded_experiment(
 ) -> RunReport {
     cfg.validate();
     let groups = 1 + cfg.extra_devices.len();
-    if groups == 1 {
+    // Cluster mode routes runs *between* devices, so the fleet must live
+    // inside one engine: per-device groups cannot see each other's queues.
+    // The classic path is already byte-identical for every shard count.
+    if groups == 1 || cfg.cluster.is_some() {
         let mut scheduler = make_scheduler(0);
         return run_experiment(cfg, clients, scheduler.as_mut());
     }
@@ -293,6 +296,42 @@ mod tests {
         let one = mk(1);
         let four = mk(4);
         assert_eq!(format!("{one:?}"), format!("{four:?}"));
+        assert!(one.all_finished());
+    }
+
+    #[test]
+    fn cluster_runs_single_group_and_is_shard_count_invariant() {
+        let managed = |name: &str| {
+            let m = models::mini::tiny(4);
+            models::LoadedModel::from_parts(
+                name,
+                None,
+                m.batch(),
+                std::sync::Arc::clone(m.graph()),
+                m.weights_bytes(),
+                m.activation_bytes(),
+            )
+        };
+        let mk = |shards| {
+            let plan = lifecycle::DeploymentPlan::new()
+                .with_model(lifecycle::ModelDeployment::new("a", managed("a")))
+                .with_model(lifecycle::ModelDeployment::new("b", managed("b")));
+            let cc = cluster::ClusterConfig::new(
+                vec![gpusim::DeviceProfile::gtx_1080_ti(), gpusim::DeviceProfile::titan_x()],
+                lifecycle::LifecycleConfig::new(plan),
+            )
+            .with_tick(SimDuration::from_millis(1));
+            let cfg = EngineConfig { seed: 13, shards, ..EngineConfig::default() }
+                .with_cluster(cc);
+            let clients = vec![
+                ClientSpec::new(managed("a"), 2),
+                ClientSpec::new(managed("b"), 2),
+            ];
+            run_sharded_experiment(&cfg, clients, &factory())
+        };
+        let one = mk(1);
+        let eight = mk(8);
+        assert_eq!(format!("{one:?}"), format!("{eight:?}"));
         assert!(one.all_finished());
     }
 

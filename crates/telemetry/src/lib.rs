@@ -433,6 +433,9 @@ struct Ids {
     c_batch_shrinks: CounterId,
     c_profile_rebinds: CounterId,
     c_laxity_cancels: CounterId,
+    c_cluster_routes: CounterId,
+    c_cluster_migrations: CounterId,
+    c_cluster_reconfigs: CounterId,
     g_queue: GaugeId,
     g_pool_idle: GaugeId,
     g_starving: GaugeId,
@@ -537,6 +540,9 @@ impl TelemetryHub {
             c_batch_shrinks: registry.counter("control_batch_shrinks"),
             c_profile_rebinds: registry.counter("control_profile_rebinds"),
             c_laxity_cancels: registry.counter("control_laxity_cancels"),
+            c_cluster_routes: registry.counter("cluster_routes"),
+            c_cluster_migrations: registry.counter("cluster_migrations"),
+            c_cluster_reconfigs: registry.counter("cluster_reconfigs"),
             g_queue: registry.gauge("admission_queue_depth"),
             g_pool_idle: registry.gauge("pool_idle_threads"),
             g_starving: registry.gauge("starving_jobs"),
@@ -849,6 +855,39 @@ impl TelemetryHub {
         }
         let ids = self.ids();
         self.registry.inc(ids.c_laxity_cancels, 1);
+    }
+
+    /// The cluster router stamped an arriving run and picked a device
+    /// (cluster layer).
+    #[inline]
+    pub fn on_cluster_route(&mut self) {
+        if !self.on {
+            return;
+        }
+        let ids = self.ids();
+        self.registry.inc(ids.c_cluster_routes, 1);
+    }
+
+    /// The reconfiguration plan moved a model between devices (cluster
+    /// layer).
+    #[inline]
+    pub fn on_cluster_migrate(&mut self) {
+        if !self.on {
+            return;
+        }
+        let ids = self.ids();
+        self.registry.inc(ids.c_cluster_migrations, 1);
+    }
+
+    /// One `ClusterTick` solved and executed a reconfiguration plan
+    /// (cluster layer).
+    #[inline]
+    pub fn on_cluster_reconfig(&mut self) {
+        if !self.on {
+            return;
+        }
+        let ids = self.ids();
+        self.registry.inc(ids.c_cluster_reconfigs, 1);
     }
 
     /// Acknowledges a burn alert on objective `slo`, resetting that

@@ -324,6 +324,31 @@ pub fn chrome_trace(trace: &Trace, meta: &TraceMeta) -> Value {
                 rows.push(row(u64::from(client), e.at.as_nanos(), None,
                     "laxity-cancel".into(), "control", args));
             }
+            TraceKind::ClusterRoute { client, device, cost_us } => {
+                rows.push(row(u64::from(client), e.at.as_nanos(), None,
+                    "cluster-route".into(), "cluster",
+                    vec![
+                        ("device".into(), Value::UInt(u64::from(device))),
+                        ("cost_us".into(), Value::UInt(cost_us)),
+                    ]));
+            }
+            TraceKind::ClusterMigrate { model, from, to } => {
+                rows.push(row(scheduler_tid, e.at.as_nanos(), None,
+                    "cluster-migrate".into(), "cluster",
+                    vec![
+                        ("model".into(), Value::UInt(u64::from(model))),
+                        ("from".into(), Value::UInt(u64::from(from))),
+                        ("to".into(), Value::UInt(u64::from(to))),
+                    ]));
+            }
+            TraceKind::ClusterReconfig { loads, drains } => {
+                rows.push(row(scheduler_tid, e.at.as_nanos(), None,
+                    "cluster-reconfigure".into(), "cluster",
+                    vec![
+                        ("loads".into(), Value::UInt(u64::from(loads))),
+                        ("drains".into(), Value::UInt(u64::from(drains))),
+                    ]));
+            }
         }
     }
 

@@ -479,6 +479,34 @@ pub enum TraceKind {
         /// How far past the deadline the run would have landed, µs.
         deficit_us: u64,
     },
+    /// The cluster router stamped an arriving run and sent it to the
+    /// cheapest device (cluster layer).
+    ClusterRoute {
+        /// The routed client.
+        client: u32,
+        /// The chosen device.
+        device: u32,
+        /// The winning estimated completion cost, µs.
+        cost_us: u64,
+    },
+    /// The reconfiguration plan moved a model between devices: a drain on
+    /// `from` paired with a load on `to` (cluster layer).
+    ClusterMigrate {
+        /// Deployment index in the lifecycle plan.
+        model: u32,
+        /// Device draining the model.
+        from: u32,
+        /// Device loading the model.
+        to: u32,
+    },
+    /// One `ClusterTick` solved the min-cost flow and executed its plan
+    /// (cluster layer).
+    ClusterReconfig {
+        /// Loads issued by this plan.
+        loads: u32,
+        /// Drains issued by this plan.
+        drains: u32,
+    },
 }
 
 impl TraceKind {
@@ -520,9 +548,14 @@ impl TraceKind {
             | TraceKind::AdmissionShed { client }
             | TraceKind::BatchShrink { client, .. }
             | TraceKind::ProfileRebind { client, .. } => *client = client_of(*client),
-            TraceKind::ClientAdmitted { client, device } => {
+            TraceKind::ClientAdmitted { client, device }
+            | TraceKind::ClusterRoute { client, device, .. } => {
                 *client = client_of(*client);
                 *device = device_of(*device);
+            }
+            TraceKind::ClusterMigrate { from, to, .. } => {
+                *from = device_of(*from);
+                *to = device_of(*to);
             }
             TraceKind::RunRegistered { job, client }
             | TraceKind::RunCompleted { job, client }
@@ -561,7 +594,8 @@ impl TraceKind {
             | TraceKind::CanaryPromote { .. }
             | TraceKind::CanaryRollback { .. }
             | TraceKind::Drain { .. }
-            | TraceKind::ControlTransition { .. } => {}
+            | TraceKind::ControlTransition { .. }
+            | TraceKind::ClusterReconfig { .. } => {}
         }
     }
 
@@ -593,7 +627,8 @@ impl TraceKind {
             | TraceKind::AdmissionShed { client }
             | TraceKind::BatchShrink { client, .. }
             | TraceKind::ProfileRebind { client, .. }
-            | TraceKind::LaxityCancel { client, .. } => Some(client),
+            | TraceKind::LaxityCancel { client, .. }
+            | TraceKind::ClusterRoute { client, .. } => Some(client),
             TraceKind::TokenRevoke { client, .. } | TraceKind::TokenGrant { client, .. } => client,
             TraceKind::SloBurnAlert { .. }
             | TraceKind::DeviceStall { .. }
@@ -603,7 +638,9 @@ impl TraceKind {
             | TraceKind::CanaryPromote { .. }
             | TraceKind::CanaryRollback { .. }
             | TraceKind::Drain { .. }
-            | TraceKind::ControlTransition { .. } => None,
+            | TraceKind::ControlTransition { .. }
+            | TraceKind::ClusterMigrate { .. }
+            | TraceKind::ClusterReconfig { .. } => None,
         }
     }
 }
@@ -752,6 +789,15 @@ impl fmt::Display for TraceEvent {
             }
             TraceKind::LaxityCancel { job, client, deficit_us } => {
                 write!(f, "laxity cancel job{job} (client{client}, deficit {deficit_us}us)")
+            }
+            TraceKind::ClusterRoute { client, device, cost_us } => {
+                write!(f, "cluster route client{client} -> gpu{device} (cost {cost_us}us)")
+            }
+            TraceKind::ClusterMigrate { model, from, to } => {
+                write!(f, "cluster migrate m{model} gpu{from} -> gpu{to}")
+            }
+            TraceKind::ClusterReconfig { loads, drains } => {
+                write!(f, "cluster reconfigure ({loads} loads, {drains} drains)")
             }
         }
     }
@@ -1069,6 +1115,41 @@ mod tests {
         let mut s = TraceKind::BatchShrink { client: 1, from: 4, to: 2 };
         s.remap_ids(&|c| c + 10, &|d| d, &|j| j);
         assert_eq!(s, TraceKind::BatchShrink { client: 11, from: 4, to: 2 });
+    }
+
+    #[test]
+    fn cluster_events_render_remap_and_attribute() {
+        let r = TraceEvent {
+            seq: 0,
+            at: SimTime::from_micros(10),
+            kind: TraceKind::ClusterRoute { client: 2, device: 1, cost_us: 640 },
+        };
+        assert_eq!(r.to_string(), "[0.000010s] cluster route client2 -> gpu1 (cost 640us)");
+        assert_eq!(r.kind.client(), Some(2));
+        let m = TraceEvent {
+            seq: 1,
+            at: SimTime::from_micros(11),
+            kind: TraceKind::ClusterMigrate { model: 3, from: 0, to: 2 },
+        };
+        assert_eq!(m.to_string(), "[0.000011s] cluster migrate m3 gpu0 -> gpu2");
+        assert_eq!(m.kind.client(), None);
+        let g = TraceEvent {
+            seq: 2,
+            at: SimTime::from_micros(12),
+            kind: TraceKind::ClusterReconfig { loads: 2, drains: 1 },
+        };
+        assert_eq!(g.to_string(), "[0.000012s] cluster reconfigure (2 loads, 1 drains)");
+        assert_eq!(g.kind.client(), None);
+        // Remap lifts client and device ids; the plan summary has none.
+        let mut k = TraceKind::ClusterRoute { client: 2, device: 1, cost_us: 640 };
+        k.remap_ids(&|c| c + 10, &|d| d + 100, &|j| j);
+        assert_eq!(k, TraceKind::ClusterRoute { client: 12, device: 101, cost_us: 640 });
+        let mut mg = TraceKind::ClusterMigrate { model: 3, from: 0, to: 2 };
+        mg.remap_ids(&|c| c, &|d| d + 100, &|j| j);
+        assert_eq!(mg, TraceKind::ClusterMigrate { model: 3, from: 100, to: 102 });
+        let mut rc = TraceKind::ClusterReconfig { loads: 2, drains: 1 };
+        rc.remap_ids(&|c| c + 1, &|d| d + 1, &|j| j + 1);
+        assert_eq!(rc, TraceKind::ClusterReconfig { loads: 2, drains: 1 });
     }
 
     #[test]
